@@ -1,0 +1,38 @@
+"""Benchmark E10 — closeness similarity from all-distances sketches.
+
+Regenerates the sketch-size versus estimation-error table of the ADS
+similarity application and times sketch construction on a larger graph.
+"""
+
+import numpy as np
+
+from repro.experiments import similarity
+from repro.graphs.generators import preferential_attachment_graph
+from repro.sketches.ads import build_all_ads
+
+
+def test_ads_similarity_error_by_k(benchmark, reproduction_report):
+    def run_experiment():
+        return similarity.run(ks=(4, 8, 16), num_pairs=8, seed=2)
+
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    errors = similarity.mean_error_by_k(rows)
+    reproduction_report(
+        benchmark,
+        "E10 / ADS closeness-similarity estimation",
+        similarity.format_report(rows),
+        **{f"mean abs error k={k}": err for k, err in errors.items()},
+    )
+    assert errors[16] <= errors[4] + 1e-9
+    assert errors[16] < 0.2
+
+
+def test_ads_construction_throughput(benchmark):
+    """Time building coordinated ADS for every node of a 400-node graph."""
+    graph = preferential_attachment_graph(400, m=3, rng=np.random.default_rng(9))
+
+    def build():
+        return build_all_ads(graph, k=8, salt="bench")
+
+    sketches = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(sketches) == 400

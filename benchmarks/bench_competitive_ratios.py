@@ -1,0 +1,54 @@
+"""Benchmark E7 — per-function competitive ratios (RG_p+, PPS).
+
+Regenerates the supremum-ratio table for L* (and the U*/HT baselines) over
+a sweep of unit-square data vectors; the paper quotes roughly 2 and 2.5
+for the two exponents and 4 as the universal L* bound.
+"""
+
+import pytest
+
+from repro.experiments import ratios
+
+
+def test_lstar_ratio_sweep(benchmark, reproduction_report):
+    def run_sweep():
+        return ratios.run(
+            exponents=(1.0, 2.0),
+            vectors=ratios.default_vector_grid(4),
+            include_baselines=False,
+        )
+
+    results = benchmark(run_sweep)
+    reproduction_report(
+        benchmark,
+        "E7 / L* competitive-ratio sweep",
+        ratios.format_report(results),
+        **{f"sup ratio p={r.p}": r.supremum for r in results},
+    )
+    by_p = {r.p: r.supremum for r in results}
+    assert by_p[1.0] == pytest.approx(2.0, abs=0.2)
+    assert by_p[2.0] == pytest.approx(2.5, abs=0.35)
+    assert max(by_p.values()) <= 4.0
+
+
+def test_baseline_ratio_sweep(benchmark, reproduction_report):
+    """U* and HT ratios over the same sweep (context for the L* numbers)."""
+
+    def run_sweep():
+        return ratios.run(
+            exponents=(1.0,),
+            vectors=ratios.default_vector_grid(3),
+            include_baselines=True,
+        )
+
+    results = benchmark(run_sweep)
+    reproduction_report(
+        benchmark,
+        "E7b / baseline competitive ratios",
+        ratios.format_report(results),
+    )
+    lstar = next(r for r in results if r.estimator.startswith("L*"))
+    ustar = next(r for r in results if r.estimator.startswith("U*"))
+    # U* has no small universal guarantee; L* stays within 4.
+    assert lstar.supremum <= 4.0
+    assert ustar.supremum > lstar.supremum

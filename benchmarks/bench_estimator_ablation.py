@@ -1,0 +1,60 @@
+"""Benchmark E11 — estimator ablation across similarity regimes.
+
+Regenerates the "who wins where, and at what worst-case cost" table that
+underpins the paper's customisation-vs-competitiveness message, and times
+single L* / U* estimate evaluations (the per-item cost a query pays).
+"""
+
+from repro.core.functions import OneSidedRange
+from repro.core.schemes import pps_scheme
+from repro.estimators.lstar import LStarEstimator, LStarOneSidedRangePPS
+from repro.estimators.ustar import UStarOneSidedRangePPS
+from repro.experiments import ablation
+
+
+def test_ablation_table(benchmark, reproduction_report):
+    def run_experiment():
+        return ablation.run(similarities=(0.0, 0.25, 0.5, 0.75, 0.95), num_items=40)
+
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    winners = ablation.winners_by_similarity(rows)
+    penalties = ablation.worst_case_penalty(rows)
+    reproduction_report(
+        benchmark,
+        "E11 / estimator ablation across similarity regimes",
+        ablation.format_report(rows),
+        winner_low_similarity=winners[0.0],
+        winner_high_similarity=winners[0.95],
+        lstar_worst_penalty=penalties["L*"],
+        ustar_worst_penalty=penalties["U*"],
+    )
+    assert winners[0.0] == "U*"
+    assert winners[0.95] == "L*"
+    assert penalties["L*"] < penalties["U*"]
+
+
+def test_per_item_estimate_cost_closed_form(benchmark):
+    """Per-item cost of the closed-form L* estimator (the hot path of
+    sum-aggregate estimation)."""
+    scheme = pps_scheme([1.0, 1.0])
+    estimator = LStarOneSidedRangePPS(p=1.0)
+    outcome = scheme.sample((0.6, 0.2), 0.35)
+    value = benchmark(estimator.estimate, outcome)
+    assert value > 0.0
+
+
+def test_per_item_estimate_cost_generic(benchmark):
+    """Per-item cost of the generic (quadrature-based) L* estimator, for
+    comparison with the closed form."""
+    scheme = pps_scheme([1.0, 1.0])
+    estimator = LStarEstimator(OneSidedRange(p=1.0))
+    outcome = scheme.sample((0.6, 0.2), 0.35)
+    value = benchmark(estimator.estimate, outcome)
+    assert value > 0.0
+
+
+def test_per_item_estimate_cost_ustar(benchmark):
+    scheme = pps_scheme([1.0, 1.0])
+    estimator = UStarOneSidedRangePPS(p=1.0)
+    outcome = scheme.sample((0.6, 0.2), 0.35)
+    benchmark(estimator.estimate, outcome)

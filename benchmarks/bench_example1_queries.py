@@ -1,0 +1,37 @@
+"""Benchmark E1 — Example 1: exact query evaluation over the paper's dataset.
+
+Regenerates the query-value table of Example 1 (L1, L2^2, L2, L1+, G over
+item selections) and times the exact query engine on a scaled-up version
+of the same workload (so the timing is meaningful, not just 8 items).
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregates.dataset import MultiInstanceDataset
+from repro.aggregates.queries import lpp_difference
+from repro.experiments import example1
+
+
+def test_example1_query_table(benchmark, reproduction_report):
+    rows = benchmark(example1.run)
+    reproduction_report(
+        benchmark,
+        "E1 / Example 1 query table",
+        example1.format_report(rows),
+        queries=len(rows),
+    )
+    by_query = {row.query: row for row in rows}
+    assert by_query["L2^2"].matches_paper
+    assert by_query["L2"].matches_paper
+
+
+def test_exact_query_engine_throughput(benchmark):
+    """Time the exact Lp^p evaluation on a 20k-item two-instance matrix."""
+    rng = np.random.default_rng(0)
+    dataset = MultiInstanceDataset(
+        ["a", "b"],
+        {f"item{i}": tuple(rng.uniform(0.0, 1.0, 2)) for i in range(20_000)},
+    )
+    value = benchmark(lpp_difference, dataset, 2.0, (0, 1))
+    assert value > 0.0

@@ -1,0 +1,34 @@
+"""Benchmark E2 — Example 2: coordinated PPS sampling.
+
+Regenerates the outcome table of Example 2 (fixed seeds) and times the
+coordinated sampler on a realistically sized multi-instance dataset.
+"""
+
+import numpy as np
+
+from repro.aggregates.coordinated import CoordinatedPPSSampler
+from repro.datasets.synthetic import ip_flow_pairs
+from repro.experiments import example2
+
+
+def test_example2_outcomes(benchmark, reproduction_report):
+    rows, _sample = benchmark(example2.run)
+    reproduction_report(
+        benchmark,
+        "E2 / Example 2 coordinated PPS outcomes",
+        example2.format_report(rows),
+        items=len(rows),
+    )
+    assert all(row.matches_paper for row in rows)
+
+
+def test_coordinated_sampling_throughput(benchmark):
+    """Time shared-seed PPS sampling of a 20k-flow, two-period dataset."""
+    dataset = ip_flow_pairs(20_000, rng=np.random.default_rng(1))
+    sampler = CoordinatedPPSSampler.for_expected_sample_size(dataset, 1000)
+
+    def run_once():
+        return sampler.sample(dataset).storage_size()
+
+    size = benchmark(run_once)
+    assert size > 0

@@ -1,0 +1,20 @@
+"""Benchmark E3 — Example 3: lower-bound functions and lower hulls.
+
+Regenerates the six curves of the Example 3 figure (LB and CH for
+p in {0.5, 1, 2} and the two data vectors) and times the curve tracing.
+"""
+
+from repro.experiments import example3
+
+
+def test_example3_curves(benchmark, reproduction_report):
+    pairs = benchmark(example3.run, grid=200)
+    checks = example3.structural_checks(pairs)
+    reproduction_report(
+        benchmark,
+        "E3 / Example 3 lower-bound and hull curves",
+        example3.format_report(pairs),
+        configurations=len(pairs),
+        checks_passed=sum(checks.values()),
+    )
+    assert all(checks.values()), checks

@@ -1,0 +1,20 @@
+"""Benchmark E4 — Example 4: L*, U*, and v-optimal estimate curves.
+
+Regenerates the estimate-versus-seed curves of the Example 4 figure and
+times the three estimator evaluations along the seed grid.
+"""
+
+from repro.experiments import example4
+
+
+def test_example4_estimate_curves(benchmark, reproduction_report):
+    curves = benchmark(example4.run, grid=80)
+    checks = example4.structural_checks(curves)
+    reproduction_report(
+        benchmark,
+        "E4 / Example 4 estimate curves",
+        example4.format_report(curves),
+        configurations=len(curves),
+        checks_passed=sum(checks.values()),
+    )
+    assert all(checks.values()), checks

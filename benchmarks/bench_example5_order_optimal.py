@@ -1,0 +1,53 @@
+"""Benchmark E5 — Example 5: order-optimal estimators over a finite domain.
+
+Regenerates the three estimator tables of Example 5 (L*-order, U*-order,
+and the custom difference-2-first order) and times the constructive
+derivation; a second benchmark scales the construction to a larger grid
+domain to show it stays practical.
+"""
+
+from repro.core.domain import GridDomain
+from repro.core.functions import OneSidedRange
+from repro.core.schemes import CoordinatedScheme, StepThreshold
+from repro.estimators.order_optimal import (
+    DiscreteProblem,
+    build_order_optimal,
+    order_by_target_ascending,
+)
+from repro.experiments import example5
+
+
+def test_example5_tables(benchmark, reproduction_report):
+    result = benchmark(example5.run)
+    reproduction_report(
+        benchmark,
+        "E5 / Example 5 order-optimal estimator tables",
+        example5.format_report(),
+        domain_size=len(result.problem.vectors),
+    )
+    problem = result.problem
+    for estimator in (result.lstar_order, result.ustar_order, result.custom_order):
+        for vector in problem.vectors:
+            assert abs(estimator.expected_value(vector) - problem.value(vector)) < 1e-9
+
+
+def test_order_optimal_construction_scales(benchmark):
+    """Construct the L*-order estimator over an 11x11 grid domain."""
+    levels = [float(v) for v in range(11)]
+    probabilities = [(0.0, 0.0)] + [
+        (float(v), min(1.0, 0.09 * v)) for v in range(1, 11)
+    ]
+    threshold = StepThreshold(probabilities)
+    scheme = CoordinatedScheme([threshold, threshold])
+    domain = GridDomain.uniform(levels, dimension=2)
+    problem = DiscreteProblem(scheme, OneSidedRange(p=1.0), domain)
+
+    def construct():
+        return build_order_optimal(
+            problem, order=order_by_target_ascending(problem)
+        )
+
+    estimator = benchmark(construct)
+    # Spot-check unbiasedness on a few vectors of the larger domain.
+    for vector in [(10.0, 0.0), (7.0, 3.0), (1.0, 1.0)]:
+        assert abs(estimator.expected_value(vector) - problem.value(vector)) < 1e-9

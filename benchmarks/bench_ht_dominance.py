@@ -1,0 +1,24 @@
+"""Benchmark E8 — L* dominates Horvitz–Thompson.
+
+Regenerates the exact-variance comparison table (L*, HT, dyadic) over a
+sweep of data vectors and checks the domination claim of Theorem 4.2.
+"""
+
+from repro.experiments import dominance
+
+
+def test_variance_dominance_table(benchmark, reproduction_report):
+    rows = benchmark(dominance.run)
+    reproduction_report(
+        benchmark,
+        "E8 / L* vs HT variance comparison",
+        dominance.format_report(rows),
+        vectors=len(rows),
+    )
+    assert dominance.all_dominated(rows)
+    # Somewhere the domination is strict by a wide margin (partial
+    # information that HT throws away).
+    assert any(
+        row.ht_applicable and row.ht_variance > 1.5 * row.lstar_variance
+        for row in rows
+    )

@@ -1,0 +1,53 @@
+"""Benchmark E9 — Lp-difference estimation on similar vs dissimilar workloads.
+
+Regenerates the Section 7 comparison: U* wins on the volatile
+(IP-flow-like) workload, L* wins on the stable (surnames-like) workload,
+and L* never loses by much.  Also times the end-to-end sum-estimation
+pipeline on a larger sample.
+"""
+
+import numpy as np
+
+from repro.aggregates.coordinated import CoordinatedPPSSampler
+from repro.aggregates.sum_estimator import SumAggregateEstimator
+from repro.core.functions import OneSidedRange
+from repro.datasets.synthetic import surname_pairs
+from repro.estimators.lstar import LStarEstimator
+from repro.experiments import lp_difference
+
+
+def test_lp_difference_customisation(benchmark, reproduction_report):
+    def run_experiment():
+        return lp_difference.run(
+            num_items=250,
+            sampling_rates=(0.1, 0.2),
+            exponents=(1.0,),
+            replications=25,
+            seed=7,
+        )
+
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    reproduction_report(
+        benchmark,
+        "E9 / Lp-difference estimation by workload",
+        lp_difference.format_report(results),
+    )
+    winners = lp_difference.winners(results)
+    ip_wins = [v for (w, _, _), v in winners.items() if "ip-flows" in w]
+    surname_wins = [v for (w, _, _), v in winners.items() if "surnames" in w]
+    assert all(winner == "U*" for winner in ip_wins)
+    assert all(winner == "L*" for winner in surname_wins)
+
+
+def test_sum_estimation_pipeline_throughput(benchmark):
+    """Time one full coordinated-sample -> per-item L* -> sum pass on a
+    5k-item workload (the operation a query engine would run per query)."""
+    dataset = surname_pairs(5000, rng=np.random.default_rng(5), normalise_to=500.0)
+    sampler = CoordinatedPPSSampler.for_expected_sample_size(dataset, 500)
+    sample = sampler.sample(dataset, rng=np.random.default_rng(6))
+    aggregator = SumAggregateEstimator(
+        OneSidedRange(p=1.0), estimator=LStarEstimator(OneSidedRange(p=1.0))
+    )
+
+    result = benchmark(aggregator.estimate, sample)
+    assert result.value >= 0.0

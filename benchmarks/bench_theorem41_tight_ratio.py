@@ -1,0 +1,24 @@
+"""Benchmark E6 — Theorem 4.1: the L* ratio approaches (and never exceeds) 4.
+
+Regenerates the measured-vs-theoretical ratio curve for the worst-case
+family ``f(v) = (1 - v^{1-p})/(1-p)`` as ``p`` sweeps towards 1/2.
+"""
+
+import pytest
+
+from repro.experiments import theorem41
+
+
+def test_tight_family_ratio_curve(benchmark, reproduction_report):
+    points = benchmark(theorem41.run, (0.05, 0.1, 0.2, 0.3, 0.4, 0.45))
+    reproduction_report(
+        benchmark,
+        "E6 / Theorem 4.1 tight-family ratios",
+        theorem41.format_report(points),
+        max_ratio=max(p.measured for p in points),
+    )
+    for point in points:
+        assert point.measured == pytest.approx(point.theoretical, rel=1e-3)
+        assert point.measured <= 4.0 + 1e-6
+    # The curve rises towards 4 as p approaches 1/2.
+    assert points[-1].measured > 3.5

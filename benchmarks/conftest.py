@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper
+(experiments E1–E11 in DESIGN.md).  ``pytest-benchmark`` provides the
+timing; the *numbers the paper reports* are attached to each benchmark's
+``extra_info`` and also printed once per run, so that
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+harness whose output feeds EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def attach_and_print(benchmark, title: str, report: str, **extra) -> None:
+    """Attach reproduction output to a benchmark and echo it."""
+    benchmark.extra_info["experiment"] = title
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+    print(f"\n{'=' * 72}\n{report}\n{'=' * 72}")
+
+
+@pytest.fixture
+def reproduction_report():
+    """Factory fixture: benchmarks call it with their rendered report."""
+    return attach_and_print

@@ -1,0 +1,92 @@
+"""Building a custom (order-optimal) estimator for an expected data pattern.
+
+The paper's customisation message: the admissible estimators form a wide
+Pareto front, and by choosing a priority order over data vectors you pick
+the admissible estimator with the lowest variance on the patterns you
+expect.  For finite domains the construction is completely mechanical
+(Section 5 / Example 5) and this library exposes it directly.
+
+The scenario here: a sensor reports integer levels 0..4 in two consecutive
+epochs; domain knowledge says the level usually jumps by exactly two steps
+(e.g. a device that reports in coarse increments).
+We build three estimators of the one-sided change ``max(0, after - before)``:
+
+* the L*-order estimator (optimised for "no change"),
+* the U*-order estimator (optimised for "maximal change"),
+* a custom estimator prioritising "change by two steps",
+
+and compare their variance profiles — the custom one wins exactly on the
+pattern it was built for, while every one of them stays unbiased on all
+data.
+
+Run with:  python examples/custom_order_optimal.py
+"""
+
+from repro.core.domain import GridDomain
+from repro.core.functions import OneSidedRange
+from repro.core.schemes import CoordinatedScheme, StepThreshold
+from repro.estimators.order_optimal import (
+    DiscreteProblem,
+    build_order_optimal,
+    order_by_target_ascending,
+    order_by_target_descending,
+)
+
+
+def main() -> None:
+    levels = [0.0, 1.0, 2.0, 3.0, 4.0]
+    # Inclusion probability grows with the level (PPS-like step thresholds).
+    threshold = StepThreshold([(lvl, min(1.0, 0.2 * lvl)) for lvl in levels])
+    scheme = CoordinatedScheme([threshold, threshold])
+    domain = GridDomain.uniform(levels, dimension=2)
+    target = OneSidedRange(p=1.0)  # increase-only change
+    problem = DiscreteProblem(scheme, target, domain)
+
+    lstar_like = build_order_optimal(
+        problem, order=order_by_target_ascending(problem), order_name="small change first"
+    )
+    ustar_like = build_order_optimal(
+        problem, order=order_by_target_descending(problem), order_name="large change first"
+    )
+    custom = build_order_optimal(
+        problem,
+        priority=lambda v: (abs((v[0] - v[1]) - 2.0), target(v)),
+        order_name="two-step change first",
+    )
+
+    probe_vectors = [
+        (2.0, 0.0), (3.0, 1.0), (4.0, 2.0),               # two-step increases
+        (1.0, 0.0), (2.0, 1.0), (3.0, 2.0),               # one-step increases
+        (4.0, 0.0), (4.0, 1.0),                           # larger jumps
+        (1.0, 1.0), (3.0, 3.0),                           # no change
+    ]
+    print(f"{'vector':>12} | {'f(v)':>5} | {'small-first':>12} | "
+          f"{'large-first':>12} | {'two-step-first':>14}")
+    for vector in probe_vectors:
+        row = [
+            f"{estimator.variance(vector):12.4f}"
+            for estimator in (lstar_like, ustar_like, custom)
+        ]
+        print(f"{str(vector):>12} | {problem.value(vector):>5.1f} | "
+              f"{row[0]} | {row[1]} | {row[2][:14]:>14}")
+
+    two_step = [(2.0, 0.0), (3.0, 1.0), (4.0, 2.0)]
+    total = {
+        "small-first": sum(lstar_like.variance(v) for v in two_step),
+        "large-first": sum(ustar_like.variance(v) for v in two_step),
+        "two-step-first": sum(custom.variance(v) for v in two_step),
+    }
+    print("\ntotal variance on the expected (two-step) pattern:")
+    for name, value in total.items():
+        print(f"  {name:>15}: {value:.4f}")
+    print("\nevery estimator is exactly unbiased on every vector of the domain:")
+    worst_bias = max(
+        abs(estimator.expected_value(v) - problem.value(v))
+        for estimator in (lstar_like, ustar_like, custom)
+        for v in problem.vectors
+    )
+    print(f"  largest |bias| over the domain: {worst_bias:.2e}")
+
+
+if __name__ == "__main__":
+    main()

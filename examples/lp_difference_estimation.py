@@ -1,0 +1,54 @@
+"""Estimating L_p differences between two snapshots from tiny samples.
+
+This reproduces the workflow behind the paper's Section 7 application:
+two weight assignments over the same keys (two traffic periods, two years
+of name frequencies, ...) are PPS-sampled with *shared* per-key seeds; the
+``L_1`` and ``L_2`` differences are then estimated from the samples alone.
+
+The script contrasts the two customised estimators on the two synthetic
+workloads with opposite similarity structure:
+
+* the IP-flow-like workload (heavy churn, large differences) favours U*;
+* the surnames-like workload (stable frequencies) favours L*;
+* L*'s worst case is mild — that is the 4-competitiveness guarantee at
+  work — whereas U* can be far off on the "wrong" workload.
+
+Run with:  python examples/lp_difference_estimation.py
+"""
+
+import numpy as np
+
+from repro.datasets import ip_flow_pairs, surname_pairs
+from repro.experiments import lp_difference
+
+
+def main() -> None:
+    results = lp_difference.run(
+        num_items=300,
+        sampling_rates=(0.05, 0.1, 0.2),
+        exponents=(1.0, 2.0),
+        replications=30,
+        seed=42,
+    )
+    print(lp_difference.format_report(results))
+
+    print("\nReading the table:")
+    print(" * on the ip-flows workload the U* rows have the lower RMSE;")
+    print(" * on the surnames workload the L* rows win;")
+    print(" * the L* error is never catastrophically larger than the winner's,")
+    print("   which is why the paper recommends it as the default choice.")
+
+    # A peek at the raw workloads, to make the similarity contrast concrete.
+    rng = np.random.default_rng(0)
+    volatile = ip_flow_pairs(10, rng=rng)
+    stable = surname_pairs(10, rng=rng)
+    print("\nSample ip-flow tuples (volatile):")
+    for key, tup in list(volatile.iter_items())[:5]:
+        print(f"  {key}: {tuple(round(x, 3) for x in tup)}")
+    print("Sample surname tuples (stable):")
+    for key, tup in list(stable.iter_items())[:5]:
+        print(f"  {key}: {tuple(round(x, 4) for x in tup)}")
+
+
+if __name__ == "__main__":
+    main()

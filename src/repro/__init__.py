@@ -1,0 +1,123 @@
+"""repro — a reproduction of Cohen's monotone-sampling estimation framework.
+
+The library implements the full machinery of *"Estimation for Monotone
+Sampling: Competitiveness and Customization"* (Edith Cohen, PODC 2014):
+
+* coordinated shared-seed (PPS / threshold) sampling schemes and the
+  monotone-estimation abstraction built on them (:mod:`repro.core`);
+* the L*, U*, Horvitz–Thompson, dyadic and order-optimal estimators,
+  the v-optimal oracle and the optimal-range characterisation
+  (:mod:`repro.estimators`);
+* exact variance / competitiveness analysis and Monte-Carlo simulation
+  (:mod:`repro.analysis`);
+* sum-aggregate estimation over multi-instance datasets sampled with
+  coordinated PPS (:mod:`repro.aggregates`);
+* sampling-sketch substrates — bottom-k, priority, reservoir, and
+  all-distances sketches with HIP probabilities (:mod:`repro.sketches`);
+* graph utilities and closeness-similarity estimation
+  (:mod:`repro.graphs`);
+* synthetic workload generators standing in for the paper's proprietary
+  datasets (:mod:`repro.datasets`);
+* one experiment module per table/figure/claim of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+
+>>> from repro import pps_scheme, OneSidedRange, LStarEstimator
+>>> scheme = pps_scheme([1.0, 1.0])
+>>> target = OneSidedRange(p=1)
+>>> estimator = LStarEstimator(target)
+>>> outcome = scheme.sample((0.6, 0.2), seed=0.35)
+>>> round(estimator.estimate(outcome), 6)
+1.098612
+"""
+
+from .core import (
+    AbsoluteCombination,
+    BoxDomain,
+    CoordinatedScheme,
+    DistinctOr,
+    EstimationTarget,
+    ExponentiatedRange,
+    GenericTarget,
+    GridDomain,
+    LinearThreshold,
+    MaxPower,
+    MinPower,
+    OneSidedRange,
+    Outcome,
+    OutcomeLowerBound,
+    SeedAssigner,
+    StepThreshold,
+    VectorLowerBound,
+    WeightedSum,
+    hash_to_unit,
+    pps_scheme,
+    unit_box,
+)
+from .estimators import (
+    DiscreteProblem,
+    DyadicEstimator,
+    Estimator,
+    HorvitzThompsonEstimator,
+    LStarEstimator,
+    LStarOneSidedRangePPS,
+    OrderOptimalEstimator,
+    UStarNumeric,
+    UStarOneSidedRangePPS,
+    VOptimalOracle,
+    build_order_optimal,
+)
+from .analysis import (
+    competitive_ratio,
+    expected_square,
+    expected_value,
+    moments,
+    simulate_sum_estimate,
+    variance,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AbsoluteCombination",
+    "BoxDomain",
+    "CoordinatedScheme",
+    "DistinctOr",
+    "EstimationTarget",
+    "ExponentiatedRange",
+    "GenericTarget",
+    "GridDomain",
+    "LinearThreshold",
+    "MaxPower",
+    "MinPower",
+    "OneSidedRange",
+    "Outcome",
+    "OutcomeLowerBound",
+    "SeedAssigner",
+    "StepThreshold",
+    "VectorLowerBound",
+    "WeightedSum",
+    "hash_to_unit",
+    "pps_scheme",
+    "unit_box",
+    "DiscreteProblem",
+    "DyadicEstimator",
+    "Estimator",
+    "HorvitzThompsonEstimator",
+    "LStarEstimator",
+    "LStarOneSidedRangePPS",
+    "OrderOptimalEstimator",
+    "UStarNumeric",
+    "UStarOneSidedRangePPS",
+    "VOptimalOracle",
+    "build_order_optimal",
+    "competitive_ratio",
+    "expected_square",
+    "expected_value",
+    "moments",
+    "simulate_sum_estimate",
+    "variance",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Sum-aggregate estimation over coordinated samples of multi-instance data."""
+
+from .coordinated import CoordinatedPPSSampler, CoordinatedSample, InstanceSample
+from .dataset import MultiInstanceDataset, example1_dataset
+from .queries import (
+    custom_query,
+    distinct_count,
+    jaccard_similarity,
+    lp_difference,
+    lpp_difference,
+    lpp_plus,
+    sum_aggregate,
+    weighted_jaccard,
+)
+from .sum_estimator import (
+    ItemEstimate,
+    SumAggregateEstimator,
+    SumEstimate,
+    estimate_lp,
+    estimate_lpp,
+    estimate_lpp_plus,
+)
+
+__all__ = [
+    "CoordinatedPPSSampler",
+    "CoordinatedSample",
+    "InstanceSample",
+    "MultiInstanceDataset",
+    "example1_dataset",
+    "custom_query",
+    "distinct_count",
+    "jaccard_similarity",
+    "lp_difference",
+    "lpp_difference",
+    "lpp_plus",
+    "sum_aggregate",
+    "weighted_jaccard",
+    "ItemEstimate",
+    "SumAggregateEstimator",
+    "SumEstimate",
+    "estimate_lp",
+    "estimate_lpp",
+    "estimate_lpp_plus",
+]

@@ -1,0 +1,46 @@
+"""Analysis utilities: quadrature, exact moments, competitiveness, simulation."""
+
+from .competitiveness import (
+    RatioReport,
+    TightFamilyTarget,
+    competitive_ratio,
+    minimal_expected_square,
+    ratio_sweep,
+    supremum_ratio,
+    tight_family_measured_ratio,
+    tight_family_problem,
+    tight_family_theoretical_ratio,
+)
+from ..core.integration import integral_of_lb_over_u2, piecewise_quad
+from .simulation import EstimateSummary, relative_errors, simulate_sum_estimate
+from .variance import (
+    MomentReport,
+    expected_square,
+    expected_value,
+    moments,
+    monte_carlo_moments,
+    variance,
+)
+
+__all__ = [
+    "RatioReport",
+    "TightFamilyTarget",
+    "competitive_ratio",
+    "minimal_expected_square",
+    "ratio_sweep",
+    "supremum_ratio",
+    "tight_family_measured_ratio",
+    "tight_family_problem",
+    "tight_family_theoretical_ratio",
+    "integral_of_lb_over_u2",
+    "piecewise_quad",
+    "EstimateSummary",
+    "relative_errors",
+    "simulate_sum_estimate",
+    "MomentReport",
+    "expected_square",
+    "expected_value",
+    "moments",
+    "monte_carlo_moments",
+    "variance",
+]

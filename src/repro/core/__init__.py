@@ -1,0 +1,61 @@
+"""Core monotone-sampling machinery: domains, schemes, outcomes, targets."""
+
+from .domain import BoxDomain, Domain, GridDomain, unit_box
+from .functions import (
+    AbsoluteCombination,
+    DistinctOr,
+    EstimationTarget,
+    ExponentiatedRange,
+    GenericTarget,
+    MaxPower,
+    MinPower,
+    OneSidedRange,
+    WeightedSum,
+)
+from .lower_bound import LowerBoundCurve, OutcomeLowerBound, VectorLowerBound
+from .lower_hull import PiecewiseLinearHull, hull_of_curve, lower_hull_points
+from .outcome import Outcome
+from .schemes import (
+    CoordinatedScheme,
+    LinearThreshold,
+    MonotoneSamplingScheme,
+    StepThreshold,
+    ThresholdFunction,
+    pps_scheme,
+)
+from .seeds import SeedAssigner, hash_to_unit
+from .existence import ExistenceReport, check_domain, check_vector
+
+__all__ = [
+    "BoxDomain",
+    "Domain",
+    "GridDomain",
+    "unit_box",
+    "AbsoluteCombination",
+    "DistinctOr",
+    "EstimationTarget",
+    "ExponentiatedRange",
+    "GenericTarget",
+    "MaxPower",
+    "MinPower",
+    "OneSidedRange",
+    "WeightedSum",
+    "LowerBoundCurve",
+    "OutcomeLowerBound",
+    "VectorLowerBound",
+    "PiecewiseLinearHull",
+    "hull_of_curve",
+    "lower_hull_points",
+    "Outcome",
+    "CoordinatedScheme",
+    "LinearThreshold",
+    "MonotoneSamplingScheme",
+    "StepThreshold",
+    "ThresholdFunction",
+    "pps_scheme",
+    "SeedAssigner",
+    "hash_to_unit",
+    "ExistenceReport",
+    "check_domain",
+    "check_vector",
+]

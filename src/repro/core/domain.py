@@ -1,0 +1,168 @@
+"""Data domains for monotone estimation problems.
+
+A *data domain* ``V`` is the set of data vectors that the sampling scheme
+may be applied to.  The paper works with two flavours:
+
+* continuous box domains ``V ⊆ R_{>=0}^r`` (e.g. ``[0, 1]^2`` in
+  Examples 3 and 4), and
+* finite grid domains (e.g. ``{0, 1, 2, 3}^2`` in Example 5), which are
+  the setting for the constructive order-optimal estimators.
+
+The classes here are lightweight value objects: they validate vectors,
+enumerate finite domains, and expose the per-entry upper bounds that the
+sampling schemes and estimation targets need (for instance to compute the
+infimum of ``f`` over the set of vectors consistent with an outcome).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+__all__ = [
+    "Domain",
+    "BoxDomain",
+    "GridDomain",
+    "unit_box",
+]
+
+Vector = Tuple[float, ...]
+
+
+class Domain:
+    """Abstract base class for data domains.
+
+    Subclasses must implement :meth:`contains` and expose ``dimension``.
+    Finite domains additionally implement ``__iter__`` and ``__len__``.
+    """
+
+    #: Number of entries in each data vector (the number of instances ``r``).
+    dimension: int
+
+    def contains(self, vector: Sequence[float]) -> bool:
+        """Return ``True`` when ``vector`` belongs to the domain."""
+        raise NotImplementedError
+
+    def validate(self, vector: Sequence[float]) -> Vector:
+        """Return ``vector`` as a tuple, raising ``ValueError`` if invalid."""
+        vec = tuple(float(x) for x in vector)
+        if len(vec) != self.dimension:
+            raise ValueError(
+                f"expected a vector of dimension {self.dimension}, got {len(vec)}"
+            )
+        if not self.contains(vec):
+            raise ValueError(f"vector {vec!r} is not in the domain")
+        return vec
+
+    @property
+    def is_finite(self) -> bool:
+        """Whether the domain has finitely many vectors."""
+        return False
+
+
+@dataclass(frozen=True)
+class BoxDomain(Domain):
+    """A continuous axis-aligned box ``[0, upper_1] x ... x [0, upper_r]``.
+
+    Entries are always nonnegative, matching the paper's setting of
+    nonnegative weights.
+
+    Parameters
+    ----------
+    uppers:
+        Per-entry upper bounds.  ``uppers[i]`` may be ``math.inf`` for an
+        unbounded entry.
+    """
+
+    uppers: Tuple[float, ...]
+
+    def __init__(self, uppers: Iterable[float]):
+        object.__setattr__(self, "uppers", tuple(float(u) for u in uppers))
+        for u in self.uppers:
+            if u <= 0:
+                raise ValueError("upper bounds must be positive")
+
+    @property
+    def dimension(self) -> int:  # type: ignore[override]
+        return len(self.uppers)
+
+    def contains(self, vector: Sequence[float]) -> bool:
+        if len(vector) != self.dimension:
+            return False
+        return all(0.0 <= v <= u for v, u in zip(vector, self.uppers))
+
+    def clip(self, vector: Sequence[float]) -> Vector:
+        """Clip ``vector`` entrywise into the box."""
+        return tuple(
+            min(max(0.0, float(v)), u) for v, u in zip(vector, self.uppers)
+        )
+
+
+@dataclass(frozen=True)
+class GridDomain(Domain):
+    """A finite grid domain: the cartesian product of per-entry value sets.
+
+    This is the domain used in Example 5 of the paper
+    (``V = {0, 1, 2, 3}^2``) and, more generally, the setting in which the
+    order-optimal construction of Section 5 is fully constructive.
+
+    Parameters
+    ----------
+    levels:
+        One sorted tuple of allowed values per entry.
+    """
+
+    levels: Tuple[Tuple[float, ...], ...]
+
+    def __init__(self, levels: Iterable[Iterable[float]]):
+        normalised = tuple(
+            tuple(sorted(set(float(x) for x in entry))) for entry in levels
+        )
+        if not normalised:
+            raise ValueError("a grid domain needs at least one entry")
+        for entry in normalised:
+            if not entry:
+                raise ValueError("each entry needs at least one allowed value")
+            if entry[0] < 0:
+                raise ValueError("grid values must be nonnegative")
+        object.__setattr__(self, "levels", normalised)
+
+    @classmethod
+    def uniform(cls, values: Iterable[float], dimension: int) -> "GridDomain":
+        """Build a grid with the same allowed ``values`` in every entry."""
+        vals = tuple(values)
+        return cls([vals] * dimension)
+
+    @property
+    def dimension(self) -> int:  # type: ignore[override]
+        return len(self.levels)
+
+    @property
+    def is_finite(self) -> bool:
+        return True
+
+    def contains(self, vector: Sequence[float]) -> bool:
+        if len(vector) != self.dimension:
+            return False
+        return all(float(v) in entry for v, entry in zip(vector, self.levels))
+
+    def __iter__(self) -> Iterator[Vector]:
+        return iter(itertools.product(*self.levels))
+
+    def __len__(self) -> int:
+        size = 1
+        for entry in self.levels:
+            size *= len(entry)
+        return size
+
+    def max_values(self) -> Vector:
+        """Per-entry maximum value; useful for threshold construction."""
+        return tuple(entry[-1] for entry in self.levels)
+
+
+def unit_box(dimension: int) -> BoxDomain:
+    """The domain ``[0, 1]^dimension`` used throughout the paper's examples."""
+    if dimension <= 0:
+        raise ValueError("dimension must be positive")
+    return BoxDomain([1.0] * dimension)

@@ -1,0 +1,440 @@
+"""Estimation targets (the functions ``f`` of a monotone estimation problem).
+
+A target wraps the nonnegative function ``f : V -> R_{>=0}`` we want to
+estimate, together with the two pieces of structural knowledge the
+estimators need:
+
+* ``infimum_over_box`` — the infimum of ``f`` over a *consistency box*,
+  i.e. the set of vectors that agree with the sampled entries and lie
+  strictly below the per-entry upper bounds on the unsampled entries.
+  Evaluated at the boxes ``S*(u, v)`` this is exactly the paper's
+  lower-bound function ``f^{(v)}(u)``, the object from which L*, U* and
+  the v-optimal estimates are all built.
+* ``supremum_over_box`` — the supremum over the same box, used by the
+  Horvitz–Thompson estimator (to decide whether ``f`` is fully revealed)
+  and by the U* machinery.
+
+Targets included: the exponentiated range ``RG_p``, the one-sided range
+``RG_p+``, absolute linear combinations (Example 1's ``G``), logical
+OR/distinct, max/min/sum of entries, and a generic wrapper that falls back
+to grid search for arbitrary user functions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+__all__ = [
+    "EstimationTarget",
+    "ExponentiatedRange",
+    "OneSidedRange",
+    "AbsoluteCombination",
+    "DistinctOr",
+    "MaxPower",
+    "MinPower",
+    "WeightedSum",
+    "GenericTarget",
+]
+
+
+class EstimationTarget:
+    """Base class for estimation targets.
+
+    ``known`` maps entry index to its exact value; ``upper`` maps entry
+    index to a strict upper bound on its (unknown) value.  Together they
+    describe the consistency box of an outcome.  Every entry index in
+    ``range(dimension)`` appears in exactly one of the two mappings.
+    """
+
+    #: Number of tuple entries the target is defined over, or ``None``
+    #: when the target works for any dimension.
+    dimension: int = None  # type: ignore[assignment]
+
+    def __call__(self, vector: Sequence[float]) -> float:
+        raise NotImplementedError
+
+    def infimum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        raise NotImplementedError
+
+    def supremum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers shared by subclasses.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _box_dimension(
+        known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> int:
+        return len(known) + len(upper)
+
+    @staticmethod
+    def _corner_vectors(
+        known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> Tuple[Tuple[float, ...], ...]:
+        """All corners of the consistency box (upper bounds taken closed).
+
+        The supremum of a convex function over a box is attained at a
+        corner, so enumerating corners is exact for convex ``f`` (range,
+        absolute linear combinations).  The open upper faces only matter
+        for attainment, not for the value of the supremum/infimum.
+        """
+        dim = len(known) + len(upper)
+        choices = []
+        for i in range(dim):
+            if i in known:
+                choices.append((known[i],))
+            else:
+                choices.append((0.0, upper[i]))
+        return tuple(itertools.product(*choices))
+
+
+def _check_power(p: float) -> float:
+    p = float(p)
+    if p <= 0:
+        raise ValueError("the exponent p must be positive")
+    return p
+
+
+@dataclass(frozen=True)
+class ExponentiatedRange(EstimationTarget):
+    """``RG_p(v) = (max(v) - min(v))**p``.
+
+    Sum-aggregating ``RG_p`` over items yields the ``L_p^p`` difference of
+    two instances (and its multi-instance generalisation), which is the
+    paper's flagship application.
+    """
+
+    p: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_power(self.p)
+
+    def __call__(self, vector: Sequence[float]) -> float:
+        vec = [float(x) for x in vector]
+        return (max(vec) - min(vec)) ** self.p
+
+    def infimum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        if not known:
+            # Every entry can be set to 0, collapsing the range.
+            return 0.0
+        kmax = max(known.values())
+        kmin = min(known.values())
+        # An unknown entry with upper bound above kmin can hide inside the
+        # interval [kmin, kmax] (or hug its own bound) without widening the
+        # range; an unknown entry bounded below kmin necessarily drags the
+        # minimum down to (just below) its bound.
+        floor = kmin
+        for bound in upper.values():
+            if bound < floor:
+                floor = bound
+        return max(0.0, kmax - floor) ** self.p
+
+    def supremum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        # The range is convex (max of affine minus min of affine), so its
+        # supremum over the box is attained at a corner.
+        best = 0.0
+        for corner in self._corner_vectors(known, upper):
+            value = (max(corner) - min(corner)) ** self.p
+            if value > best:
+                best = value
+        return best
+
+
+@dataclass(frozen=True)
+class OneSidedRange(EstimationTarget):
+    """``RG_p+(v1, v2) = max(0, v1 - v2)**p`` (two-entry tuples only).
+
+    Sum-aggregating yields the "increase only" difference ``L_p^p+`` of
+    Example 1; adding the estimate with the roles of the instances swapped
+    recovers the full ``L_p^p``.
+    """
+
+    p: float = 1.0
+    dimension: int = 2
+
+    def __post_init__(self) -> None:
+        _check_power(self.p)
+
+    def __call__(self, vector: Sequence[float]) -> float:
+        if len(vector) != 2:
+            raise ValueError("RG_p+ is defined for two-entry tuples")
+        v1, v2 = float(vector[0]), float(vector[1])
+        return max(0.0, v1 - v2) ** self.p
+
+    def infimum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        if 0 not in known:
+            # v1 may be as small as 0 (or as small as v2), so the
+            # difference can vanish.
+            return 0.0
+        v1 = known[0]
+        if 1 in known:
+            return max(0.0, v1 - known[1]) ** self.p
+        # v2 is only known to be below its bound; pushing it up towards
+        # the bound minimises the difference.
+        return max(0.0, v1 - upper[1]) ** self.p
+
+    def supremum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        v1 = known.get(0, upper.get(0, 0.0))
+        v2 = known[1] if 1 in known else 0.0
+        return max(0.0, v1 - v2) ** self.p
+
+
+@dataclass(frozen=True)
+class AbsoluteCombination(EstimationTarget):
+    """``f(v) = |sum_i c_i v_i| ** p``.
+
+    With coefficients ``(1, -2, 1)`` and ``p = 2`` this is the query ``G``
+    of Example 1, illustrating that arbitrary linear-combination queries
+    fit the framework.
+    """
+
+    coefficients: Tuple[float, ...]
+    p: float = 1.0
+
+    def __init__(self, coefficients: Sequence[float], p: float = 1.0):
+        object.__setattr__(
+            self, "coefficients", tuple(float(c) for c in coefficients)
+        )
+        object.__setattr__(self, "p", _check_power(p))
+        object.__setattr__(self, "dimension", len(self.coefficients))
+
+    def __call__(self, vector: Sequence[float]) -> float:
+        if len(vector) != len(self.coefficients):
+            raise ValueError("vector dimension does not match coefficients")
+        total = sum(c * float(v) for c, v in zip(self.coefficients, vector))
+        return abs(total) ** self.p
+
+    def _linear_range(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> Tuple[float, float]:
+        low = high = 0.0
+        for i, c in enumerate(self.coefficients):
+            if i in known:
+                low += c * known[i]
+                high += c * known[i]
+            else:
+                bound = upper[i]
+                if c >= 0:
+                    high += c * bound
+                else:
+                    low += c * bound
+        return low, high
+
+    def infimum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        low, high = self._linear_range(known, upper)
+        if low <= 0.0 <= high:
+            return 0.0
+        return min(abs(low), abs(high)) ** self.p
+
+    def supremum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        low, high = self._linear_range(known, upper)
+        return max(abs(low), abs(high)) ** self.p
+
+
+@dataclass(frozen=True)
+class DistinctOr(EstimationTarget):
+    """Logical OR: 1 when any entry is positive, else 0.
+
+    Sum-aggregating over items gives the distinct count over the union of
+    the instances.
+    """
+
+    def __call__(self, vector: Sequence[float]) -> float:
+        return 1.0 if any(float(v) > 0 for v in vector) else 0.0
+
+    def infimum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        return 1.0 if any(v > 0 for v in known.values()) else 0.0
+
+    def supremum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        if any(v > 0 for v in known.values()):
+            return 1.0
+        return 1.0 if any(b > 0 for b in upper.values()) else 0.0
+
+
+@dataclass(frozen=True)
+class MaxPower(EstimationTarget):
+    """``f(v) = max(v) ** p``."""
+
+    p: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_power(self.p)
+
+    def __call__(self, vector: Sequence[float]) -> float:
+        return max(float(v) for v in vector) ** self.p
+
+    def infimum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        return (max(known.values()) if known else 0.0) ** self.p
+
+    def supremum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        candidates = list(known.values()) + list(upper.values())
+        return (max(candidates) if candidates else 0.0) ** self.p
+
+
+@dataclass(frozen=True)
+class MinPower(EstimationTarget):
+    """``f(v) = min(v) ** p``."""
+
+    p: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_power(self.p)
+
+    def __call__(self, vector: Sequence[float]) -> float:
+        return min(float(v) for v in vector) ** self.p
+
+    def infimum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        if upper:
+            # Any unknown entry may be zero, collapsing the minimum.
+            return 0.0
+        return min(known.values()) ** self.p
+
+    def supremum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        values = list(known.values()) + list(upper.values())
+        return min(values) ** self.p if values else 0.0
+
+
+@dataclass(frozen=True)
+class WeightedSum(EstimationTarget):
+    """``f(v) = sum_i w_i v_i`` with nonnegative weights.
+
+    Linear targets admit the classical Horvitz–Thompson treatment, so they
+    make good sanity baselines: L*, U*, and HT should all behave sensibly.
+    """
+
+    weights: Tuple[float, ...]
+
+    def __init__(self, weights: Sequence[float]):
+        ws = tuple(float(w) for w in weights)
+        if any(w < 0 for w in ws):
+            raise ValueError("weights must be nonnegative")
+        object.__setattr__(self, "weights", ws)
+        object.__setattr__(self, "dimension", len(ws))
+
+    def __call__(self, vector: Sequence[float]) -> float:
+        return sum(w * float(v) for w, v in zip(self.weights, vector))
+
+    def infimum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        return sum(self.weights[i] * v for i, v in known.items())
+
+    def supremum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        total = sum(self.weights[i] * v for i, v in known.items())
+        total += sum(self.weights[i] * b for i, b in upper.items())
+        return total
+
+
+class GenericTarget(EstimationTarget):
+    """Wrap an arbitrary nonnegative function with grid-search box bounds.
+
+    The infimum and supremum over a consistency box are approximated by
+    evaluating the function on a regular grid of the unknown entries
+    (always including the corners).  This is exact for functions that are
+    monotone or convex in each unknown entry — which covers every target
+    used in the paper — and a controlled approximation otherwise.
+
+    Parameters
+    ----------
+    func:
+        The nonnegative function of the data tuple.
+    dimension:
+        Tuple dimension.
+    grid_points:
+        Number of grid values per unknown entry used in the search.
+    """
+
+    def __init__(
+        self,
+        func: Callable[[Sequence[float]], float],
+        dimension: int,
+        grid_points: int = 17,
+    ) -> None:
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        if grid_points < 2:
+            raise ValueError("grid_points must be at least 2")
+        self._func = func
+        self.dimension = dimension
+        self._grid_points = grid_points
+
+    def __call__(self, vector: Sequence[float]) -> float:
+        return float(self._func(tuple(float(v) for v in vector)))
+
+    def _search(
+        self,
+        known: Mapping[int, float],
+        upper: Mapping[int, float],
+        minimise: bool,
+    ) -> float:
+        grids: Dict[int, Sequence[float]] = {}
+        for i, bound in upper.items():
+            if bound <= 0:
+                grids[i] = (0.0,)
+            else:
+                step = bound / (self._grid_points - 1)
+                grids[i] = tuple(step * k for k in range(self._grid_points))
+        unknown_indices = sorted(grids)
+        best = math.inf if minimise else -math.inf
+        for combo in itertools.product(*(grids[i] for i in unknown_indices)):
+            vector = [0.0] * self.dimension
+            for i, v in known.items():
+                vector[i] = v
+            for i, v in zip(unknown_indices, combo):
+                vector[i] = v
+            value = float(self._func(tuple(vector)))
+            if minimise:
+                best = min(best, value)
+            else:
+                best = max(best, value)
+        if math.isinf(best):
+            # No unknown entries: evaluate at the single known point.
+            vector = [0.0] * self.dimension
+            for i, v in known.items():
+                vector[i] = v
+            best = float(self._func(tuple(vector)))
+        return best
+
+    def infimum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        return self._search(known, upper, minimise=True)
+
+    def supremum_over_box(
+        self, known: Mapping[int, float], upper: Mapping[int, float]
+    ) -> float:
+        return self._search(known, upper, minimise=False)

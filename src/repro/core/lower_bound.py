@@ -1,0 +1,146 @@
+"""Lower-bound functions ``f^{(v)}(u)`` — the engine behind every estimator.
+
+For data ``v`` and seed ``u`` the paper defines the lower-bound function
+``f^{(v)}(u) = inf { f(z) : z in S*(u, v) }`` — the smallest value of the
+target that is still consistent with the outcome obtained at seed ``u``.
+The L* estimator (eq. 31), the U* estimator, the v-optimal estimates and
+the existence characterisations are all expressed in terms of this
+function, so the library gives it a first-class representation.
+
+Two views are provided:
+
+* :class:`OutcomeLowerBound` — built from a single observed outcome; it
+  can evaluate ``f^{(v)}(u)`` for any ``u >= rho`` (every such value is
+  determined by the outcome, which is exactly why the estimators are
+  well defined).
+* :class:`VectorLowerBound` — the oracle view, built from the true data
+  vector; it evaluates ``f^{(v)}(u)`` for every ``u in (0, 1]`` and is
+  used by the analysis code (variance, competitiveness, v-optimal
+  estimates).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .functions import EstimationTarget
+from .outcome import Outcome
+from .schemes import MonotoneSamplingScheme
+
+__all__ = ["LowerBoundCurve", "OutcomeLowerBound", "VectorLowerBound"]
+
+
+class LowerBoundCurve:
+    """Common interface of lower-bound functions on an interval of seeds."""
+
+    #: Smallest seed at which the curve may be evaluated.
+    lower_limit: float = 0.0
+
+    def __call__(self, u: float) -> float:
+        raise NotImplementedError
+
+    def breakpoints(self) -> Tuple[float, ...]:
+        """Seeds (inside the evaluation interval) where the curve may jump.
+
+        Between consecutive breakpoints the curve is continuous, which
+        lets the integration helpers split integrals into smooth pieces.
+        """
+        raise NotImplementedError
+
+    def limit_at_zero(self) -> float:
+        """``lim_{u -> 0+} f^{(v)}(u)`` (equals ``f(v)`` whenever an
+        unbiased nonnegative estimator exists, eq. 9)."""
+        raise NotImplementedError
+
+
+class OutcomeLowerBound(LowerBoundCurve):
+    """Lower-bound function derived from a single observed outcome.
+
+    Only seeds ``u >= rho`` (the observed seed) can be queried — those are
+    precisely the values an estimator is allowed to use.
+    """
+
+    def __init__(self, outcome: Outcome, target: EstimationTarget) -> None:
+        self._outcome = outcome
+        self._target = target
+        self.lower_limit = outcome.seed
+
+    @property
+    def outcome(self) -> Outcome:
+        return self._outcome
+
+    def __call__(self, u: float) -> float:
+        known = self._outcome.known_at(u)
+        upper = self._outcome.upper_bounds_at(u)
+        return self._target.infimum_over_box(known, upper)
+
+    def breakpoints(self) -> Tuple[float, ...]:
+        return self._outcome.information_breakpoints()
+
+    def limit_at_zero(self) -> float:
+        # From an outcome alone the limit at zero is not observable in
+        # general; the value at the observed seed is the tightest
+        # available lower bound.
+        return self(self._outcome.seed)
+
+
+class VectorLowerBound(LowerBoundCurve):
+    """Oracle lower-bound function for a known data vector.
+
+    This is what the paper denotes ``f^{(v)}``: for each seed ``u`` it
+    reports the infimum of the target over the consistency set of the
+    outcome that *would* be obtained when sampling ``v`` with seed ``u``.
+    """
+
+    def __init__(
+        self,
+        scheme: MonotoneSamplingScheme,
+        target: EstimationTarget,
+        vector: Sequence[float],
+    ) -> None:
+        self._scheme = scheme
+        self._target = target
+        self._vector = tuple(float(x) for x in vector)
+        self.lower_limit = 0.0
+
+    @property
+    def vector(self) -> Tuple[float, ...]:
+        return self._vector
+
+    def true_value(self) -> float:
+        """The quantity being estimated, ``f(v)``."""
+        return self._target(self._vector)
+
+    def __call__(self, u: float) -> float:
+        if not 0.0 < u <= 1.0:
+            raise ValueError(f"seed must be in (0, 1], got {u}")
+        known = {}
+        upper = {}
+        for i, value in enumerate(self._vector):
+            threshold = self._scheme.threshold(i, u)
+            if value >= threshold:
+                known[i] = value
+            else:
+                upper[i] = threshold
+        return self._target.infimum_over_box(known, upper)
+
+    def breakpoints(self) -> Tuple[float, ...]:
+        points = set()
+        for i, value in enumerate(self._vector):
+            if value > 0:
+                p = self._scheme.inclusion_probability(i, value)
+                if 0.0 < p < 1.0:
+                    points.add(p)
+        return tuple(sorted(points))
+
+    def limit_at_zero(self, tolerance: float = 1e-9) -> float:
+        """Numerically approach ``lim_{u->0+} f^{(v)}(u)``."""
+        u = min(1.0, max(tolerance, 1e-6))
+        previous = self(u)
+        while u > tolerance:
+            u /= 4.0
+            current = self(u)
+            if abs(current - previous) <= 1e-12 * max(1.0, abs(current)):
+                return current
+            previous = current
+        return previous

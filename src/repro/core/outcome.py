@@ -1,0 +1,132 @@
+"""Outcomes of monotone sampling.
+
+An *outcome* is everything the estimator is allowed to see: the seed
+``rho`` that was drawn and, for each entry of the data tuple, either the
+exact value (the entry was sampled) or the knowledge that the value is
+below the sampling threshold at ``rho`` (the entry was not sampled).
+
+The crucial property of monotone sampling is that the outcome at seed
+``rho`` determines the outcome that *would have been obtained* for any
+larger (less informative) seed ``u >= rho``.  Estimators such as L* and U*
+rely on this: they integrate the lower-bound function over ``u in
+[rho, 1]``, and every value they need is computable from the single
+observed outcome.  :class:`Outcome` therefore exposes ``known_at(u)`` /
+``upper_bounds_at(u)`` for any ``u >= rho``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .schemes import MonotoneSamplingScheme
+
+__all__ = ["Outcome"]
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """The result of sampling one data tuple with one seed.
+
+    Attributes
+    ----------
+    seed:
+        The seed ``rho`` in ``(0, 1]`` used to obtain the sample.
+    values:
+        One entry per coordinate of the data tuple: the sampled value, or
+        ``None`` when the entry was not sampled (so the only information
+        is that it lies strictly below the threshold at ``rho``).
+    scheme:
+        The sampling scheme that produced this outcome.  Needed so the
+        outcome can answer questions about hypothetical larger seeds.
+    """
+
+    seed: float
+    values: Tuple[Optional[float], ...]
+    scheme: "MonotoneSamplingScheme" = field(compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.seed <= 1.0:
+            raise ValueError(f"seed must be in (0, 1], got {self.seed}")
+
+    @property
+    def dimension(self) -> int:
+        """Number of entries in the underlying data tuple."""
+        return len(self.values)
+
+    @property
+    def sampled_indices(self) -> Tuple[int, ...]:
+        """Indices of the entries whose exact value is known."""
+        return tuple(i for i, v in enumerate(self.values) if v is not None)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no entry was sampled."""
+        return all(v is None for v in self.values)
+
+    def known_at(self, u: float) -> Dict[int, float]:
+        """Entries whose exact value would be known at seed ``u >= seed``.
+
+        An entry sampled at ``rho`` remains sampled at ``u`` only while its
+        value stays at or above the (non-decreasing) threshold ``tau_i(u)``.
+        Entries unsampled at ``rho`` are also unsampled at any larger seed.
+        """
+        self._check_seed(u)
+        known: Dict[int, float] = {}
+        for i, value in enumerate(self.values):
+            if value is None:
+                continue
+            if value >= self.scheme.threshold(i, u):
+                known[i] = value
+        return known
+
+    def upper_bounds_at(self, u: float) -> Dict[int, float]:
+        """Strict upper bounds on the entries unknown at seed ``u >= seed``."""
+        self._check_seed(u)
+        bounds: Dict[int, float] = {}
+        for i, value in enumerate(self.values):
+            threshold = self.scheme.threshold(i, u)
+            if value is None or value < threshold:
+                bounds[i] = threshold
+        return bounds
+
+    def consistent_with(self, vector: Sequence[float]) -> bool:
+        """Whether ``vector`` belongs to the consistency set ``S*`` at ``seed``."""
+        if len(vector) != self.dimension:
+            return False
+        for i, value in enumerate(self.values):
+            threshold = self.scheme.threshold(i, self.seed)
+            if value is None:
+                if vector[i] >= threshold:
+                    return False
+            else:
+                if vector[i] != value:
+                    return False
+        return True
+
+    def information_breakpoints(self) -> Tuple[float, ...]:
+        """Seeds ``u >= seed`` at which the hypothetical outcome changes shape.
+
+        These are the seeds at which a currently-known entry would cross
+        its threshold and drop out of the sample.  Between consecutive
+        breakpoints the set of known entries is constant, which is what
+        piecewise integration of the lower-bound function relies on.
+        """
+        points = []
+        for i, value in enumerate(self.values):
+            if value is None or value <= 0:
+                continue
+            drop = self.scheme.inclusion_probability(i, value)
+            if self.seed < drop < 1.0:
+                points.append(drop)
+        return tuple(sorted(set(points)))
+
+    def _check_seed(self, u: float) -> None:
+        if u < self.seed - 1e-12:
+            raise ValueError(
+                f"outcome at seed {self.seed} cannot describe the more "
+                f"informative seed {u}"
+            )
+        if u > 1.0 + 1e-12:
+            raise ValueError(f"seed must be at most 1, got {u}")

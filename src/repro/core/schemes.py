@@ -1,0 +1,217 @@
+"""Monotone sampling schemes.
+
+A monotone sampling scheme maps a data vector ``v`` and a seed
+``u ~ U(0, 1]`` to a sample whose information content is non-decreasing as
+the seed decreases.  The concrete family implemented here is the one the
+paper builds all of its examples on: **coordinated shared-seed threshold
+sampling**, where entry ``i`` of the tuple is reported exactly when
+``v_i >= tau_i(u)`` for a non-decreasing threshold function ``tau_i``.
+
+Two threshold families are provided:
+
+* :class:`LinearThreshold` — ``tau(u) = u * tau_star`` — this is PPS
+  (probability proportional to size) sampling; an entry of weight ``w`` is
+  included with probability ``min(1, w / tau_star)``.
+* :class:`StepThreshold` — a right-continuous step function defined by
+  per-level inclusion probabilities; this is the natural scheme for the
+  finite grid domains of Example 5 (value ``w`` is included iff
+  ``u <= pi_w``).
+
+The scheme object is deliberately tiny: it knows how to sample a vector
+given a seed, how to evaluate thresholds at arbitrary seeds (needed by the
+estimators), and how to report inclusion probabilities.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from .outcome import Outcome
+
+__all__ = [
+    "ThresholdFunction",
+    "LinearThreshold",
+    "StepThreshold",
+    "MonotoneSamplingScheme",
+    "CoordinatedScheme",
+    "pps_scheme",
+]
+
+
+class ThresholdFunction:
+    """A non-decreasing threshold ``tau: (0, 1] -> R_{>=0}``.
+
+    ``tau(u)`` is the smallest weight that is reported at seed ``u``; an
+    entry of weight ``w`` is sampled iff ``w >= tau(u)``.
+    """
+
+    def __call__(self, u: float) -> float:
+        raise NotImplementedError
+
+    def inclusion_probability(self, weight: float) -> float:
+        """Probability (over the seed) that an entry of ``weight`` is sampled.
+
+        Equals ``sup { u : tau(u) <= weight }`` (and 0 when the set is
+        empty), because ``tau`` is non-decreasing.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LinearThreshold(ThresholdFunction):
+    """PPS threshold ``tau(u) = u * tau_star``."""
+
+    tau_star: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.tau_star <= 0:
+            raise ValueError("tau_star must be positive")
+
+    def __call__(self, u: float) -> float:
+        return u * self.tau_star
+
+    def inclusion_probability(self, weight: float) -> float:
+        if weight <= 0:
+            return 0.0
+        return min(1.0, weight / self.tau_star)
+
+
+@dataclass(frozen=True)
+class StepThreshold(ThresholdFunction):
+    """Threshold induced by per-value inclusion probabilities.
+
+    Parameters
+    ----------
+    value_probabilities:
+        Pairs ``(value, pi)`` meaning an entry of exactly ``value`` is
+        sampled iff the seed is at most ``pi``.  Probabilities must be
+        non-decreasing in the value (larger weights are sampled more
+        often), which is what makes the induced threshold function
+        non-decreasing in the seed.
+    """
+
+    values: Tuple[float, ...]
+    probabilities: Tuple[float, ...]
+
+    def __init__(self, value_probabilities: Iterable[Tuple[float, float]]):
+        pairs = sorted((float(v), float(p)) for v, p in value_probabilities)
+        if not pairs:
+            raise ValueError("at least one (value, probability) pair required")
+        values = tuple(v for v, _ in pairs)
+        probs = tuple(p for _, p in pairs)
+        for p in probs:
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("inclusion probabilities must lie in [0, 1]")
+        for earlier, later in zip(probs, probs[1:]):
+            if later < earlier:
+                raise ValueError(
+                    "inclusion probabilities must be non-decreasing in the value"
+                )
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "probabilities", probs)
+
+    def __call__(self, u: float) -> float:
+        # The threshold at seed u is the smallest listed value whose
+        # inclusion probability is at least u; if none qualifies the
+        # threshold exceeds every listed value.
+        idx = bisect.bisect_left(self.probabilities, u)
+        if idx >= len(self.values):
+            return self.values[-1] + 1.0
+        return self.values[idx]
+
+    def inclusion_probability(self, weight: float) -> float:
+        # Probability of the largest listed value not exceeding ``weight``.
+        idx = bisect.bisect_right(self.values, weight) - 1
+        if idx < 0:
+            return 0.0
+        if self.values[idx] <= 0:
+            # A zero weight is never "at or above" a positive threshold and
+            # the all-zero threshold level means certain inclusion.
+            return self.probabilities[idx] if weight > 0 else self.probabilities[idx]
+        return self.probabilities[idx]
+
+
+class MonotoneSamplingScheme:
+    """Base class for monotone sampling schemes over ``r``-dimensional tuples."""
+
+    dimension: int
+
+    def sample(self, vector: Sequence[float], seed: float) -> Outcome:
+        """Sample ``vector`` with the given ``seed`` and return the outcome."""
+        raise NotImplementedError
+
+    def threshold(self, index: int, u: float) -> float:
+        """Threshold of entry ``index`` at seed ``u``."""
+        raise NotImplementedError
+
+    def inclusion_probability(self, index: int, weight: float) -> float:
+        """Probability that entry ``index`` with ``weight`` is sampled."""
+        raise NotImplementedError
+
+
+class CoordinatedScheme(MonotoneSamplingScheme):
+    """Coordinated shared-seed threshold sampling of an ``r``-tuple.
+
+    A single uniform seed drives all entries: entry ``i`` is reported iff
+    ``v_i >= tau_i(u)``.  Restricting coordinated PPS / bottom-k sampling
+    of multiple instances to one item yields exactly this scheme, which is
+    why it is the workhorse of the whole library.
+    """
+
+    def __init__(self, thresholds: Sequence[ThresholdFunction]):
+        if not thresholds:
+            raise ValueError("at least one threshold function is required")
+        self._thresholds = tuple(thresholds)
+
+    @property
+    def dimension(self) -> int:  # type: ignore[override]
+        return len(self._thresholds)
+
+    @property
+    def thresholds(self) -> Tuple[ThresholdFunction, ...]:
+        return self._thresholds
+
+    def sample(self, vector: Sequence[float], seed: float) -> Outcome:
+        if len(vector) != self.dimension:
+            raise ValueError(
+                f"vector has dimension {len(vector)}, scheme expects {self.dimension}"
+            )
+        if not 0.0 < seed <= 1.0:
+            raise ValueError(f"seed must be in (0, 1], got {seed}")
+        values = tuple(
+            float(v) if float(v) >= tau(seed) else None
+            for v, tau in zip(vector, self._thresholds)
+        )
+        return Outcome(seed=seed, values=values, scheme=self)
+
+    def threshold(self, index: int, u: float) -> float:
+        return self._thresholds[index](u)
+
+    def inclusion_probability(self, index: int, weight: float) -> float:
+        return self._thresholds[index].inclusion_probability(weight)
+
+    def breakpoints_for_vector(self, vector: Sequence[float]) -> Tuple[float, ...]:
+        """Seeds at which the outcome for ``vector`` changes.
+
+        These are the inclusion probabilities of the positive entries;
+        between consecutive breakpoints the set of sampled entries is
+        constant, so lower-bound functions are smooth there.
+        """
+        points = set()
+        for i, v in enumerate(vector):
+            if v > 0:
+                p = self.inclusion_probability(i, float(v))
+                if 0.0 < p < 1.0:
+                    points.add(p)
+        return tuple(sorted(points))
+
+
+def pps_scheme(tau_star: Sequence[float]) -> CoordinatedScheme:
+    """Coordinated PPS scheme with per-entry rates ``tau_star``.
+
+    ``pps_scheme([1, 1])`` is the scheme used by Examples 2–4 of the
+    paper: each entry is sampled with probability equal to its value.
+    """
+    return CoordinatedScheme([LinearThreshold(t) for t in tau_star])

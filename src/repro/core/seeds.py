@@ -1,0 +1,108 @@
+"""Deterministic seed generation for coordinated (shared-seed) sampling.
+
+Coordinated sampling requires that the *same* item receives the *same*
+uniform seed in every instance, while different items receive independent
+seeds.  The standard way to achieve this with very little state — and the
+one the paper recommends — is to hash the item key into ``(0, 1]``.
+
+This module provides:
+
+* :func:`hash_to_unit` — a deterministic 64-bit hash of an arbitrary item
+  key (plus a salt) mapped into ``(0, 1]``;
+* :class:`SeedAssigner` — assigns and memoises seeds per item key, either
+  by hashing (deterministic, coordination-friendly) or from a
+  pseudo-random generator (useful in Monte-Carlo experiments where many
+  independent replications are needed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Dict, Hashable, Iterable, Optional
+
+import numpy as np
+
+__all__ = ["hash_to_unit", "SeedAssigner"]
+
+# 2**64; used to map a 64-bit digest into (0, 1].
+_TWO_64 = float(1 << 64)
+
+
+def hash_to_unit(key: Hashable, salt: str = "") -> float:
+    """Map ``key`` deterministically into the half-open interval ``(0, 1]``.
+
+    The mapping uses the first 8 bytes of a SHA-256 digest of the key's
+    string representation together with ``salt``.  The value ``0`` is never
+    produced (the paper's seeds live in ``(0, 1]``), and the same
+    ``(key, salt)`` always yields the same seed — which is exactly what
+    coordination requires.
+
+    Parameters
+    ----------
+    key:
+        Item key.  Any object with a stable ``repr`` works; strings,
+        integers and tuples thereof are typical.
+    salt:
+        Optional salt allowing several independent coordinated samplings
+        of the same item universe.
+    """
+    payload = f"{salt}\x1f{key!r}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    (value,) = struct.unpack(">Q", digest[:8])
+    # Map {0, ..., 2^64 - 1} to (0, 1] via (value + 1) / 2^64.
+    return (value + 1) / _TWO_64
+
+
+class SeedAssigner:
+    """Assigns a uniform seed in ``(0, 1]`` to each item key.
+
+    Two modes are supported:
+
+    * *hashed* (default): seeds come from :func:`hash_to_unit`.  Seeds are
+      reproducible across processes and runs, which is what a production
+      coordinated-sampling deployment uses.
+    * *random*: seeds come from a ``numpy`` generator.  This is what
+      Monte-Carlo experiments use, so that repeated replications with
+      different generator seeds give independent samples.
+
+    The assigner memoises seeds so that the same key always maps to the
+    same seed within one assigner instance regardless of mode.
+    """
+
+    def __init__(
+        self,
+        salt: str = "",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._salt = salt
+        self._rng = rng
+        self._cache: Dict[Hashable, float] = {}
+
+    @classmethod
+    def random(cls, seed: Optional[int] = None) -> "SeedAssigner":
+        """Build an assigner backed by a pseudo-random generator."""
+        return cls(rng=np.random.default_rng(seed))
+
+    def seed_for(self, key: Hashable) -> float:
+        """Return the seed assigned to ``key`` (assigning one if needed)."""
+        if key in self._cache:
+            return self._cache[key]
+        if self._rng is None:
+            value = hash_to_unit(key, self._salt)
+        else:
+            # Map to (0, 1]: random() yields [0, 1), so take 1 - x.
+            value = 1.0 - float(self._rng.random())
+        self._cache[key] = value
+        return value
+
+    def seeds_for(self, keys: Iterable[Hashable]) -> Dict[Hashable, float]:
+        """Return a dictionary of seeds for ``keys``."""
+        return {key: self.seed_for(key) for key in keys}
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._cache
+
+    def known_seeds(self) -> Dict[Hashable, float]:
+        """Return a copy of all seeds assigned so far."""
+        return dict(self._cache)

@@ -1,0 +1,15 @@
+"""Synthetic workload generators used by the experiments."""
+
+from .synthetic import (
+    ip_flow_pairs,
+    similarity_controlled_pairs,
+    surname_pairs,
+    temperature_instances,
+)
+
+__all__ = [
+    "ip_flow_pairs",
+    "similarity_controlled_pairs",
+    "surname_pairs",
+    "temperature_instances",
+]

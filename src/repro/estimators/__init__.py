@@ -1,0 +1,49 @@
+"""Estimators for monotone estimation problems.
+
+The headline constructions of the paper (L*, U*, order-optimal) together
+with the classical Horvitz–Thompson baseline, the bounded dyadic baseline,
+the v-optimal oracle used by the competitiveness analysis, and the
+optimal-range helpers of Section 3.
+"""
+
+from .base import Estimator
+from .dyadic import DyadicEstimator
+from .horvitz_thompson import HorvitzThompsonEstimator
+from .lstar import LStarEstimator, LStarOneSidedRangePPS
+from .optimal_range import (
+    candidate_vectors,
+    in_range,
+    lambda_lower,
+    lambda_upper,
+    z_optimal_estimate,
+)
+from .order_optimal import (
+    DiscreteProblem,
+    OrderOptimalEstimator,
+    build_order_optimal,
+    order_by_target_ascending,
+    order_by_target_descending,
+)
+from .ustar import UStarNumeric, UStarOneSidedRangePPS
+from .vopt import VOptimalOracle
+
+__all__ = [
+    "Estimator",
+    "DyadicEstimator",
+    "HorvitzThompsonEstimator",
+    "LStarEstimator",
+    "LStarOneSidedRangePPS",
+    "candidate_vectors",
+    "in_range",
+    "lambda_lower",
+    "lambda_upper",
+    "z_optimal_estimate",
+    "DiscreteProblem",
+    "OrderOptimalEstimator",
+    "build_order_optimal",
+    "order_by_target_ascending",
+    "order_by_target_descending",
+    "UStarNumeric",
+    "UStarOneSidedRangePPS",
+    "VOptimalOracle",
+]

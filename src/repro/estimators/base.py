@@ -1,0 +1,46 @@
+"""Estimator interface.
+
+An estimator for a monotone estimation problem is a function of the
+*outcome* only — it never sees the data vector.  All estimators in this
+package implement :class:`Estimator`; the analysis helpers additionally
+use the convenience method :meth:`Estimator.estimate_for`, which samples a
+known vector at a given seed and applies the estimator, making exact
+integration over the seed straightforward.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.outcome import Outcome
+from ..core.schemes import MonotoneSamplingScheme
+
+__all__ = ["Estimator"]
+
+
+class Estimator:
+    """Base class for outcome-only estimators."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "estimator"
+
+    def estimate(self, outcome: Outcome) -> float:
+        """Return the estimate for ``outcome``."""
+        raise NotImplementedError
+
+    def estimate_for(
+        self,
+        scheme: MonotoneSamplingScheme,
+        vector: Sequence[float],
+        seed: float,
+    ) -> float:
+        """Sample ``vector`` at ``seed`` under ``scheme`` and estimate.
+
+        This is the bridge used by analysis code: the estimator still only
+        looks at the outcome, but the caller controls which data vector
+        and seed produced it.
+        """
+        return self.estimate(scheme.sample(vector, seed))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

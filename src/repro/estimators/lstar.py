@@ -1,0 +1,160 @@
+"""The L* estimator (Section 4 of the paper).
+
+The L* estimator is the solution of the in-range constraints taken at the
+*lower* end of the optimal range.  Its closed form (eq. 31) is
+
+    f_L(rho, v) = f_v(rho) / rho  -  ∫_rho^1 f_v(u) / u^2 du ,
+
+where ``f_v`` is the lower-bound function — which, crucially, can be
+evaluated at every ``u >= rho`` from the observed outcome alone.
+
+Properties established in the paper and exercised by the test-suite:
+
+* unbiased and nonnegative whenever an unbiased nonnegative estimator
+  exists (it is in-range);
+* monotone (the estimate does not decrease as the sample becomes more
+  informative), and in fact the *unique admissible monotone* estimator;
+* dominates the Horvitz–Thompson estimator;
+* 4-competitive: its expected square is within a factor 4 of the minimum
+  attainable for every data vector (Theorem 4.1), with the factor 4 tight
+  over all monotone estimation problems;
+* order-optimal for the order that prioritises data with small ``f``
+  (e.g. very similar instances when ``f`` is a range-type difference).
+
+Two implementations are provided: :class:`LStarEstimator`, fully generic
+(numeric integration of the lower-bound curve), and
+:class:`LStarOneSidedRangePPS`, a closed form for ``RG_p+`` under the
+canonical coordinated PPS scheme with ``tau* = 1`` used throughout the
+paper's examples (exact and much faster; validated against the generic
+implementation in the tests).
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import integrate
+
+from ..core.integration import integral_of_lb_over_u2
+from ..core.functions import EstimationTarget, OneSidedRange
+from ..core.lower_bound import OutcomeLowerBound
+from ..core.outcome import Outcome
+from ..core.schemes import CoordinatedScheme, LinearThreshold
+from .base import Estimator
+
+__all__ = ["LStarEstimator", "LStarOneSidedRangePPS"]
+
+
+class LStarEstimator(Estimator):
+    """Generic L* estimator for any target function (eq. 31).
+
+    Parameters
+    ----------
+    target:
+        The estimation target ``f``.
+    rtol:
+        Relative tolerance passed to the quadrature of the lower-bound
+        integral.
+    """
+
+    name = "L*"
+
+    def __init__(self, target: EstimationTarget, rtol: float = 1e-9) -> None:
+        self._target = target
+        self._rtol = rtol
+
+    @property
+    def target(self) -> EstimationTarget:
+        return self._target
+
+    def estimate(self, outcome: Outcome) -> float:
+        rho = outcome.seed
+        lb = OutcomeLowerBound(outcome, self._target)
+        value_at_rho = lb(rho)
+        if value_at_rho <= 0.0:
+            # The lower-bound curve is non-increasing in the seed, so it
+            # vanishes on the whole integration range: the estimate is 0.
+            return 0.0
+        integral = integral_of_lb_over_u2(
+            lb, rho, 1.0, lb.breakpoints(), rtol=self._rtol
+        )
+        estimate = value_at_rho / rho - integral
+        # Guard against quadrature round-off driving a mathematically
+        # nonnegative estimate slightly below zero.
+        return max(0.0, estimate)
+
+
+class LStarOneSidedRangePPS(Estimator):
+    """Closed-form L* estimator for ``RG_p+`` under coordinated PPS, tau*=1.
+
+    For an outcome with seed ``u`` in which entry 1 is sampled with value
+    ``v1`` (and writing ``a`` for the sampled value ``v2`` when entry 2 is
+    sampled, or ``u`` otherwise), Example 4 of the paper gives
+
+        est = (v1 - a)^p / a  -  ∫_a^{v1} (v1 - x)^p / x^2 dx        (a < v1)
+
+    and 0 whenever entry 1 is unsampled or ``a >= v1``.  For ``p = 1`` the
+    integral collapses to ``log(v1 / a)`` and for ``p = 2`` to
+    ``2 v1 log(v1 / a) - 2 (v1 - a)``; other exponents use quadrature on
+    the one-dimensional integral.
+    """
+
+    name = "L* (closed form, RG_p+)"
+
+    def __init__(self, p: float = 1.0, rtol: float = 1e-10) -> None:
+        if p <= 0:
+            raise ValueError("p must be positive")
+        self._p = float(p)
+        self._rtol = rtol
+        self._target = OneSidedRange(p=self._p)
+
+    @property
+    def p(self) -> float:
+        return self._p
+
+    @property
+    def target(self) -> OneSidedRange:
+        return self._target
+
+    def estimate(self, outcome: Outcome) -> float:
+        _require_unit_pps(outcome, dimension=2)
+        v1, v2 = outcome.values
+        if v1 is None:
+            return 0.0
+        a = v2 if v2 is not None else outcome.seed
+        if a >= v1:
+            return 0.0
+        p = self._p
+        if a <= 0.0:
+            raise ValueError(
+                "the closed form requires a positive anchor; a zero sampled "
+                "value cannot occur under PPS with positive seed"
+            )
+        if p == 1.0:
+            return math.log(v1 / a)
+        if p == 2.0:
+            return 2.0 * v1 * math.log(v1 / a) - 2.0 * (v1 - a)
+        head = (v1 - a) ** p / a
+        tail, _ = integrate.quad(
+            lambda x: (v1 - x) ** p / (x * x), a, v1, epsrel=self._rtol
+        )
+        return max(0.0, head - tail)
+
+
+def _require_unit_pps(outcome: Outcome, dimension: int) -> None:
+    """Validate that the outcome came from the canonical tau*=1 PPS scheme."""
+    scheme = outcome.scheme
+    if outcome.dimension != dimension:
+        raise ValueError(
+            f"expected {dimension}-entry outcomes, got {outcome.dimension}"
+        )
+    if not isinstance(scheme, CoordinatedScheme):
+        raise TypeError("closed-form estimators require a CoordinatedScheme")
+    for threshold in scheme.thresholds:
+        if not isinstance(threshold, LinearThreshold) or not math.isclose(
+            threshold.tau_star, 1.0
+        ):
+            raise ValueError(
+                "closed-form estimators require PPS thresholds with tau*=1; "
+                "use the generic estimator for other schemes"
+            )

@@ -1,0 +1,143 @@
+"""The optimal range of estimate values (Section 3 of the paper).
+
+For an outcome ``S`` at seed ``rho`` and a value ``M`` equal to the
+expected contribution already committed on less-informative outcomes
+(``M = ∫_rho^1 fhat(u, v) du``), the paper defines the range of
+*z-optimal* estimate values over the vectors ``z`` consistent with ``S``:
+
+    lambda(rho, z, M)  = inf_{0 <= eta < rho} ( f^{(z)}(eta) - M ) / (rho - eta)
+    lambda_L(S, M)     = inf_z  lambda(rho, z, M)  =  ( f(S) - M ) / rho
+    lambda_U(S, M)     = sup_z  lambda(rho, z, M)
+
+Estimates that stay inside ``[lambda_L, lambda_U]`` (almost everywhere)
+are exactly the admissible candidates: in-range is necessary for
+admissibility and sufficient for unbiasedness and nonnegativity
+(Lemma 3.1 / Theorem 3.1).  The L* and U* estimators solve the lower and
+upper boundary with equality.
+
+``lambda_L`` has the closed form above and is exact.  ``lambda_U``
+requires a supremum over the (usually infinite) consistency set; it is
+computed here by maximising over a structured family of candidate vectors
+(box corners plus a refinement grid), which is exact for the paper's
+convex range-type targets and a controlled approximation otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.functions import EstimationTarget
+from ..core.lower_bound import VectorLowerBound
+from ..core.outcome import Outcome
+
+__all__ = [
+    "lambda_lower",
+    "lambda_upper",
+    "candidate_vectors",
+    "z_optimal_estimate",
+    "in_range",
+]
+
+
+def lambda_lower(outcome: Outcome, target: EstimationTarget, committed: float) -> float:
+    """The lower end of the optimal range, ``(f(S) - M) / rho`` (eq. 19)."""
+    rho = outcome.seed
+    known = outcome.known_at(rho)
+    upper = outcome.upper_bounds_at(rho)
+    f_lower = target.infimum_over_box(known, upper)
+    return (f_lower - committed) / rho
+
+
+def z_optimal_estimate(
+    outcome: Outcome,
+    target: EstimationTarget,
+    vector: Sequence[float],
+    committed: float,
+    eta_grid: int = 129,
+) -> float:
+    """``lambda(rho, z, M)`` for one candidate vector ``z`` (eq. 17).
+
+    The infimum over ``eta`` is taken on a grid of ``[0, rho)`` refined
+    with the breakpoints of ``f^{(z)}``; the value at ``eta = 0`` uses the
+    limit ``f(z)`` itself.
+    """
+    rho = outcome.seed
+    curve = VectorLowerBound(outcome.scheme, target, vector)
+    etas = set(np.linspace(0.0, rho, eta_grid)[:-1].tolist())
+    for b in curve.breakpoints():
+        if b < rho:
+            etas.add(b)
+            etas.add(max(0.0, b - 1e-9))
+    best = float("inf")
+    for eta in sorted(etas):
+        value = curve(eta) if eta > 0.0 else target(vector)
+        ratio = (value - committed) / (rho - eta)
+        if ratio < best:
+            best = ratio
+    return best
+
+
+def candidate_vectors(
+    outcome: Outcome, per_entry: int = 5
+) -> List[Tuple[float, ...]]:
+    """Representative vectors of the consistency set ``S*`` of an outcome.
+
+    Sampled entries are pinned to their values; unsampled entries range
+    over ``{0, bound/ (per_entry-1), ..., bound^-}``.  For the convex
+    range-type targets of the paper the extremal candidates (corners)
+    already realise the supremum of ``lambda``; the interior points guard
+    against non-convex user-supplied targets.
+    """
+    rho = outcome.seed
+    choices: List[Tuple[float, ...]] = []
+    for i, value in enumerate(outcome.values):
+        if value is not None:
+            choices.append((value,))
+        else:
+            bound = outcome.scheme.threshold(i, rho)
+            if bound <= 0:
+                choices.append((0.0,))
+            else:
+                # Stay strictly below the (open) upper bound.
+                grid = np.linspace(0.0, bound, per_entry + 1)[:-1]
+                top = bound * (1.0 - 1e-9)
+                choices.append(tuple(sorted(set(grid.tolist() + [top]))))
+    return [tuple(c) for c in itertools.product(*choices)]
+
+
+def lambda_upper(
+    outcome: Outcome,
+    target: EstimationTarget,
+    committed: float,
+    per_entry: int = 5,
+    eta_grid: int = 129,
+) -> float:
+    """The upper end of the optimal range (eq. 18), via candidate search."""
+    best = -float("inf")
+    for z in candidate_vectors(outcome, per_entry=per_entry):
+        value = z_optimal_estimate(outcome, target, z, committed, eta_grid)
+        if value > best:
+            best = value
+    return best
+
+
+def in_range(
+    outcome: Outcome,
+    target: EstimationTarget,
+    estimate: float,
+    committed: float,
+    slack: float = 1e-6,
+    per_entry: int = 5,
+) -> bool:
+    """Whether ``estimate`` lies in the optimal range at ``outcome``.
+
+    ``slack`` is an absolute-plus-relative tolerance absorbing the
+    numerical error of the ``lambda_U`` search.
+    """
+    low = lambda_lower(outcome, target, committed)
+    high = lambda_upper(outcome, target, committed, per_entry=per_entry)
+    tol = slack * max(1.0, abs(low), abs(high))
+    return (estimate >= low - tol) and (estimate <= high + tol)

@@ -1,0 +1,189 @@
+"""The U* estimator (Section 6 of the paper).
+
+The U* estimator solves the in-range constraints at the *upper* end of the
+optimal range: on every outcome it takes the supremum, over consistent
+vectors ``z``, of the z-optimal estimate given what has already been
+committed on less informative outcomes (eq. 48).  Under condition (49) —
+satisfied by ``RG_p`` and ``RG_p+`` — it is order-optimal for the order
+that prioritises data with *large* ``f`` (e.g. very dissimilar instances
+for range-type targets), which is the mirror image of L*.
+
+Implementations:
+
+* :class:`UStarOneSidedRangePPS` — exact closed form for ``RG_p+`` under
+  the canonical coordinated PPS scheme with ``tau* = 1`` (Example 4):
+
+      p >= 1:  est = p (v1 - u)^(p-1)          on u in (v2, v1],  0 otherwise
+      p <= 1:  est = v1^(p-1)                  on u in (v2, v1]
+               est = ((v1-v2)^p - v1^(p-1)(v1-v2)) / v2   on u <= v2 < v1
+
+* :class:`UStarNumeric` — a generic grid-based backward solver of the
+  integral equation (48) for arbitrary targets; slower and approximate,
+  but validated against the closed form in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..core.functions import EstimationTarget, OneSidedRange
+from ..core.lower_bound import VectorLowerBound
+from ..core.outcome import Outcome
+from .base import Estimator
+from .lstar import _require_unit_pps
+from .optimal_range import candidate_vectors
+
+__all__ = ["UStarOneSidedRangePPS", "UStarNumeric"]
+
+
+class UStarOneSidedRangePPS(Estimator):
+    """Closed-form U* estimator for ``RG_p+`` under coordinated PPS, tau*=1."""
+
+    name = "U* (closed form, RG_p+)"
+
+    def __init__(self, p: float = 1.0) -> None:
+        if p <= 0:
+            raise ValueError("p must be positive")
+        self._p = float(p)
+        self._target = OneSidedRange(p=self._p)
+
+    @property
+    def p(self) -> float:
+        return self._p
+
+    @property
+    def target(self) -> OneSidedRange:
+        return self._target
+
+    def estimate(self, outcome: Outcome) -> float:
+        _require_unit_pps(outcome, dimension=2)
+        u = outcome.seed
+        v1, v2 = outcome.values
+        if v1 is None:
+            # Entry 1 unsampled: a zero value is consistent, so both the
+            # lower and upper range boundaries are 0 here.
+            return 0.0
+        p = self._p
+        if v2 is None:
+            # u in (v2, v1]: entry 2 hidden below the threshold u.
+            if u > v1:
+                return 0.0
+            if p >= 1.0:
+                return p * (v1 - u) ** (p - 1.0)
+            return v1 ** (p - 1.0)
+        # Both entries sampled: u <= v2 (and u <= v1).
+        if v2 >= v1:
+            return 0.0
+        if p >= 1.0:
+            return 0.0
+        return ((v1 - v2) ** p - v1 ** (p - 1.0) * (v1 - v2)) / v2
+
+
+class UStarNumeric(Estimator):
+    """Generic U* estimator via a backward grid solve of eq. (48).
+
+    For the observed outcome at seed ``rho`` the solver walks a seed grid
+    from 1 down to ``rho``.  At each grid seed ``u`` it
+
+    1. accumulates ``M(u) = ∫_u^1 est`` from the already-computed grid
+       estimates,
+    2. forms the upper envelope ``sup_z f^{(z)}(eta)`` over candidate
+       vectors consistent with the (hypothetical) outcome at ``u``, and
+    3. takes the infimum over ``eta < u`` of
+       ``(envelope(eta) - M(u)) / (u - eta)``.
+
+    The candidate vectors are box corners plus a refinement grid
+    (see :func:`~repro.estimators.optimal_range.candidate_vectors`), which
+    realises the supremum exactly for the paper's range-type targets.
+    """
+
+    name = "U* (numeric)"
+
+    def __init__(
+        self,
+        target: EstimationTarget,
+        seed_grid: int = 192,
+        eta_grid: int = 65,
+        candidates_per_entry: int = 4,
+    ) -> None:
+        self._target = target
+        self._seed_grid = seed_grid
+        self._eta_grid = eta_grid
+        self._per_entry = candidates_per_entry
+
+    @property
+    def target(self) -> EstimationTarget:
+        return self._target
+
+    def estimate(self, outcome: Outcome) -> float:
+        rho = outcome.seed
+        grid = self._build_grid(outcome)
+        estimates = np.zeros_like(grid)
+        committed = 0.0
+        # Walk from the least informative seed (1.0) down to rho.
+        for idx in range(len(grid) - 1, -1, -1):
+            u = float(grid[idx])
+            if idx < len(grid) - 1:
+                width = float(grid[idx + 1] - grid[idx])
+                committed += float(estimates[idx + 1]) * width
+            estimates[idx] = self._upper_boundary(outcome, u, committed)
+        return float(max(0.0, estimates[0]))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _build_grid(self, outcome: Outcome) -> np.ndarray:
+        rho = outcome.seed
+        points = set(np.linspace(rho, 1.0, self._seed_grid).tolist())
+        for b in outcome.information_breakpoints():
+            points.add(b)
+            points.add(min(1.0, b + 1e-9))
+        points.add(rho)
+        points.add(1.0)
+        return np.array(sorted(points))
+
+    def _upper_boundary(self, outcome: Outcome, u: float, committed: float) -> float:
+        best = 0.0
+        hypothetical = _HypotheticalOutcome(outcome, u)
+        for z in candidate_vectors(hypothetical, per_entry=self._per_entry):
+            value = self._z_lambda(outcome, z, u, committed)
+            if value > best:
+                best = value
+        return best
+
+    def _z_lambda(
+        self, outcome: Outcome, z, u: float, committed: float
+    ) -> float:
+        curve = VectorLowerBound(outcome.scheme, self._target, z)
+        etas: List[float] = list(np.linspace(0.0, u, self._eta_grid)[:-1])
+        for b in curve.breakpoints():
+            if b < u:
+                etas.append(b)
+                etas.append(max(0.0, b - 1e-9))
+        best = math.inf
+        for eta in sorted(set(etas)):
+            value = curve(eta) if eta > 0.0 else self._target(z)
+            ratio = (value - committed) / (u - eta)
+            if ratio < best:
+                best = ratio
+        return best
+
+
+class _HypotheticalOutcome:
+    """Adapter exposing the outcome at a larger seed ``u >= rho``.
+
+    Only the pieces :func:`candidate_vectors` needs are provided: the
+    seed, the entry values as they would have been reported at ``u``, and
+    the scheme.
+    """
+
+    def __init__(self, outcome: Outcome, u: float) -> None:
+        self.seed = u
+        self.scheme = outcome.scheme
+        known = outcome.known_at(u)
+        self.values = tuple(
+            known.get(i) for i in range(outcome.dimension)
+        )

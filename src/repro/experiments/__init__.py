@@ -1,0 +1,48 @@
+"""Experiment modules, one per table/figure/claim of the paper.
+
+| Module        | Paper artefact                                              |
+|---------------|-------------------------------------------------------------|
+| ``example1``  | Example 1: dataset and query values (E1)                    |
+| ``example2``  | Example 2: coordinated PPS outcomes (E2)                    |
+| ``example3``  | Example 3 figures: lower bounds and hulls (E3)              |
+| ``example4``  | Example 4 figures: L*, U*, v-optimal estimates (E4)         |
+| ``example5``  | Example 5 tables: order-optimal estimators (E5)             |
+| ``theorem41`` | Theorem 4.1: tightness of the ratio 4 (E6)                  |
+| ``ratios``    | Stated per-function competitive ratios (E7)                 |
+| ``dominance`` | L* dominates Horvitz–Thompson (E8)                          |
+| ``lp_difference`` | Section 7: Lp differences, similar vs dissimilar data (E9) |
+| ``similarity``| Section 7: ADS-based closeness similarity (E10)             |
+| ``ablation``  | Customisation/competitiveness ablation (E11)                |
+
+Every module exposes ``run(...)`` returning structured results and
+``format_report(...)`` rendering them as text; the benchmarks under
+``benchmarks/`` call the same entry points.
+"""
+
+from . import (
+    ablation,
+    dominance,
+    example1,
+    example2,
+    example3,
+    example4,
+    example5,
+    lp_difference,
+    ratios,
+    similarity,
+    theorem41,
+)
+
+__all__ = [
+    "ablation",
+    "dominance",
+    "example1",
+    "example2",
+    "example3",
+    "example4",
+    "example5",
+    "lp_difference",
+    "ratios",
+    "similarity",
+    "theorem41",
+]

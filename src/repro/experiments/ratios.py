@@ -1,0 +1,112 @@
+"""Experiment E7 — competitive ratios of L* (and friends) for RG_p+.
+
+The paper states that although the universal bound on the L* ratio is 4,
+the ratio for specific functions is lower: it quotes roughly 2 and 2.5 for
+the exponentiated range at ``p = 1`` and ``p = 2`` (the introduction and
+the conclusion disagree on which value belongs to which exponent, so we
+simply report what we measure).  This experiment sweeps data vectors of
+the unit square for ``RG_p+`` under PPS (``tau* = 1``), computes the
+per-vector ratio of L* — and, for context, of U* and HT where defined —
+and reports the supremum per estimator and exponent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.competitiveness import RatioReport, ratio_sweep, supremum_ratio
+from ..core.functions import OneSidedRange
+from ..core.schemes import pps_scheme
+from ..estimators.base import Estimator
+from ..estimators.horvitz_thompson import HorvitzThompsonEstimator
+from ..estimators.lstar import LStarOneSidedRangePPS
+from ..estimators.ustar import UStarOneSidedRangePPS
+from .report import format_table
+
+__all__ = ["SweepResult", "default_vector_grid", "run", "format_report"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Ratio sweep of one estimator at one exponent."""
+
+    estimator: str
+    p: float
+    reports: Tuple[RatioReport, ...]
+
+    @property
+    def supremum(self) -> float:
+        return supremum_ratio(self.reports)
+
+    @property
+    def worst_vector(self) -> Tuple[float, ...]:
+        worst = max(self.reports, key=lambda r: r.ratio)
+        return worst.vector
+
+
+def default_vector_grid(points: int = 7) -> List[Tuple[float, float]]:
+    """A grid of (v1, v2) vectors with v1 > v2 (positive one-sided range).
+
+    Includes the v2 = 0 boundary, where the L* estimate is unbounded and
+    the ratio is typically largest.
+    """
+    v1_values = np.linspace(0.15, 0.95, points)
+    vectors: List[Tuple[float, float]] = []
+    for v1 in v1_values:
+        for fraction in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9):
+            vectors.append((float(v1), float(v1 * fraction)))
+    return vectors
+
+
+def run(
+    exponents: Sequence[float] = (1.0, 2.0),
+    vectors: Sequence[Tuple[float, float]] = None,
+    include_baselines: bool = True,
+) -> List[SweepResult]:
+    """Run the ratio sweep for every exponent and estimator."""
+    scheme = pps_scheme([1.0, 1.0])
+    vectors = list(vectors) if vectors is not None else default_vector_grid()
+    results: List[SweepResult] = []
+    for p in exponents:
+        target = OneSidedRange(p=p)
+        estimators: List[Estimator] = [LStarOneSidedRangePPS(p=p)]
+        if include_baselines:
+            estimators.append(UStarOneSidedRangePPS(p=p))
+            estimators.append(HorvitzThompsonEstimator(target))
+        for estimator in estimators:
+            if isinstance(estimator, HorvitzThompsonEstimator):
+                # HT is undefined (zero revelation probability) when v2 = 0;
+                # restrict its sweep to the vectors where it applies.
+                usable = [v for v in vectors if v[1] > 0.0]
+            else:
+                usable = vectors
+            reports = ratio_sweep(estimator, scheme, target, usable, grid=4096)
+            results.append(
+                SweepResult(estimator=estimator.name, p=p, reports=tuple(reports))
+            )
+    return results
+
+
+def summary(results: List[SweepResult] = None) -> Dict[str, float]:
+    """Supremum ratio per (estimator, exponent)."""
+    results = results if results is not None else run()
+    return {f"{r.estimator} p={r.p}": r.supremum for r in results}
+
+
+def format_report(results: List[SweepResult] = None) -> str:
+    results = results if results is not None else run()
+    rows = [
+        (r.estimator, r.p, r.supremum, str(r.worst_vector), len(r.reports))
+        for r in results
+    ]
+    return format_table(
+        headers=["estimator", "p", "sup ratio", "worst vector", "#vectors"],
+        rows=rows,
+        title=(
+            "E7 — competitive ratios over the unit-square sweep "
+            "(RG_p+, PPS tau*=1; paper quotes ~2 and ~2.5 for L*)"
+        ),
+    )

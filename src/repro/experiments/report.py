@@ -1,0 +1,58 @@
+"""Plain-text reporting helpers shared by the experiment modules.
+
+Every experiment returns structured data (dataclasses / dicts / lists of
+rows) *and* can render itself as an aligned text table, so the same code
+path serves the benchmarks, the EXPERIMENTS.md records, and interactive
+use.  No plotting dependency is required: "figures" are emitted as the
+numeric series behind them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_mapping"]
+
+
+def _fmt(value, precision: int = 6) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 6,
+    title: str = "",
+) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    rendered_rows: List[List[str]] = [[_fmt(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], precision: int = 6
+) -> str:
+    """Render one (x, y) series — the text form of a figure curve."""
+    pairs = ", ".join(
+        f"({_fmt(x, precision)}, {_fmt(y, precision)})" for x, y in zip(xs, ys)
+    )
+    return f"{name}: {pairs}"
+
+
+def format_mapping(mapping: Mapping[str, object], precision: int = 6) -> str:
+    """Render a flat mapping as ``key = value`` lines."""
+    return "\n".join(f"{key} = {_fmt(value, precision)}" for key, value in mapping.items())

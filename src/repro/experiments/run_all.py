@@ -1,0 +1,138 @@
+"""Run every experiment (E1–E11) and emit a single consolidated report.
+
+This is the command-line face of the reproduction: it executes each
+experiment module at a configurable scale ("quick" for a smoke pass,
+"full" for the parameters the benchmarks use) and concatenates their text
+reports — the same content EXPERIMENTS.md summarises.
+
+Usage::
+
+    python -m repro.experiments.run_all            # quick pass
+    python -m repro.experiments.run_all --full     # benchmark-scale pass
+    python -m repro.experiments.run_all --only E6 E7
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, List
+
+from . import (
+    ablation,
+    dominance,
+    example1,
+    example2,
+    example3,
+    example4,
+    example5,
+    lp_difference,
+    ratios,
+    similarity,
+    theorem41,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_many", "main"]
+
+
+def _e1(full: bool) -> str:
+    return example1.format_report()
+
+
+def _e2(full: bool) -> str:
+    rows, _ = example2.run()
+    return example2.format_report(rows)
+
+
+def _e3(full: bool) -> str:
+    return example3.format_report(example3.run(grid=200 if full else 80))
+
+
+def _e4(full: bool) -> str:
+    return example4.format_report(example4.run(grid=80 if full else 30))
+
+
+def _e5(full: bool) -> str:
+    return example5.format_report()
+
+
+def _e6(full: bool) -> str:
+    exponents = theorem41.DEFAULT_EXPONENTS if full else (0.1, 0.3, 0.45)
+    return theorem41.format_report(theorem41.run(exponents))
+
+
+def _e7(full: bool) -> str:
+    grid = ratios.default_vector_grid(4 if full else 2)
+    results = ratios.run(exponents=(1.0, 2.0), vectors=grid,
+                         include_baselines=full)
+    return ratios.format_report(results)
+
+
+def _e8(full: bool) -> str:
+    vectors = None if full else [(0.6, 0.2), (0.6, 0.0), (0.9, 0.45)]
+    return dominance.format_report(dominance.run(vectors=vectors))
+
+
+def _e9(full: bool) -> str:
+    results = lp_difference.run(
+        num_items=250 if full else 80,
+        sampling_rates=(0.1, 0.2) if full else (0.1,),
+        exponents=(1.0, 2.0) if full else (1.0,),
+        replications=25 if full else 8,
+    )
+    return lp_difference.format_report(results)
+
+
+def _e10(full: bool) -> str:
+    rows = similarity.run(
+        ks=(4, 8, 16) if full else (4, 12),
+        num_pairs=8 if full else 4,
+    )
+    return similarity.format_report(rows)
+
+
+def _e11(full: bool) -> str:
+    rows = ablation.run(
+        similarities=(0.0, 0.25, 0.5, 0.75, 0.95) if full else (0.0, 0.95),
+        num_items=40 if full else 15,
+    )
+    return ablation.format_report(rows)
+
+
+#: Experiment id -> callable(full) -> report text.
+EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+    "E1": _e1, "E2": _e2, "E3": _e3, "E4": _e4, "E5": _e5, "E6": _e6,
+    "E7": _e7, "E8": _e8, "E9": _e9, "E10": _e10, "E11": _e11,
+}
+
+
+def run_experiment(identifier: str, full: bool = False) -> str:
+    """Run one experiment by id ('E1' ... 'E11') and return its report."""
+    key = identifier.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {identifier!r}; known: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key](full)
+
+
+def run_many(identifiers: List[str] = None, full: bool = False) -> str:
+    """Run several experiments (all by default) and concatenate reports."""
+    chosen = identifiers if identifiers else list(EXPERIMENTS)
+    sections = []
+    for identifier in chosen:
+        report = run_experiment(identifier, full=full)
+        sections.append(f"### {identifier.upper()}\n{report}")
+    return "\n\n".join(sections)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run at benchmark scale instead of the quick scale")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="experiment ids to run (default: all)")
+    args = parser.parse_args(argv)
+    print(run_many(args.only, full=args.full))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Graph substrate: weighted graphs, Dijkstra, generators, closeness similarity."""
+
+from .dijkstra import dijkstra_order, shortest_path_lengths
+from .generators import (
+    erdos_renyi_graph,
+    grid_graph,
+    preferential_attachment_graph,
+    random_edge_lengths,
+    small_world_graph,
+)
+from .graph import Graph
+from .similarity import (
+    FixedProbabilityThreshold,
+    SimilarityEstimate,
+    estimate_closeness_similarity,
+    exact_closeness_similarity,
+    exponential_decay,
+    inverse_decay,
+    threshold_decay,
+)
+
+__all__ = [
+    "dijkstra_order",
+    "shortest_path_lengths",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "preferential_attachment_graph",
+    "random_edge_lengths",
+    "small_world_graph",
+    "Graph",
+    "FixedProbabilityThreshold",
+    "SimilarityEstimate",
+    "estimate_closeness_similarity",
+    "exact_closeness_similarity",
+    "exponential_decay",
+    "inverse_decay",
+    "threshold_decay",
+]

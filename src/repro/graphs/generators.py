@@ -1,0 +1,147 @@
+"""Synthetic graph generators for the similarity experiments.
+
+The social-network similarity study of Section 7 runs on real social
+graphs we do not have; these generators provide synthetic stand-ins with
+the structural features that matter for the experiment — local clustering
+(so nearby nodes have overlapping distance profiles and hence high
+closeness similarity) and heavy-tailed degrees (so the sketches see both
+hubs and periphery).  Provided: 2-D grid graphs, Watts–Strogatz
+small-world graphs, Barabási–Albert preferential attachment and
+Erdős–Rényi baselines, all with optional random edge lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "grid_graph",
+    "small_world_graph",
+    "preferential_attachment_graph",
+    "erdos_renyi_graph",
+    "random_edge_lengths",
+]
+
+
+def grid_graph(rows: int, cols: int, weight: float = 1.0) -> Graph:
+    """A ``rows x cols`` 4-neighbour grid."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    graph = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            node = (r, c)
+            graph.add_node(node)
+            if r + 1 < rows:
+                graph.add_edge(node, (r + 1, c), weight)
+            if c + 1 < cols:
+                graph.add_edge(node, (r, c + 1), weight)
+    return graph
+
+
+def small_world_graph(
+    n: int,
+    k: int = 4,
+    rewire_probability: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+) -> Graph:
+    """Watts–Strogatz small-world graph on ``n`` nodes.
+
+    Each node starts connected to its ``k`` nearest ring neighbours; each
+    edge is rewired to a random endpoint with the given probability.
+    """
+    if n <= 2 or k < 2 or k % 2 != 0:
+        raise ValueError("need n > 2 and even k >= 2")
+    rng = rng if rng is not None else np.random.default_rng()
+    graph = Graph()
+    for node in range(n):
+        graph.add_node(node)
+    for node in range(n):
+        for offset in range(1, k // 2 + 1):
+            target = (node + offset) % n
+            if rng.random() < rewire_probability:
+                candidate = int(rng.integers(0, n))
+                attempts = 0
+                while (
+                    candidate == node or graph.edge_weight(node, candidate) is not None
+                ) and attempts < 10:
+                    candidate = int(rng.integers(0, n))
+                    attempts += 1
+                if candidate != node:
+                    target = candidate
+            graph.add_edge(node, target, 1.0)
+    return graph
+
+
+def preferential_attachment_graph(
+    n: int, m: int = 2, rng: Optional[np.random.Generator] = None
+) -> Graph:
+    """Barabási–Albert graph: each new node attaches to ``m`` existing nodes
+    with probability proportional to their degree."""
+    if n <= m or m < 1:
+        raise ValueError("need n > m >= 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    graph = Graph()
+    # Start from a small clique so early attachments have targets.
+    targets = list(range(m + 1))
+    for a in targets:
+        for b in targets:
+            if a < b:
+                graph.add_edge(a, b, 1.0)
+    # Repeated-nodes list implements degree-proportional selection.
+    repeated = []
+    for a in targets:
+        repeated.extend([a] * graph.degree(a))
+    for new_node in range(m + 1, n):
+        chosen = set()
+        while len(chosen) < m:
+            chosen.add(repeated[int(rng.integers(0, len(repeated)))])
+        for target in chosen:
+            graph.add_edge(new_node, target, 1.0)
+            repeated.append(target)
+        repeated.extend([new_node] * m)
+    return graph
+
+
+def erdos_renyi_graph(
+    n: int, edge_probability: float, rng: Optional[np.random.Generator] = None
+) -> Graph:
+    """G(n, p) random graph."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = rng if rng is not None else np.random.default_rng()
+    graph = Graph()
+    for node in range(n):
+        graph.add_node(node)
+    for a in range(n):
+        for b in range(a + 1, n):
+            if rng.random() < edge_probability:
+                graph.add_edge(a, b, 1.0)
+    return graph
+
+
+def random_edge_lengths(
+    graph: Graph,
+    low: float = 0.5,
+    high: float = 1.5,
+    rng: Optional[np.random.Generator] = None,
+) -> Graph:
+    """Copy of ``graph`` with edge weights redrawn uniformly from ``[low, high]``.
+
+    The similarity application of the paper explicitly mentions random
+    edge lengths; re-weighting a structural graph is how we reproduce
+    that setting.
+    """
+    if low <= 0 or high < low:
+        raise ValueError("need 0 < low <= high")
+    rng = rng if rng is not None else np.random.default_rng()
+    reweighted = Graph(directed=graph.directed)
+    for node in graph.nodes():
+        reweighted.add_node(node)
+    for a, b, _w in graph.edges():
+        reweighted.add_edge(a, b, float(rng.uniform(low, high)))
+    return reweighted

@@ -1,0 +1,104 @@
+"""A small weighted-graph container used by the sketch substrate.
+
+The all-distances-sketch application of Section 7 needs single-source
+shortest paths over (possibly weighted) graphs.  Rather than depend on an
+external graph library at runtime, the library carries its own compact
+adjacency-list graph; ``networkx`` is used only in the test-suite as an
+independent oracle for the shortest-path implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["Graph"]
+
+Node = Hashable
+
+
+class Graph:
+    """An undirected (optionally directed) weighted graph."""
+
+    def __init__(self, directed: bool = False) -> None:
+        self._adj: Dict[Node, Dict[Node, float]] = {}
+        self._directed = directed
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @property
+    def directed(self) -> bool:
+        return self._directed
+
+    def add_node(self, node: Node) -> None:
+        self._adj.setdefault(node, {})
+
+    def add_edge(self, a: Node, b: Node, weight: float = 1.0) -> None:
+        if weight < 0:
+            raise ValueError("edge weights must be nonnegative")
+        if a == b:
+            # Self loops carry no information for shortest paths; ignore.
+            self.add_node(a)
+            return
+        self.add_node(a)
+        self.add_node(b)
+        self._adj[a][b] = float(weight)
+        if not self._directed:
+            self._adj[b][a] = float(weight)
+
+    def add_edges(self, edges: Iterable[Tuple[Node, Node, float]]) -> None:
+        for a, b, w in edges:
+            self.add_edge(a, b, w)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        total = sum(len(neigh) for neigh in self._adj.values())
+        return total if self._directed else total // 2
+
+    def nodes(self) -> List[Node]:
+        return list(self._adj.keys())
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._adj
+
+    def neighbors(self, node: Node) -> Dict[Node, float]:
+        """Mapping neighbour → edge weight (a copy)."""
+        return dict(self._adj.get(node, {}))
+
+    def degree(self, node: Node) -> int:
+        return len(self._adj.get(node, {}))
+
+    def edge_weight(self, a: Node, b: Node) -> Optional[float]:
+        return self._adj.get(a, {}).get(b)
+
+    def edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Iterate edges; undirected edges are reported once."""
+        seen = set()
+        for a, neighbours in self._adj.items():
+            for b, w in neighbours.items():
+                if self._directed:
+                    yield a, b, w
+                else:
+                    key = (a, b) if repr(a) <= repr(b) else (b, a)
+                    if key not in seen:
+                        seen.add(key)
+                        yield key[0], key[1], w
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """The induced subgraph on ``nodes``."""
+        keep = set(nodes)
+        sub = Graph(directed=self._directed)
+        for node in keep:
+            if node in self._adj:
+                sub.add_node(node)
+        for a, b, w in self.edges():
+            if a in keep and b in keep:
+                sub.add_edge(a, b, w)
+        return sub

@@ -1,0 +1,182 @@
+"""All-distances sketches (ADS) with HIP inclusion probabilities.
+
+An all-distances sketch of a node ``v`` is a bottom-k sample of *all*
+nodes, coordinated across distances: node ``i`` belongs to ``ADS(v)``
+exactly when its hashed rank is among the ``k`` smallest ranks of the
+nodes at distance at most ``d(v, i)`` from ``v``.  The sketch therefore
+contains, for every distance, a bottom-k sample of the ball of that
+radius — which is what makes it useful for neighbourhood-cardinality and
+similarity queries.
+
+The HIP (Historic Inclusion Probability) of an included node is the
+threshold its rank had to beat: the ``k``-th smallest rank among the nodes
+*strictly closer* to ``v``.  Conditioned on the ranks of those closer
+nodes, inclusion of node ``i`` is exactly the event ``rank(i) < threshold``
+with a uniform rank — a per-item monotone sampling scheme, which is how
+the estimators of this library plug in (the paper's footnote 1 makes the
+same conditioning argument).
+
+ADS of different source nodes share the node ranks, so they are
+coordinated samples: the setting of the closeness-similarity application
+in Section 7.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from ..core.seeds import SeedAssigner
+from ..graphs.dijkstra import dijkstra_order
+from ..graphs.graph import Graph
+
+__all__ = ["ADSEntry", "AllDistancesSketch", "build_ads", "build_all_ads", "node_ranks"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ADSEntry:
+    """One node retained in an all-distances sketch."""
+
+    node: Node
+    distance: float
+    rank: float
+    #: HIP threshold: the k-th smallest rank among strictly closer nodes
+    #: (1.0 when fewer than k nodes are strictly closer).  Conditioned on
+    #: the closer nodes, the inclusion probability of this entry.
+    threshold: float
+
+
+class AllDistancesSketch:
+    """The all-distances sketch of one source node."""
+
+    def __init__(self, source: Node, k: int, entries: Mapping[Node, ADSEntry]) -> None:
+        self.source = source
+        self.k = k
+        self._entries = dict(entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._entries
+
+    @property
+    def entries(self) -> Dict[Node, ADSEntry]:
+        return dict(self._entries)
+
+    def entry(self, node: Node) -> Optional[ADSEntry]:
+        return self._entries.get(node)
+
+    def distance(self, node: Node) -> Optional[float]:
+        entry = self._entries.get(node)
+        return entry.distance if entry is not None else None
+
+    def inclusion_probability(self, node: Node) -> Optional[float]:
+        """HIP inclusion probability of an included node (None otherwise)."""
+        entry = self._entries.get(node)
+        return entry.threshold if entry is not None else None
+
+    def neighborhood_cardinality_estimate(self, radius: float) -> float:
+        """HIP estimate of ``|{ i : d(source, i) <= radius }|``.
+
+        Every included node within the radius contributes the inverse of
+        its HIP probability; the source itself contributes 1.
+        """
+        total = 0.0
+        for entry in self._entries.values():
+            if entry.distance <= radius and entry.threshold > 0:
+                total += 1.0 / entry.threshold
+        return total
+
+    def distance_decay_sum_estimate(self, alpha) -> float:
+        """HIP estimate of ``sum_i alpha(d(source, i))`` for non-increasing
+        ``alpha`` (the building block of closeness centrality)."""
+        total = 0.0
+        for entry in self._entries.values():
+            if entry.threshold > 0:
+                total += alpha(entry.distance) / entry.threshold
+        return total
+
+
+def node_ranks(graph: Graph, salt: str = "") -> Dict[Node, float]:
+    """Deterministic hashed ranks shared by every sketch of the graph."""
+    assigner = SeedAssigner(salt=salt)
+    return {node: assigner.seed_for(node) for node in graph.nodes()}
+
+
+def build_ads(
+    graph: Graph,
+    source: Node,
+    k: int,
+    ranks: Optional[Mapping[Node, float]] = None,
+    salt: str = "",
+    cutoff: Optional[float] = None,
+) -> AllDistancesSketch:
+    """Build the bottom-k all-distances sketch of ``source``.
+
+    Nodes are scanned in non-decreasing distance (Dijkstra order); a node
+    enters the sketch when its rank is below the ``k``-th smallest rank
+    seen so far, and the threshold it had to beat is recorded as its HIP
+    probability.  The source node itself is included with distance 0 and
+    probability 1.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if ranks is None:
+        ranks = node_ranks(graph, salt=salt)
+    entries: Dict[Node, ADSEntry] = {}
+    # Max-heap (via negation) of the k smallest ranks among strictly
+    # closer nodes.  Nodes at equal distance are processed in scan order;
+    # the threshold uses only strictly closer nodes, so we buffer updates
+    # per distance level.
+    closest_ranks: List[float] = []  # negated ranks, max-heap of size <= k
+    pending: List[float] = []
+    previous_distance: Optional[float] = None
+    for node, distance in dijkstra_order(graph, source, cutoff=cutoff):
+        if previous_distance is not None and distance > previous_distance:
+            for rank in pending:
+                _push_rank(closest_ranks, rank, k)
+            pending = []
+        previous_distance = distance
+        rank = float(ranks[node])
+        threshold = 1.0 if len(closest_ranks) < k else -closest_ranks[0]
+        if node == source:
+            entries[node] = ADSEntry(node=node, distance=0.0, rank=rank, threshold=1.0)
+            pending.append(rank)
+            continue
+        if rank < threshold:
+            entries[node] = ADSEntry(
+                node=node, distance=distance, rank=rank, threshold=threshold
+            )
+        pending.append(rank)
+    return AllDistancesSketch(source=source, k=k, entries=entries)
+
+
+def _push_rank(heap: List[float], rank: float, k: int) -> None:
+    """Maintain a max-heap of the ``k`` smallest ranks seen so far."""
+    if len(heap) < k:
+        heapq.heappush(heap, -rank)
+    elif rank < -heap[0]:
+        heapq.heapreplace(heap, -rank)
+
+
+def build_all_ads(
+    graph: Graph,
+    k: int,
+    salt: str = "",
+    cutoff: Optional[float] = None,
+) -> Dict[Node, AllDistancesSketch]:
+    """All-distances sketches of every node, sharing one rank assignment.
+
+    The shared ranks are what coordinates the sketches of different
+    sources — the property the similarity estimator relies on.
+    """
+    ranks = node_ranks(graph, salt=salt)
+    return {
+        node: build_ads(graph, node, k, ranks=ranks, cutoff=cutoff)
+        for node in graph.nodes()
+    }

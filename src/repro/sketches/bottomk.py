@@ -1,0 +1,174 @@
+"""Bottom-k sketches: reservoir, priority, and successive weighted sampling.
+
+Bottom-k sampling keeps, for each instance, the ``k`` items with the
+smallest *rank*, where the rank of an item is a function of its weight and
+a per-item random seed.  Different rank functions recover the classical
+schemes the paper cites as substrates for coordinated sampling:
+
+* uniform ranks ``r = u``                     → reservoir / uniform sampling;
+* priority ranks ``r = u / w``                → priority (sequential Poisson)
+  sampling [Ohlsson; Duffield–Lund–Thorup];
+* exponential ranks ``r = -ln(u) / w``        → successive weighted sampling
+  without replacement (a.k.a. bottom-k with exponentially distributed ranks).
+
+Using the *same* per-item seed across instances coordinates the sketches:
+instances with similar weights produce similar sketches, which is what
+makes multi-instance estimation from the sketches accurate.  Restricted to
+one item (conditioning on the seeds of the other items, which fix the
+threshold), bottom-k sampling is a monotone sampling scheme; the
+conditional inclusion threshold exposed by :meth:`BottomKSketch.threshold`
+is exactly the quantity the estimators need.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.seeds import SeedAssigner
+
+__all__ = ["RankMethod", "BottomKSketch", "bottom_k_sketch", "coordinated_bottom_k"]
+
+
+class RankMethod(str, Enum):
+    """Rank functions for bottom-k sampling."""
+
+    UNIFORM = "uniform"          # reservoir sampling (weight-oblivious)
+    PRIORITY = "priority"        # priority / sequential Poisson sampling
+    EXPONENTIAL = "exponential"  # successive weighted sampling w/o replacement
+
+    def rank(self, weight: float, seed: float) -> float:
+        if weight <= 0:
+            return math.inf
+        if self is RankMethod.UNIFORM:
+            return seed
+        if self is RankMethod.PRIORITY:
+            return seed / weight
+        return -math.log(seed) / weight
+
+
+@dataclass(frozen=True)
+class BottomKSketch:
+    """The ``k`` smallest-rank items of one weight assignment.
+
+    Attributes
+    ----------
+    k:
+        Sketch capacity.
+    method:
+        Rank function used.
+    entries:
+        Mapping item → (weight, rank) for the retained items.
+    threshold:
+        The ``(k+1)``-st smallest rank (``inf`` when fewer than ``k+1``
+        items exist).  Conditioned on the other items' seeds, an item is
+        in the sketch iff its own rank is below this threshold, which is
+        what turns the sketch into a per-item monotone sampling scheme and
+        yields the inclusion probabilities used by estimation.
+    """
+
+    k: int
+    method: RankMethod
+    entries: Dict[Hashable, Tuple[float, float]]
+    threshold: float
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self.entries
+
+    def weight(self, key: Hashable) -> Optional[float]:
+        entry = self.entries.get(key)
+        return entry[0] if entry is not None else None
+
+    def conditional_inclusion_probability(self, weight: float) -> float:
+        """P[item with ``weight`` enters the sketch | other items' seeds].
+
+        For priority ranks the condition ``seed / w < threshold`` gives
+        probability ``min(1, w * threshold)``; for exponential ranks
+        ``1 - exp(-w * threshold)``; for uniform ranks ``min(1, threshold)``.
+        """
+        if weight <= 0:
+            return 0.0
+        t = self.threshold
+        if math.isinf(t):
+            return 1.0
+        if self.method is RankMethod.UNIFORM:
+            return min(1.0, t)
+        if self.method is RankMethod.PRIORITY:
+            return min(1.0, weight * t)
+        return 1.0 - math.exp(-weight * t)
+
+    def subset_sum_estimate(self, selection: Optional[Iterable[Hashable]] = None) -> float:
+        """Inverse-probability subset-sum estimate from the sketch."""
+        selected = set(selection) if selection is not None else None
+        total = 0.0
+        for key, (weight, _rank) in self.entries.items():
+            if selected is not None and key not in selected:
+                continue
+            p = self.conditional_inclusion_probability(weight)
+            if p > 0:
+                total += weight / p
+        return total
+
+
+def bottom_k_sketch(
+    weights: Mapping[Hashable, float],
+    k: int,
+    method: RankMethod = RankMethod.PRIORITY,
+    rng: Optional[np.random.Generator] = None,
+    salt: str = "",
+    seeds: Optional[Mapping[Hashable, float]] = None,
+) -> BottomKSketch:
+    """Build a bottom-k sketch of one weight assignment.
+
+    Seeds follow the same precedence as everywhere else in the library:
+    explicit mapping, then random generator, then key hash (which is the
+    coordination-friendly default).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    assigner = SeedAssigner(salt=salt) if rng is None else SeedAssigner(rng=rng)
+    ranked: List[Tuple[float, Hashable, float]] = []
+    for key, weight in weights.items():
+        w = float(weight)
+        if w <= 0:
+            continue
+        seed = float(seeds[key]) if seeds is not None and key in seeds else assigner.seed_for(key)
+        ranked.append((method.rank(w, seed), key, w))
+    if not ranked:
+        return BottomKSketch(k=k, method=method, entries={}, threshold=math.inf)
+    smallest = heapq.nsmallest(k + 1, ranked)
+    kept = smallest[:k]
+    threshold = smallest[k][0] if len(smallest) > k else math.inf
+    entries = {key: (w, rank) for rank, key, w in kept}
+    return BottomKSketch(k=k, method=method, entries=entries, threshold=threshold)
+
+
+def coordinated_bottom_k(
+    instances: Mapping[str, Mapping[Hashable, float]],
+    k: int,
+    method: RankMethod = RankMethod.PRIORITY,
+    salt: str = "",
+) -> Dict[str, BottomKSketch]:
+    """Bottom-k sketches of several instances sharing per-item seeds.
+
+    The shared hashed seeds are what coordinates the sketches: the same
+    item draws the same seed in every instance, so instances with similar
+    weight assignments retain similar item sets.
+    """
+    assigner = SeedAssigner(salt=salt)
+    all_keys = set()
+    for weights in instances.values():
+        all_keys.update(weights.keys())
+    shared_seeds = {key: assigner.seed_for(key) for key in all_keys}
+    return {
+        name: bottom_k_sketch(weights, k, method=method, seeds=shared_seeds)
+        for name, weights in instances.items()
+    }

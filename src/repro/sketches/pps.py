@@ -1,0 +1,118 @@
+"""Single-instance PPS (probability proportional to size) sampling.
+
+PPS sampling with threshold ``tau*`` includes an item of weight ``w`` with
+probability ``min(1, w / tau*)``; with the coordinated variant, the
+decision is made against a per-item shared seed.  This module offers the
+single-instance view — useful on its own (per-instance subset-sum
+estimation with the classic Horvitz–Thompson inverse-probability weights)
+and as the building block the multi-instance coordination in
+:mod:`repro.aggregates.coordinated` composes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.seeds import SeedAssigner
+
+__all__ = ["PPSSample", "pps_sample", "subset_sum_estimate", "choose_tau_for_size"]
+
+
+@dataclass(frozen=True)
+class PPSSample:
+    """A PPS sample of one weight assignment."""
+
+    tau_star: float
+    entries: Dict[Hashable, float]
+    seeds: Dict[Hashable, float]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self.entries
+
+    def inclusion_probability(self, weight: float) -> float:
+        if weight <= 0:
+            return 0.0
+        return min(1.0, weight / self.tau_star)
+
+
+def pps_sample(
+    weights: Mapping[Hashable, float],
+    tau_star: float,
+    rng: Optional[np.random.Generator] = None,
+    salt: str = "",
+    seeds: Optional[Mapping[Hashable, float]] = None,
+) -> PPSSample:
+    """Sample a weight assignment with PPS threshold ``tau_star``.
+
+    Seeds come from the explicit mapping, the random generator, or a
+    deterministic hash of the key — the latter gives coordinated samples
+    across repeated calls with the same salt.
+    """
+    if tau_star <= 0:
+        raise ValueError("tau_star must be positive")
+    assigner = SeedAssigner(salt=salt) if rng is None else SeedAssigner(rng=rng)
+    kept: Dict[Hashable, float] = {}
+    kept_seeds: Dict[Hashable, float] = {}
+    for key, weight in weights.items():
+        w = float(weight)
+        if w <= 0:
+            continue
+        seed = float(seeds[key]) if seeds is not None and key in seeds else assigner.seed_for(key)
+        if w >= seed * tau_star:
+            kept[key] = w
+            kept_seeds[key] = seed
+    return PPSSample(tau_star=float(tau_star), entries=kept, seeds=kept_seeds)
+
+
+def subset_sum_estimate(
+    sample: PPSSample, selection: Optional[Iterable[Hashable]] = None
+) -> float:
+    """Horvitz–Thompson estimate of a subset-sum from a PPS sample.
+
+    Every sampled item in the selection contributes
+    ``weight / min(1, weight / tau*)`` = ``max(weight, tau*)``.
+    """
+    selected = set(selection) if selection is not None else None
+    total = 0.0
+    for key, weight in sample.entries.items():
+        if selected is not None and key not in selected:
+            continue
+        total += weight / sample.inclusion_probability(weight)
+    return total
+
+
+def choose_tau_for_size(
+    weights: Mapping[Hashable, float], expected_size: float
+) -> float:
+    """Pick ``tau*`` so the expected PPS sample size is ``expected_size``.
+
+    The expected size ``sum_i min(1, w_i / tau)`` is non-increasing in
+    ``tau``; a bisection over ``tau`` finds the requested size to within a
+    small relative tolerance.
+    """
+    positives = [float(w) for w in weights.values() if w > 0]
+    if not positives:
+        return 1.0
+    if expected_size >= len(positives):
+        return min(positives)  # everything sampled with probability 1
+
+    def expected(tau: float) -> float:
+        return sum(min(1.0, w / tau) for w in positives)
+
+    low = min(positives) * 1e-6
+    high = sum(positives) / max(expected_size, 1e-9) * 2.0 + max(positives)
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if expected(mid) > expected_size:
+            low = mid
+        else:
+            high = mid
+        if high - low <= 1e-12 * max(1.0, high):
+            break
+    return 0.5 * (low + high)

@@ -1,0 +1,106 @@
+"""Streaming reservoir sampling (uniform bottom-k over a stream).
+
+Reservoir sampling maintains a uniform random sample of ``k`` items from a
+stream of unknown length in a single pass.  The paper lists it among the
+classical single-instance schemes whose coordinated variants fit the
+monotone-sampling framework.  Two implementations are provided:
+
+* :class:`ReservoirSampler` — the textbook streaming algorithm (Vitter's
+  Algorithm R), driven by a pseudo-random generator;
+* :func:`coordinated_reservoir` — the hash-rank formulation (keep the
+  ``k`` smallest hashed seeds), which is exactly a uniform-rank bottom-k
+  sketch and therefore coordinates across instances for free.
+
+The two produce samples with identical distributions; the streaming form
+exists because a one-pass, constant-memory implementation is what a
+production ingest pipeline would actually deploy.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Mapping, Optional
+
+import numpy as np
+
+from .bottomk import BottomKSketch, RankMethod, bottom_k_sketch
+
+__all__ = ["ReservoirSampler", "coordinated_reservoir"]
+
+
+class ReservoirSampler:
+    """Single-pass uniform sample of ``k`` items from a stream."""
+
+    def __init__(self, k: int, rng: Optional[np.random.Generator] = None) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self._k = k
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._reservoir: List[Hashable] = []
+        self._seen = 0
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def seen(self) -> int:
+        """Number of stream elements processed so far."""
+        return self._seen
+
+    @property
+    def sample(self) -> List[Hashable]:
+        """The current reservoir contents (a copy)."""
+        return list(self._reservoir)
+
+    def offer(self, item: Hashable) -> None:
+        """Process one stream element."""
+        self._seen += 1
+        if len(self._reservoir) < self._k:
+            self._reservoir.append(item)
+            return
+        # Replace a random slot with probability k / seen.
+        j = int(self._rng.integers(0, self._seen))
+        if j < self._k:
+            self._reservoir[j] = item
+
+    def extend(self, items: Iterable[Hashable]) -> None:
+        """Process a batch of stream elements."""
+        for item in items:
+            self.offer(item)
+
+    def scale_up_estimate(self, predicate) -> float:
+        """Estimate how many stream elements satisfy ``predicate``.
+
+        The reservoir is a uniform sample, so the fraction of matching
+        reservoir elements times the stream length is unbiased.
+        """
+        if not self._reservoir:
+            return 0.0
+        matching = sum(1 for item in self._reservoir if predicate(item))
+        return matching / len(self._reservoir) * self._seen
+
+
+def coordinated_reservoir(
+    instances: Mapping[str, Mapping[Hashable, float]],
+    k: int,
+    salt: str = "",
+) -> dict:
+    """Coordinated uniform (reservoir-equivalent) samples of several instances.
+
+    Implemented as uniform-rank bottom-k sketches over shared hashed
+    seeds: each instance keeps the ``k`` active items with the smallest
+    seed, so the samples of similar instances overlap heavily.
+    """
+    from ..core.seeds import SeedAssigner
+
+    assigner = SeedAssigner(salt=salt)
+    all_keys = set()
+    for weights in instances.values():
+        all_keys.update(weights.keys())
+    shared = {key: assigner.seed_for(key) for key in all_keys}
+    return {
+        name: bottom_k_sketch(
+            weights, k, method=RankMethod.UNIFORM, seeds=shared
+        )
+        for name, weights in instances.items()
+    }

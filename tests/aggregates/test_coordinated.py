@@ -1,0 +1,108 @@
+"""Tests for coordinated PPS sampling of whole datasets."""
+
+import numpy as np
+import pytest
+
+from repro.aggregates.coordinated import CoordinatedPPSSampler
+from repro.aggregates.dataset import MultiInstanceDataset, example1_dataset
+from repro.core.functions import OneSidedRange
+from repro.core.lower_bound import OutcomeLowerBound
+
+
+@pytest.fixture
+def dataset():
+    return example1_dataset()
+
+
+@pytest.fixture
+def sampler():
+    return CoordinatedPPSSampler([1.0, 1.0, 1.0])
+
+
+class TestSampling:
+    def test_with_explicit_seeds_matches_example2(self, dataset, sampler):
+        seeds = {"a": 0.32, "b": 0.21, "c": 0.04, "d": 0.23,
+                 "e": 0.84, "f": 0.70, "g": 0.15, "h": 0.64}
+        sample = sampler.sample(dataset, seeds=seeds)
+        assert sample.instance_samples[0].entries == {
+            "a": 0.95, "c": 0.23, "d": 0.70,
+        }
+        assert sample.instance_samples[1].entries == {
+            "b": 0.44, "d": 0.80, "g": 0.20,
+        }
+        assert sample.instance_samples[2].entries == {}
+
+    def test_sampled_items_and_storage(self, dataset, sampler):
+        seeds = {k: 0.5 for k in dataset.items}
+        sample = sampler.sample(dataset, seeds=seeds)
+        assert set(sample.sampled_items()) == {"a", "d", "f"}
+        assert sample.storage_size() == 4  # a:v1, d:v1, d:v2, f:v2
+
+    def test_hashed_seeds_are_deterministic(self, dataset):
+        sampler = CoordinatedPPSSampler([1.0, 1.0, 1.0], salt="fixed")
+        first = sampler.sample(dataset)
+        second = sampler.sample(dataset)
+        assert first.instance_samples[0].entries == second.instance_samples[0].entries
+
+    def test_random_seeds_vary(self, dataset, sampler):
+        rng = np.random.default_rng(0)
+        sizes = {
+            sampler.sample(dataset, rng=rng).storage_size() for _ in range(10)
+        }
+        assert len(sizes) > 1
+
+    def test_coordination_same_item_same_seed(self, dataset, sampler):
+        """An item sampled in several instances reports one shared seed."""
+        rng = np.random.default_rng(1)
+        sample = sampler.sample(dataset, rng=rng)
+        for key in sample.sampled_items():
+            outcome = sample.outcome_for(key)
+            # Consistency: each reported value is at least the seed (tau*=1).
+            for value in outcome.values:
+                if value is not None:
+                    assert value >= outcome.seed
+
+    def test_dimension_mismatch_raises(self, sampler):
+        wrong = MultiInstanceDataset(["only"], {"x": (0.5,)})
+        with pytest.raises(ValueError):
+            sampler.sample(wrong)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            CoordinatedPPSSampler([])
+        with pytest.raises(ValueError):
+            CoordinatedPPSSampler([1.0, 0.0])
+
+
+class TestOutcomeReassembly:
+    def test_outcome_projection_to_two_instances(self, dataset, sampler):
+        seeds = {k: 0.5 for k in dataset.items}
+        sample = sampler.sample(dataset, seeds=seeds)
+        outcome = sample.outcome_for("d", instances=(0, 1))
+        assert outcome.values == (0.7, 0.8)
+        assert outcome.dimension == 2
+        assert outcome.seed == 0.5
+
+    def test_outcome_for_unsampled_item_raises(self, dataset, sampler):
+        seeds = {k: 0.99 for k in dataset.items}
+        sample = sampler.sample(dataset, seeds=seeds)
+        with pytest.raises(KeyError):
+            sample.outcome_for("c")
+
+    def test_outcome_feeds_lower_bound_machinery(self, dataset, sampler):
+        seeds = {k: 0.5 for k in dataset.items}
+        sample = sampler.sample(dataset, seeds=seeds)
+        outcome = sample.outcome_for("d", instances=(1, 0))
+        lb = OutcomeLowerBound(outcome, OneSidedRange(p=1.0))
+        assert lb(0.5) == pytest.approx(0.1)  # 0.8 - 0.7 with both known
+
+
+class TestExpectedSampleSize:
+    def test_for_expected_sample_size(self, dataset):
+        sampler = CoordinatedPPSSampler.for_expected_sample_size(dataset, 3.0)
+        rng = np.random.default_rng(7)
+        sizes = [
+            len(sampler.sample(dataset, rng=rng).instance_samples[0])
+            for _ in range(400)
+        ]
+        assert np.mean(sizes) == pytest.approx(3.0, abs=0.4)

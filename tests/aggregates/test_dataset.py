@@ -1,0 +1,87 @@
+"""Tests for the multi-instance dataset container."""
+
+import pytest
+
+from repro.aggregates.dataset import MultiInstanceDataset, example1_dataset
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        dataset = MultiInstanceDataset(["a", "b"], {"x": (0.5, 0.2)})
+        assert dataset.tuple_for("x") == (0.5, 0.2)
+        assert dataset.num_instances == 2
+
+    def test_from_instance_maps(self):
+        dataset = MultiInstanceDataset.from_instance_maps(
+            [{"x": 1.0, "y": 2.0}, {"y": 3.0}]
+        )
+        assert dataset.tuple_for("x") == (1.0, 0.0)
+        assert dataset.tuple_for("y") == (2.0, 3.0)
+        assert set(dataset.items) == {"x", "y"}
+
+    def test_all_zero_items_are_dropped(self):
+        dataset = MultiInstanceDataset(["a", "b"], {"x": (0.0, 0.0)})
+        assert "x" not in dataset
+        assert len(dataset) == 0
+
+    def test_rejects_wrong_arity(self):
+        dataset = MultiInstanceDataset(["a", "b"])
+        with pytest.raises(ValueError):
+            dataset.set_item("x", (1.0,))
+
+    def test_rejects_negative_weight(self):
+        dataset = MultiInstanceDataset(["a"])
+        with pytest.raises(ValueError):
+            dataset.set_item("x", (-1.0,))
+
+    def test_requires_instances(self):
+        with pytest.raises(ValueError):
+            MultiInstanceDataset([])
+
+
+class TestQueriesOnDataset:
+    def test_missing_item_is_zero_tuple(self):
+        dataset = MultiInstanceDataset(["a", "b"], {"x": (0.5, 0.2)})
+        assert dataset.tuple_for("missing") == (0.0, 0.0)
+
+    def test_iter_items_with_selection_includes_missing(self):
+        dataset = MultiInstanceDataset(["a", "b"], {"x": (0.5, 0.2)})
+        items = dict(dataset.iter_items(["x", "missing"]))
+        assert items["missing"] == (0.0, 0.0)
+
+    def test_instance_weights_sparse(self):
+        dataset = MultiInstanceDataset(["a", "b"], {"x": (0.5, 0.0), "y": (0.0, 0.2)})
+        assert dataset.instance_weights(0) == {"x": 0.5}
+        assert dataset.instance_weights(1) == {"y": 0.2}
+        with pytest.raises(IndexError):
+            dataset.instance_weights(5)
+
+    def test_total_weight(self):
+        dataset = MultiInstanceDataset(["a", "b"], {"x": (0.5, 0.1), "y": (0.25, 0.2)})
+        assert dataset.total_weight(0) == pytest.approx(0.75)
+        assert dataset.total_weight(1) == pytest.approx(0.3)
+
+    def test_restrict(self):
+        dataset = example1_dataset()
+        restricted = dataset.restrict(["a", "d", "nonexistent"])
+        assert set(restricted.items) == {"a", "d"}
+
+    def test_columns(self):
+        dataset = MultiInstanceDataset(["a", "b"], {"x": (0.5, 0.1)})
+        (column,) = dataset.columns()
+        assert column.key == "x"
+        assert column.weights == (0.5, 0.1)
+
+
+class TestExample1Dataset:
+    def test_shape(self):
+        dataset = example1_dataset()
+        assert dataset.num_instances == 3
+        assert len(dataset) == 8
+        assert dataset.instance_names == ("v1", "v2", "v3")
+
+    def test_values_match_paper_table(self):
+        dataset = example1_dataset()
+        assert dataset.tuple_for("a") == (0.95, 0.15, 0.25)
+        assert dataset.tuple_for("d") == (0.70, 0.80, 0.10)
+        assert dataset.tuple_for("h") == (0.32, 0.0, 0.0)

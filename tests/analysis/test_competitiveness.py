@@ -1,0 +1,116 @@
+"""Tests for the competitiveness analysis and the Theorem 4.1 family."""
+
+import pytest
+
+from repro.analysis.competitiveness import (
+    RatioReport,
+    TightFamilyTarget,
+    competitive_ratio,
+    minimal_expected_square,
+    ratio_sweep,
+    supremum_ratio,
+    tight_family_measured_ratio,
+    tight_family_problem,
+    tight_family_theoretical_moments,
+    tight_family_theoretical_ratio,
+)
+from repro.core.functions import OneSidedRange
+from repro.core.schemes import pps_scheme
+from repro.estimators.lstar import LStarEstimator, LStarOneSidedRangePPS
+from repro.estimators.ustar import UStarOneSidedRangePPS
+
+
+@pytest.fixture
+def scheme():
+    return pps_scheme([1.0, 1.0])
+
+
+class TestRatioMachinery:
+    def test_ratio_at_least_one(self, scheme):
+        target = OneSidedRange(p=1.0)
+        ratio = competitive_ratio(
+            LStarOneSidedRangePPS(p=1.0), scheme, target, (0.6, 0.2)
+        )
+        assert ratio >= 1.0 - 1e-6
+
+    def test_zero_value_vector_has_ratio_one(self, scheme):
+        target = OneSidedRange(p=1.0)
+        ratio = competitive_ratio(
+            LStarOneSidedRangePPS(p=1.0), scheme, target, (0.2, 0.6)
+        )
+        assert ratio == 1.0
+
+    def test_minimal_expected_square_closed_form(self, scheme):
+        assert minimal_expected_square(
+            scheme, OneSidedRange(p=1.0), (0.6, 0.0), grid=4096
+        ) == pytest.approx(0.6, rel=1e-2)
+
+    def test_sweep_and_supremum(self, scheme):
+        target = OneSidedRange(p=1.0)
+        reports = ratio_sweep(
+            LStarOneSidedRangePPS(p=1.0),
+            scheme,
+            target,
+            [(0.6, 0.2), (0.6, 0.0), (0.9, 0.45)],
+        )
+        assert len(reports) == 3
+        assert all(isinstance(r, RatioReport) for r in reports)
+        assert supremum_ratio(reports) == max(r.ratio for r in reports)
+        assert supremum_ratio([]) == 0.0
+
+    def test_ustar_ratio_large_on_similar_data(self, scheme):
+        """The mirror image of L*'s guarantee: U* has no small universal
+        ratio — on a very similar pair its ratio is large."""
+        target = OneSidedRange(p=1.0)
+        ustar_ratio = competitive_ratio(
+            UStarOneSidedRangePPS(p=1.0), scheme, target, (0.52, 0.5)
+        )
+        lstar_ratio = competitive_ratio(
+            LStarOneSidedRangePPS(p=1.0), scheme, target, (0.52, 0.5)
+        )
+        assert lstar_ratio <= 4.0 + 1e-6
+        assert ustar_ratio > 4.0
+
+
+class TestTightFamily:
+    def test_theoretical_ratio_formula(self):
+        assert tight_family_theoretical_ratio(0.25) == pytest.approx(8.0 / 3.0)
+        with pytest.raises(ValueError):
+            tight_family_theoretical_ratio(0.6)
+
+    def test_theoretical_moments(self):
+        vopt, lstar = tight_family_theoretical_moments(0.25)
+        assert vopt == pytest.approx(2.0)
+        assert lstar == pytest.approx(2.0 / (0.5 * 0.75))
+
+    @pytest.mark.parametrize("p", [0.1, 0.25, 0.4])
+    def test_measured_matches_theory(self, p):
+        assert tight_family_measured_ratio(p) == pytest.approx(
+            tight_family_theoretical_ratio(p), rel=1e-4
+        )
+
+    def test_ratio_approaches_four(self):
+        assert tight_family_theoretical_ratio(0.499) == pytest.approx(4.0, rel=1e-2)
+
+    def test_target_lower_bound_structure(self):
+        scheme, target = tight_family_problem(0.3)
+        # f is decreasing in v; the infimum over a bound uses the bound.
+        assert target((0.0,)) > target((0.5,)) > target((1.0,))
+        assert target.infimum_over_box({}, {0: 0.5}) == pytest.approx(
+            target((0.5,))
+        )
+        assert target.supremum_over_box({}, {0: 0.5}) == pytest.approx(
+            target((0.0,))
+        )
+
+    def test_generic_lstar_unbiased_on_family(self):
+        """Sanity: the generic L* estimator is unbiased for the family's
+        nonzero data points too (not just the worst case v = 0)."""
+        from repro.analysis.variance import expected_value
+
+        scheme, target = tight_family_problem(0.3)
+        estimator = LStarEstimator(target)
+        for v in (0.0, 0.3, 0.7):
+            assert expected_value(estimator, scheme, (v,)) == pytest.approx(
+                target((v,)), rel=1e-4, abs=1e-6
+            )

@@ -1,0 +1,68 @@
+"""Tests for the Monte-Carlo sum-aggregate simulation harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.simulation import relative_errors, simulate_sum_estimate
+from repro.analysis.variance import variance
+from repro.core.functions import OneSidedRange
+from repro.core.schemes import pps_scheme
+from repro.estimators.lstar import LStarOneSidedRangePPS
+
+
+@pytest.fixture
+def scheme():
+    return pps_scheme([1.0, 1.0])
+
+
+TUPLES = [(0.6, 0.2), (0.3, 0.1), (0.8, 0.75), (0.5, 0.0), (0.9, 0.4)]
+
+
+class TestSimulateSumEstimate:
+    def test_mean_close_to_truth(self, scheme):
+        target = OneSidedRange(p=1.0)
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        summary = simulate_sum_estimate(
+            estimator, scheme, target, TUPLES,
+            replications=4000, rng=np.random.default_rng(0),
+        )
+        assert summary.true_value == pytest.approx(
+            sum(target(t) for t in TUPLES)
+        )
+        assert summary.mean == pytest.approx(summary.true_value, rel=0.05)
+
+    def test_variance_matches_sum_of_per_item_variances(self, scheme):
+        """Independence across items: Var[sum] = sum of per-item variances."""
+        target = OneSidedRange(p=1.0)
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        summary = simulate_sum_estimate(
+            estimator, scheme, target, TUPLES,
+            replications=20000, rng=np.random.default_rng(1),
+        )
+        expected_variance = sum(
+            variance(estimator, scheme, target, t) for t in TUPLES
+        )
+        assert summary.variance == pytest.approx(expected_variance, rel=0.1)
+
+    def test_describe_and_relative_errors(self, scheme):
+        target = OneSidedRange(p=1.0)
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        summary = simulate_sum_estimate(
+            estimator, scheme, target, TUPLES,
+            replications=200, rng=np.random.default_rng(2),
+        )
+        described = summary.describe()
+        assert set(described) == {
+            "true", "mean", "bias", "variance", "rmse", "mean_relative_error",
+        }
+        table = relative_errors([summary])
+        assert table[estimator.name] == summary.mean_relative_error
+
+    def test_rmse_at_least_abs_bias(self, scheme):
+        target = OneSidedRange(p=1.0)
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        summary = simulate_sum_estimate(
+            estimator, scheme, target, TUPLES,
+            replications=500, rng=np.random.default_rng(3),
+        )
+        assert summary.rmse >= abs(summary.bias) - 1e-12

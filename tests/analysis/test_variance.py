@@ -1,0 +1,89 @@
+"""Tests for the exact / Monte-Carlo moment machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.variance import (
+    expected_square,
+    expected_value,
+    moments,
+    monte_carlo_moments,
+    variance,
+)
+from repro.core.functions import OneSidedRange
+from repro.core.schemes import pps_scheme
+from repro.estimators.lstar import LStarOneSidedRangePPS
+from repro.estimators.ustar import UStarOneSidedRangePPS
+
+
+@pytest.fixture
+def scheme():
+    return pps_scheme([1.0, 1.0])
+
+
+class TestExactMoments:
+    def test_expected_value_of_ustar_closed_form(self, scheme):
+        """For p = 1 and v = (v1, v2 > 0): E[U*] = v1 - v2 because the
+        estimate is the indicator of u in (v2, v1]."""
+        estimator = UStarOneSidedRangePPS(p=1.0)
+        assert expected_value(estimator, scheme, (0.6, 0.2)) == pytest.approx(0.4)
+
+    def test_expected_square_of_ustar_closed_form(self, scheme):
+        estimator = UStarOneSidedRangePPS(p=1.0)
+        assert expected_square(estimator, scheme, (0.6, 0.2)) == pytest.approx(0.4)
+
+    def test_variance_matches_eq16(self, scheme):
+        target = OneSidedRange(p=1.0)
+        estimator = UStarOneSidedRangePPS(p=1.0)
+        assert variance(estimator, scheme, target, (0.6, 0.2)) == pytest.approx(
+            0.4 - 0.16
+        )
+
+    def test_lstar_expected_square_closed_form_v2_zero(self, scheme):
+        """∫_0^{v1} ln(v1/u)^2 du = 2 v1 for the unbounded L* case."""
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        assert expected_square(estimator, scheme, (0.6, 0.0)) == pytest.approx(
+            1.2, rel=1e-5
+        )
+
+    def test_moment_report_fields(self, scheme):
+        target = OneSidedRange(p=1.0)
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        report = moments(estimator, scheme, target, (0.6, 0.2))
+        assert report.true_value == pytest.approx(0.4)
+        assert report.mean == pytest.approx(0.4, rel=1e-5)
+        assert report.bias == pytest.approx(0.0, abs=1e-5)
+        assert report.variance == pytest.approx(
+            report.second_moment - report.mean ** 2
+        )
+        assert report.variance_if_unbiased == pytest.approx(
+            report.second_moment - 0.16
+        )
+
+
+class TestMonteCarlo:
+    def test_monte_carlo_consistent_with_exact(self, scheme):
+        target = OneSidedRange(p=1.0)
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        rng = np.random.default_rng(42)
+        mc = monte_carlo_moments(
+            estimator, scheme, target, (0.6, 0.2), replications=8000, rng=rng
+        )
+        exact_mean = expected_value(estimator, scheme, (0.6, 0.2))
+        exact_square = expected_square(estimator, scheme, (0.6, 0.2))
+        assert mc.mean == pytest.approx(exact_mean, abs=0.02)
+        assert mc.second_moment == pytest.approx(exact_square, abs=0.03)
+
+    def test_monte_carlo_reproducible_with_seeded_generator(self, scheme):
+        target = OneSidedRange(p=1.0)
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        a = monte_carlo_moments(
+            estimator, scheme, target, (0.6, 0.2), replications=100,
+            rng=np.random.default_rng(3),
+        )
+        b = monte_carlo_moments(
+            estimator, scheme, target, (0.6, 0.2), replications=100,
+            rng=np.random.default_rng(3),
+        )
+        assert a.mean == b.mean
+        assert a.second_moment == b.second_moment

@@ -1,0 +1,114 @@
+"""Tests for data domains (boxes and finite grids)."""
+
+import math
+
+import pytest
+
+from repro.core.domain import BoxDomain, GridDomain, unit_box
+
+
+class TestBoxDomain:
+    def test_contains_inside_point(self):
+        box = BoxDomain([1.0, 2.0])
+        assert box.contains((0.5, 1.5))
+
+    def test_contains_boundary(self):
+        box = BoxDomain([1.0, 2.0])
+        assert box.contains((1.0, 2.0))
+        assert box.contains((0.0, 0.0))
+
+    def test_rejects_outside(self):
+        box = BoxDomain([1.0, 2.0])
+        assert not box.contains((1.5, 1.0))
+        assert not box.contains((-0.1, 1.0))
+
+    def test_rejects_wrong_dimension(self):
+        box = BoxDomain([1.0, 2.0])
+        assert not box.contains((0.5,))
+
+    def test_validate_returns_tuple(self):
+        box = BoxDomain([1.0, 1.0])
+        assert box.validate([0.2, 0.3]) == (0.2, 0.3)
+
+    def test_validate_raises_outside(self):
+        box = BoxDomain([1.0, 1.0])
+        with pytest.raises(ValueError):
+            box.validate((2.0, 0.0))
+
+    def test_validate_raises_wrong_dimension(self):
+        box = BoxDomain([1.0, 1.0])
+        with pytest.raises(ValueError):
+            box.validate((0.5, 0.5, 0.5))
+
+    def test_clip(self):
+        box = BoxDomain([1.0, 1.0])
+        assert box.clip((2.0, -1.0)) == (1.0, 0.0)
+
+    def test_rejects_nonpositive_upper(self):
+        with pytest.raises(ValueError):
+            BoxDomain([1.0, 0.0])
+
+    def test_infinite_upper_allowed(self):
+        box = BoxDomain([math.inf, 1.0])
+        assert box.contains((1e12, 0.5))
+
+    def test_not_finite(self):
+        assert not BoxDomain([1.0]).is_finite
+
+    def test_dimension(self):
+        assert BoxDomain([1.0, 2.0, 3.0]).dimension == 3
+
+
+class TestGridDomain:
+    def test_enumeration(self):
+        grid = GridDomain.uniform([0, 1, 2], dimension=2)
+        vectors = list(grid)
+        assert len(vectors) == 9
+        assert (0.0, 0.0) in vectors
+        assert (2.0, 1.0) in vectors
+
+    def test_len(self):
+        grid = GridDomain([[0, 1], [0, 1, 2]])
+        assert len(grid) == 6
+
+    def test_contains(self):
+        grid = GridDomain.uniform([0, 1, 2, 3], dimension=2)
+        assert grid.contains((3.0, 0.0))
+        assert not grid.contains((0.5, 1.0))
+
+    def test_is_finite(self):
+        assert GridDomain.uniform([0, 1], dimension=1).is_finite
+
+    def test_max_values(self):
+        grid = GridDomain([[0, 1], [0, 5]])
+        assert grid.max_values() == (1.0, 5.0)
+
+    def test_deduplicates_and_sorts_levels(self):
+        grid = GridDomain([[2, 0, 2, 1]])
+        assert grid.levels == ((0.0, 1.0, 2.0),)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GridDomain([])
+        with pytest.raises(ValueError):
+            GridDomain([[]])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            GridDomain([[-1, 0]])
+
+    def test_validate(self):
+        grid = GridDomain.uniform([0, 1], dimension=2)
+        assert grid.validate((1, 0)) == (1.0, 0.0)
+
+
+class TestUnitBox:
+    def test_dimension_and_bounds(self):
+        box = unit_box(3)
+        assert box.dimension == 3
+        assert box.contains((1.0, 0.0, 0.5))
+        assert not box.contains((1.1, 0.0, 0.5))
+
+    def test_rejects_nonpositive_dimension(self):
+        with pytest.raises(ValueError):
+            unit_box(0)

@@ -1,0 +1,80 @@
+"""Tests for the existence characterisations (eqs. 9, 10, 11)."""
+
+import pytest
+
+from repro.core.existence import check_domain, check_vector
+from repro.core.functions import OneSidedRange
+from repro.core.schemes import pps_scheme
+from repro.analysis.competitiveness import TightFamilyTarget, tight_family_problem
+
+
+@pytest.fixture
+def scheme():
+    return pps_scheme([1.0, 1.0])
+
+
+class TestCheckVector:
+    def test_rg_plus_has_unbiased_nonnegative_estimator(self, scheme):
+        report = check_vector(scheme, OneSidedRange(p=1.0), (0.6, 0.2))
+        assert report.unbiased_nonnegative_exists
+        assert report.finite_variance_exists
+        assert report.true_value == pytest.approx(0.4)
+
+    def test_bounded_exists_when_v2_positive(self, scheme):
+        """With v2 > 0 the value is revealed with positive probability, so a
+        bounded estimator exists (the slope condition (11) is finite)."""
+        report = check_vector(scheme, OneSidedRange(p=1.0), (0.6, 0.2))
+        assert report.bounded_exists
+
+    def test_bounded_exists_when_v2_zero(self, scheme):
+        """For v = (v1, 0) the gap f(v) - f_v(u) grows linearly in u (the
+        lower-bound curve is differentiable at 0), so condition (11) holds
+        and a *bounded* estimator exists — even though the L* estimator
+        itself is unbounded there (Example 4's remark)."""
+        for p in (0.5, 1.0, 2.0):
+            report = check_vector(scheme, OneSidedRange(p=p), (0.6, 0.0))
+            assert report.bounded_exists
+
+    def test_bounded_fails_for_tight_family(self):
+        """For the Theorem 4.1 family at v = 0 the gap behaves like
+        u^{1-p}, so (f(v) - f_v(u)) / u diverges and no bounded estimator
+        exists (finite variance still does for p < 1/2)."""
+        scheme, target = tight_family_problem(0.3)
+        report = check_vector(scheme, target, (0.0,))
+        assert report.finite_variance_exists
+        assert not report.bounded_exists
+
+    def test_zero_vector_trivially_fine(self, scheme):
+        report = check_vector(scheme, OneSidedRange(p=1.0), (0.0, 0.0))
+        assert report.unbiased_nonnegative_exists
+        assert report.minimal_expected_square == pytest.approx(0.0, abs=1e-9)
+
+    def test_summary_string(self, scheme):
+        report = check_vector(scheme, OneSidedRange(p=1.0), (0.6, 0.2))
+        text = report.summary()
+        assert "unbiased" in text and "0.4" in text
+
+
+class TestTightFamilyExistence:
+    def test_finite_variance_for_small_p(self):
+        scheme, target = tight_family_problem(0.3)
+        report = check_vector(scheme, target, (0.0,))
+        assert report.unbiased_nonnegative_exists
+        assert report.finite_variance_exists
+        # Closed form of the minimum expected square is 1 / (1 - 2p).
+        assert report.minimal_expected_square == pytest.approx(
+            1.0 / (1.0 - 0.6), rel=2e-2
+        )
+
+    def test_rejects_p_out_of_range(self):
+        with pytest.raises(ValueError):
+            TightFamilyTarget(0.7)
+
+
+class TestCheckDomain:
+    def test_runs_over_iterable(self, scheme):
+        reports = check_domain(
+            scheme, OneSidedRange(p=1.0), [(0.2, 0.1), (0.5, 0.0), (0.9, 0.9)]
+        )
+        assert len(reports) == 3
+        assert all(r.unbiased_nonnegative_exists for r in reports)

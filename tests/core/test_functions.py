@@ -1,0 +1,260 @@
+"""Tests for the estimation targets and their box infimum/supremum logic.
+
+The estimators only ever touch a target through ``infimum_over_box`` and
+``supremum_over_box``, so the correctness of every estimator rests on
+these; each closed form is therefore cross-checked against brute-force
+grid search over consistency boxes, including via hypothesis.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.functions import (
+    AbsoluteCombination,
+    DistinctOr,
+    ExponentiatedRange,
+    GenericTarget,
+    MaxPower,
+    MinPower,
+    OneSidedRange,
+    WeightedSum,
+)
+
+
+def brute_force_box_extrema(target, known, upper, dimension, grid=41):
+    """Grid-search reference for infimum/supremum over a consistency box."""
+    axes = []
+    for i in range(dimension):
+        if i in known:
+            axes.append([known[i]])
+        else:
+            bound = upper[i]
+            # Stay strictly below the open upper bound.
+            axes.append(list(np.linspace(0.0, max(bound - 1e-9, 0.0), grid)))
+    values = [target(point) for point in itertools.product(*axes)]
+    return min(values), max(values)
+
+
+def split_box(vector, sampled_mask, bound):
+    known = {i: v for i, (v, s) in enumerate(zip(vector, sampled_mask)) if s}
+    upper = {i: bound for i, s in enumerate(sampled_mask) if not s}
+    return known, upper
+
+
+class TestExponentiatedRange:
+    def test_value(self):
+        target = ExponentiatedRange(p=2.0)
+        assert target((0.7, 0.3)) == pytest.approx(0.16)
+        assert target((0.3, 0.3)) == 0.0
+
+    def test_multi_instance_value(self):
+        target = ExponentiatedRange(p=1.0)
+        assert target((0.2, 0.9, 0.5)) == pytest.approx(0.7)
+
+    def test_rejects_nonpositive_p(self):
+        with pytest.raises(ValueError):
+            ExponentiatedRange(p=0.0)
+
+    def test_inf_no_known_entries_is_zero(self):
+        target = ExponentiatedRange(p=1.0)
+        assert target.infimum_over_box({}, {0: 0.3, 1: 0.3}) == 0.0
+
+    def test_inf_with_low_bound_forces_gap(self):
+        target = ExponentiatedRange(p=1.0)
+        # Known entry 0.8; the unknown entry is below 0.3, so the range is
+        # at least 0.5.
+        assert target.infimum_over_box({0: 0.8}, {1: 0.3}) == pytest.approx(0.5)
+
+    def test_inf_with_high_bound_can_hide(self):
+        target = ExponentiatedRange(p=1.0)
+        assert target.infimum_over_box({0: 0.4}, {1: 0.6}) == 0.0
+
+    @given(
+        v1=st.floats(min_value=0.0, max_value=1.0),
+        v2=st.floats(min_value=0.0, max_value=1.0),
+        v3=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.floats(min_value=0.01, max_value=1.0),
+        p=st.sampled_from([0.5, 1.0, 2.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_extrema_match_brute_force(self, v1, v2, v3, seed, p):
+        target = ExponentiatedRange(p=p)
+        vector = (v1, v2, v3)
+        sampled = [v >= seed for v in vector]
+        known, upper = split_box(vector, sampled, seed)
+        inf_closed = target.infimum_over_box(known, upper)
+        sup_closed = target.supremum_over_box(known, upper)
+        inf_ref, sup_ref = brute_force_box_extrema(target, known, upper, 3)
+        assert inf_closed == pytest.approx(inf_ref, abs=5e-2)
+        assert sup_closed == pytest.approx(sup_ref, abs=5e-2)
+        # The closed forms must bracket the brute-force values exactly.
+        assert inf_closed <= inf_ref + 1e-9
+        assert sup_closed >= sup_ref - 1e-9
+
+
+class TestOneSidedRange:
+    def test_value(self):
+        target = OneSidedRange(p=2.0)
+        assert target((0.6, 0.2)) == pytest.approx(0.16)
+        assert target((0.2, 0.6)) == 0.0
+
+    def test_rejects_wrong_dimension(self):
+        with pytest.raises(ValueError):
+            OneSidedRange(p=1.0)((0.1, 0.2, 0.3))
+
+    def test_inf_matches_paper_closed_form(self):
+        """The paper's Example 3: RG_p+(v)(u) = max(0, v1 - max(v2, u))^p."""
+        target = OneSidedRange(p=2.0)
+        v1, v2 = 0.6, 0.2
+        for u in (0.05, 0.1, 0.3, 0.5, 0.7):
+            sampled1 = v1 >= u
+            sampled2 = v2 >= u
+            known, upper = split_box((v1, v2), (sampled1, sampled2), u)
+            expected = max(0.0, v1 - max(v2, u)) ** 2 if sampled1 else 0.0
+            assert target.infimum_over_box(known, upper) == pytest.approx(expected)
+
+    def test_sup_both_known(self):
+        target = OneSidedRange(p=1.0)
+        assert target.supremum_over_box({0: 0.6, 1: 0.2}, {}) == pytest.approx(0.4)
+
+    def test_sup_v2_unknown_uses_zero(self):
+        target = OneSidedRange(p=1.0)
+        assert target.supremum_over_box({0: 0.6}, {1: 0.3}) == pytest.approx(0.6)
+
+    def test_sup_v1_unknown_uses_bound(self):
+        target = OneSidedRange(p=1.0)
+        assert target.supremum_over_box({1: 0.2}, {0: 0.5}) == pytest.approx(0.3)
+
+    @given(
+        v1=st.floats(min_value=0.0, max_value=1.0),
+        v2=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.floats(min_value=0.01, max_value=1.0),
+        p=st.sampled_from([0.5, 1.0, 2.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_extrema_match_brute_force(self, v1, v2, seed, p):
+        target = OneSidedRange(p=p)
+        vector = (v1, v2)
+        sampled = [v >= seed for v in vector]
+        known, upper = split_box(vector, sampled, seed)
+        inf_ref, sup_ref = brute_force_box_extrema(target, known, upper, 2)
+        assert target.infimum_over_box(known, upper) <= inf_ref + 1e-9
+        assert target.infimum_over_box(known, upper) == pytest.approx(inf_ref, abs=5e-2)
+        assert target.supremum_over_box(known, upper) >= sup_ref - 1e-9
+        assert target.supremum_over_box(known, upper) == pytest.approx(sup_ref, abs=5e-2)
+
+
+class TestAbsoluteCombination:
+    def test_value_matches_example1_g(self):
+        g = AbsoluteCombination([1.0, -2.0, 1.0], p=2.0)
+        assert g((0.0, 0.44, 0.0)) == pytest.approx(0.88 ** 2)
+        assert g((0.70, 0.80, 0.10)) == pytest.approx(0.64)
+
+    def test_inf_zero_when_zero_achievable(self):
+        g = AbsoluteCombination([1.0, -1.0], p=1.0)
+        assert g.infimum_over_box({0: 0.5}, {1: 0.8}) == 0.0
+
+    def test_inf_positive_when_interval_excludes_zero(self):
+        g = AbsoluteCombination([1.0, -1.0], p=1.0)
+        # Entry 0 known at 0.9, entry 1 below 0.4: the sum is at least 0.5.
+        assert g.infimum_over_box({0: 0.9}, {1: 0.4}) == pytest.approx(0.5)
+
+    def test_sup_uses_extreme_corner(self):
+        g = AbsoluteCombination([1.0, -1.0], p=1.0)
+        assert g.supremum_over_box({0: 0.9}, {1: 0.4}) == pytest.approx(0.9)
+
+    def test_dimension_derived_from_coefficients(self):
+        g = AbsoluteCombination([1.0, -2.0, 1.0], p=2.0)
+        assert g.dimension == 3
+
+    @given(
+        values=st.tuples(
+            st.floats(min_value=0.0, max_value=1.0),
+            st.floats(min_value=0.0, max_value=1.0),
+            st.floats(min_value=0.0, max_value=1.0),
+        ),
+        seed=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_extrema_match_brute_force(self, values, seed):
+        g = AbsoluteCombination([1.0, -2.0, 1.0], p=2.0)
+        sampled = [v >= seed for v in values]
+        known, upper = split_box(values, sampled, seed)
+        inf_ref, sup_ref = brute_force_box_extrema(g, known, upper, 3)
+        assert g.infimum_over_box(known, upper) <= inf_ref + 1e-9
+        assert g.supremum_over_box(known, upper) >= sup_ref - 1e-9
+        assert g.infimum_over_box(known, upper) == pytest.approx(inf_ref, abs=5e-2)
+        assert g.supremum_over_box(known, upper) == pytest.approx(sup_ref, abs=5e-2)
+
+
+class TestDistinctOr:
+    def test_value(self):
+        assert DistinctOr()((0.0, 0.0)) == 0.0
+        assert DistinctOr()((0.0, 0.3)) == 1.0
+
+    def test_inf_requires_known_positive(self):
+        assert DistinctOr().infimum_over_box({}, {0: 0.5, 1: 0.5}) == 0.0
+        assert DistinctOr().infimum_over_box({0: 0.5}, {1: 0.5}) == 1.0
+
+    def test_sup_positive_with_any_slack(self):
+        assert DistinctOr().supremum_over_box({}, {0: 0.5}) == 1.0
+
+
+class TestMaxMinPower:
+    def test_max_value_and_bounds(self):
+        target = MaxPower(p=2.0)
+        assert target((0.5, 0.7)) == pytest.approx(0.49)
+        assert target.infimum_over_box({0: 0.5}, {1: 0.7}) == pytest.approx(0.25)
+        assert target.supremum_over_box({0: 0.5}, {1: 0.7}) == pytest.approx(0.49)
+
+    def test_min_value_and_bounds(self):
+        target = MinPower(p=1.0)
+        assert target((0.5, 0.7)) == pytest.approx(0.5)
+        assert target.infimum_over_box({0: 0.5}, {1: 0.7}) == 0.0
+        assert target.infimum_over_box({0: 0.5, 1: 0.7}, {}) == pytest.approx(0.5)
+
+
+class TestWeightedSum:
+    def test_value(self):
+        target = WeightedSum([2.0, 1.0])
+        assert target((0.5, 0.3)) == pytest.approx(1.3)
+
+    def test_bounds(self):
+        target = WeightedSum([2.0, 1.0])
+        assert target.infimum_over_box({0: 0.5}, {1: 0.3}) == pytest.approx(1.0)
+        assert target.supremum_over_box({0: 0.5}, {1: 0.3}) == pytest.approx(1.3)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            WeightedSum([1.0, -1.0])
+
+
+class TestGenericTarget:
+    def test_wraps_arbitrary_function(self):
+        target = GenericTarget(lambda v: abs(v[0] - v[1]), dimension=2)
+        assert target((0.7, 0.2)) == pytest.approx(0.5)
+
+    def test_grid_search_matches_closed_form_target(self):
+        closed = OneSidedRange(p=1.0)
+        generic = GenericTarget(lambda v: max(0.0, v[0] - v[1]), dimension=2,
+                                grid_points=64)
+        known, upper = {0: 0.6}, {1: 0.25}
+        assert generic.infimum_over_box(known, upper) == pytest.approx(
+            closed.infimum_over_box(known, upper), abs=2e-2
+        )
+        assert generic.supremum_over_box(known, upper) == pytest.approx(
+            closed.supremum_over_box(known, upper), abs=2e-2
+        )
+
+    def test_no_unknown_entries(self):
+        target = GenericTarget(lambda v: v[0] + v[1], dimension=2)
+        assert target.infimum_over_box({0: 0.2, 1: 0.3}, {}) == pytest.approx(0.5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            GenericTarget(lambda v: 0.0, dimension=0)
+        with pytest.raises(ValueError):
+            GenericTarget(lambda v: 0.0, dimension=1, grid_points=1)

@@ -1,0 +1,86 @@
+"""Tests for the quadrature helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.integration import (
+    expectation_on_grid,
+    integral_of_lb_over_u2,
+    piecewise_quad,
+    refine_points,
+)
+
+
+class TestRefinePoints:
+    def test_includes_endpoints_and_interior_breakpoints(self):
+        assert refine_points(0.1, 1.0, [0.5, 0.05, 2.0]) == [0.1, 0.5, 1.0]
+
+    def test_deduplicates(self):
+        assert refine_points(0.0, 1.0, [0.5, 0.5]) == [0.0, 0.5, 1.0]
+
+
+class TestPiecewiseQuad:
+    def test_polynomial(self):
+        assert piecewise_quad(lambda x: 3 * x ** 2, 0.0, 1.0) == pytest.approx(1.0)
+
+    def test_step_function_with_breakpoint(self):
+        def step(x):
+            return 1.0 if x < 0.3 else 2.0
+
+        value = piecewise_quad(step, 0.0, 1.0, breakpoints=[0.3])
+        assert value == pytest.approx(0.3 * 1.0 + 0.7 * 2.0)
+
+    def test_empty_interval(self):
+        assert piecewise_quad(lambda x: 1.0, 0.5, 0.5) == 0.0
+        assert piecewise_quad(lambda x: 1.0, 0.7, 0.5) == 0.0
+
+    def test_integrable_singularity(self):
+        # 1/sqrt(x) integrates to 2 over (0, 1].
+        value = piecewise_quad(lambda x: x ** -0.5, 1e-12, 1.0)
+        assert value == pytest.approx(2.0, rel=1e-4)
+
+    def test_log_squared(self):
+        # ∫_0^1 ln(1/x)^2 dx = 2.
+        value = piecewise_quad(lambda x: math.log(1.0 / x) ** 2, 1e-12, 1.0)
+        assert value == pytest.approx(2.0, rel=1e-4)
+
+
+class TestIntegralOfLbOverU2:
+    def test_constant_lower_bound(self):
+        # ∫_a^1 c/u^2 du = c (1/a - 1).
+        value = integral_of_lb_over_u2(lambda u: 0.4, 0.2, 1.0)
+        assert value == pytest.approx(0.4 * (1 / 0.2 - 1))
+
+    def test_matches_paper_example_for_rg1_plus(self):
+        # For v = (0.6, 0.2), rho = 0.1: the integral in eq. (31) equals
+        # (v1-v2)(1/rho - 1/v2) + ∫_{v2}^{v1} (v1-u)/u^2 du.
+        def lb(u):
+            if u > 0.6:
+                return 0.0
+            return max(0.0, 0.6 - max(0.2, u))
+
+        direct = integral_of_lb_over_u2(lb, 0.1, 1.0, breakpoints=[0.2, 0.6])
+        expected = 0.4 * (1 / 0.1 - 1 / 0.2) + (
+            0.6 * (1 / 0.2 - 1 / 0.6) - math.log(0.6 / 0.2)
+        )
+        assert direct == pytest.approx(expected, rel=1e-9)
+
+    def test_rejects_zero_lower_limit(self):
+        with pytest.raises(ValueError):
+            integral_of_lb_over_u2(lambda u: 1.0, 0.0, 1.0)
+
+
+class TestExpectationOnGrid:
+    def test_trapezoid(self):
+        grid = np.linspace(0.0, 1.0, 101)
+        values = grid ** 2
+        assert expectation_on_grid(values, grid) == pytest.approx(1 / 3, abs=1e-3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            expectation_on_grid(np.zeros(3), np.zeros(4))
+
+    def test_short_grid(self):
+        assert expectation_on_grid(np.array([1.0]), np.array([0.5])) == 0.0

@@ -1,0 +1,102 @@
+"""Tests for lower-bound functions (outcome view and oracle view)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.functions import ExponentiatedRange, OneSidedRange
+from repro.core.lower_bound import OutcomeLowerBound, VectorLowerBound
+from repro.core.schemes import pps_scheme
+
+
+@pytest.fixture
+def scheme():
+    return pps_scheme([1.0, 1.0])
+
+
+class TestVectorLowerBound:
+    def test_matches_paper_closed_form(self, scheme):
+        """Example 3: RG_p+(v)(u) = max(0, v1 - max(v2, u))^p under tau*=1."""
+        for p in (0.5, 1.0, 2.0):
+            curve = VectorLowerBound(scheme, OneSidedRange(p=p), (0.6, 0.2))
+            for u in (0.01, 0.1, 0.2, 0.3, 0.59, 0.61, 0.9):
+                expected = max(0.0, 0.6 - max(0.2, u)) ** p if u <= 0.6 else 0.0
+                assert curve(u) == pytest.approx(expected)
+
+    def test_true_value(self, scheme):
+        curve = VectorLowerBound(scheme, OneSidedRange(p=1.0), (0.6, 0.2))
+        assert curve.true_value() == pytest.approx(0.4)
+
+    def test_breakpoints(self, scheme):
+        curve = VectorLowerBound(scheme, OneSidedRange(p=1.0), (0.6, 0.2))
+        assert curve.breakpoints() == (0.2, 0.6)
+
+    def test_limit_at_zero_equals_true_value_for_rg(self, scheme):
+        """Condition (9) holds for the exponentiated range under PPS."""
+        for vector in [(0.6, 0.2), (0.6, 0.0), (0.3, 0.3), (0.9, 0.45)]:
+            curve = VectorLowerBound(scheme, ExponentiatedRange(p=1.0), vector)
+            assert curve.limit_at_zero() == pytest.approx(
+                curve.true_value(), abs=1e-6
+            )
+
+    def test_rejects_bad_seed(self, scheme):
+        curve = VectorLowerBound(scheme, OneSidedRange(p=1.0), (0.6, 0.2))
+        with pytest.raises(ValueError):
+            curve(0.0)
+        with pytest.raises(ValueError):
+            curve(1.5)
+
+    @given(
+        v1=st.floats(min_value=0.0, max_value=1.0),
+        v2=st.floats(min_value=0.0, max_value=1.0),
+        a=st.floats(min_value=0.01, max_value=1.0),
+        b=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_non_increasing(self, v1, v2, a, b):
+        """Larger seeds carry less information, so the bound cannot grow."""
+        scheme = pps_scheme([1.0, 1.0])
+        curve = VectorLowerBound(scheme, OneSidedRange(p=1.0), (v1, v2))
+        low, high = min(a, b), max(a, b)
+        assert curve(low) >= curve(high) - 1e-12
+
+    @given(
+        v1=st.floats(min_value=0.0, max_value=1.0),
+        v2=st.floats(min_value=0.0, max_value=1.0),
+        u=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_never_exceeds_true_value(self, v1, v2, u):
+        scheme = pps_scheme([1.0, 1.0])
+        target = OneSidedRange(p=1.0)
+        curve = VectorLowerBound(scheme, target, (v1, v2))
+        assert curve(u) <= target((v1, v2)) + 1e-12
+
+
+class TestOutcomeLowerBound:
+    def test_agrees_with_oracle_above_seed(self, scheme):
+        """The outcome view must reproduce the oracle for u >= rho."""
+        target = OneSidedRange(p=2.0)
+        vector = (0.6, 0.2)
+        oracle = VectorLowerBound(scheme, target, vector)
+        for rho in (0.05, 0.15, 0.35, 0.7):
+            outcome = scheme.sample(vector, rho)
+            observed = OutcomeLowerBound(outcome, target)
+            for u in (rho, rho + 0.05, 0.5, 0.75, 1.0):
+                if u > 1.0 or u < rho:
+                    continue
+                assert observed(u) == pytest.approx(oracle(u))
+
+    def test_lower_limit_is_seed(self, scheme):
+        outcome = scheme.sample((0.6, 0.2), 0.35)
+        observed = OutcomeLowerBound(outcome, OneSidedRange(p=1.0))
+        assert observed.lower_limit == 0.35
+
+    def test_limit_at_zero_falls_back_to_seed_value(self, scheme):
+        outcome = scheme.sample((0.6, 0.2), 0.35)
+        observed = OutcomeLowerBound(outcome, OneSidedRange(p=1.0))
+        assert observed.limit_at_zero() == pytest.approx(observed(0.35))
+
+    def test_breakpoints_only_above_seed(self, scheme):
+        outcome = scheme.sample((0.6, 0.2), 0.35)
+        observed = OutcomeLowerBound(outcome, OneSidedRange(p=1.0))
+        assert observed.breakpoints() == (0.6,)

@@ -1,0 +1,83 @@
+"""Tests for the Outcome abstraction (hypothetical larger seeds etc.)."""
+
+import pytest
+
+from repro.core.schemes import pps_scheme
+
+
+@pytest.fixture
+def scheme():
+    return pps_scheme([1.0, 1.0])
+
+
+class TestOutcomeBasics:
+    def test_dimension_and_sampled_indices(self, scheme):
+        outcome = scheme.sample((0.6, 0.2), 0.35)
+        assert outcome.dimension == 2
+        assert outcome.sampled_indices == (0,)
+
+    def test_is_empty(self, scheme):
+        assert scheme.sample((0.1, 0.1), 0.9).is_empty
+        assert not scheme.sample((0.9, 0.1), 0.5).is_empty
+
+    def test_rejects_bad_seed(self, scheme):
+        from repro.core.outcome import Outcome
+
+        with pytest.raises(ValueError):
+            Outcome(seed=0.0, values=(None,), scheme=scheme)
+
+
+class TestHypotheticalSeeds:
+    def test_known_at_observed_seed(self, scheme):
+        outcome = scheme.sample((0.6, 0.2), 0.1)
+        assert outcome.known_at(0.1) == {0: 0.6, 1: 0.2}
+
+    def test_entry_drops_out_at_larger_seed(self, scheme):
+        outcome = scheme.sample((0.6, 0.2), 0.1)
+        assert outcome.known_at(0.3) == {0: 0.6}
+        assert outcome.known_at(0.7) == {}
+
+    def test_upper_bounds_track_thresholds(self, scheme):
+        outcome = scheme.sample((0.6, 0.2), 0.1)
+        assert outcome.upper_bounds_at(0.3) == {1: 0.3}
+        assert outcome.upper_bounds_at(0.7) == {0: 0.7, 1: 0.7}
+
+    def test_matches_actual_resampling(self, scheme):
+        """The hypothetical outcome equals the outcome actually sampled at u."""
+        vector = (0.6, 0.2)
+        outcome = scheme.sample(vector, 0.05)
+        for u in (0.05, 0.1, 0.19, 0.21, 0.5, 0.61, 0.99):
+            resampled = scheme.sample(vector, u)
+            expected_known = {
+                i: v for i, v in enumerate(resampled.values) if v is not None
+            }
+            assert outcome.known_at(u) == expected_known
+
+    def test_rejects_more_informative_seed(self, scheme):
+        outcome = scheme.sample((0.6, 0.2), 0.35)
+        with pytest.raises(ValueError):
+            outcome.known_at(0.1)
+
+    def test_rejects_seed_above_one(self, scheme):
+        outcome = scheme.sample((0.6, 0.2), 0.35)
+        with pytest.raises(ValueError):
+            outcome.known_at(1.2)
+
+
+class TestConsistency:
+    def test_consistent_vectors(self, scheme):
+        outcome = scheme.sample((0.6, 0.2), 0.35)
+        assert outcome.consistent_with((0.6, 0.2))
+        assert outcome.consistent_with((0.6, 0.0))
+        assert outcome.consistent_with((0.6, 0.34))
+        assert not outcome.consistent_with((0.6, 0.4))   # would have been sampled
+        assert not outcome.consistent_with((0.5, 0.2))   # disagrees with sampled value
+        assert not outcome.consistent_with((0.6,))
+
+    def test_breakpoints_are_dropout_seeds(self, scheme):
+        outcome = scheme.sample((0.6, 0.2), 0.1)
+        assert outcome.information_breakpoints() == (0.2, 0.6)
+
+    def test_breakpoints_above_seed_only(self, scheme):
+        outcome = scheme.sample((0.6, 0.2), 0.35)
+        assert outcome.information_breakpoints() == (0.6,)

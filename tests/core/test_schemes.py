@@ -1,0 +1,155 @@
+"""Tests for threshold functions and coordinated sampling schemes."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schemes import (
+    CoordinatedScheme,
+    LinearThreshold,
+    StepThreshold,
+    pps_scheme,
+)
+
+
+class TestLinearThreshold:
+    def test_value(self):
+        tau = LinearThreshold(2.0)
+        assert tau(0.5) == 1.0
+
+    def test_inclusion_probability(self):
+        tau = LinearThreshold(2.0)
+        assert tau.inclusion_probability(1.0) == 0.5
+        assert tau.inclusion_probability(4.0) == 1.0
+        assert tau.inclusion_probability(0.0) == 0.0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            LinearThreshold(0.0)
+
+    @given(
+        weight=st.floats(min_value=0.001, max_value=10.0),
+        rate=st.floats(min_value=0.01, max_value=10.0),
+        seed=st.floats(min_value=0.001, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_inclusion_matches_threshold_event(self, weight, rate, seed):
+        """Sampled (w >= tau(u)) iff the seed is below the inclusion probability."""
+        tau = LinearThreshold(rate)
+        sampled = weight >= tau(seed)
+        below_probability = seed <= tau.inclusion_probability(weight)
+        assert sampled == below_probability
+
+
+class TestStepThreshold:
+    def make(self):
+        return StepThreshold([(0.0, 0.0), (1.0, 0.25), (2.0, 0.5), (3.0, 0.75)])
+
+    def test_threshold_values(self):
+        tau = self.make()
+        assert tau(0.1) == 1.0     # seeds up to 0.25 admit value 1
+        assert tau(0.3) == 2.0
+        assert tau(0.6) == 3.0
+        assert tau(0.9) > 3.0      # nothing sampled at large seeds
+
+    def test_inclusion_probability(self):
+        tau = self.make()
+        assert tau.inclusion_probability(1.0) == 0.25
+        assert tau.inclusion_probability(2.5) == 0.5
+        assert tau.inclusion_probability(3.0) == 0.75
+        assert tau.inclusion_probability(0.0) == 0.0
+
+    def test_rejects_decreasing_probabilities(self):
+        with pytest.raises(ValueError):
+            StepThreshold([(1.0, 0.5), (2.0, 0.25)])
+
+    def test_rejects_probability_out_of_range(self):
+        with pytest.raises(ValueError):
+            StepThreshold([(1.0, 1.5)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StepThreshold([])
+
+    def test_consistency_of_sampling_event(self):
+        tau = self.make()
+        for value in (1.0, 2.0, 3.0):
+            prob = tau.inclusion_probability(value)
+            assert value >= tau(prob * 0.999)
+            assert value < tau(min(1.0, prob * 1.001))
+
+
+class TestCoordinatedScheme:
+    def test_sample_reports_entries_above_threshold(self):
+        scheme = pps_scheme([1.0, 1.0])
+        outcome = scheme.sample((0.6, 0.2), 0.35)
+        assert outcome.values == (0.6, None)
+        assert outcome.seed == 0.35
+
+    def test_sample_both_entries(self):
+        scheme = pps_scheme([1.0, 1.0])
+        outcome = scheme.sample((0.6, 0.2), 0.1)
+        assert outcome.values == (0.6, 0.2)
+
+    def test_sample_none(self):
+        scheme = pps_scheme([1.0, 1.0])
+        outcome = scheme.sample((0.6, 0.2), 0.9)
+        assert outcome.values == (None, None)
+        assert outcome.is_empty
+
+    def test_respects_per_entry_rates(self):
+        scheme = pps_scheme([1.0, 10.0])
+        outcome = scheme.sample((0.6, 0.6), 0.3)
+        # Entry 1 threshold is 0.3, entry 2 threshold is 3.0.
+        assert outcome.values == (0.6, None)
+
+    def test_rejects_wrong_dimension(self):
+        scheme = pps_scheme([1.0, 1.0])
+        with pytest.raises(ValueError):
+            scheme.sample((0.5,), 0.3)
+
+    def test_rejects_bad_seed(self):
+        scheme = pps_scheme([1.0])
+        with pytest.raises(ValueError):
+            scheme.sample((0.5,), 0.0)
+        with pytest.raises(ValueError):
+            scheme.sample((0.5,), 1.5)
+
+    def test_breakpoints_for_vector(self):
+        scheme = pps_scheme([1.0, 1.0])
+        assert scheme.breakpoints_for_vector((0.6, 0.2)) == (0.2, 0.6)
+
+    def test_breakpoints_ignore_zero_and_saturated(self):
+        scheme = pps_scheme([1.0, 0.5])
+        # Second entry has inclusion probability 1 (0.7 / 0.5 > 1).
+        assert scheme.breakpoints_for_vector((0.0, 0.7)) == ()
+
+    def test_requires_at_least_one_threshold(self):
+        with pytest.raises(ValueError):
+            CoordinatedScheme([])
+
+    @given(
+        v1=st.floats(min_value=0.0, max_value=1.0),
+        v2=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.floats(min_value=0.001, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_monotonicity_in_the_seed(self, v1, v2, seed):
+        """A smaller seed never loses information: sampled entries persist."""
+        scheme = pps_scheme([1.0, 1.0])
+        outcome_fine = scheme.sample((v1, v2), seed / 2.0)
+        outcome_coarse = scheme.sample((v1, v2), seed)
+        for fine, coarse in zip(outcome_fine.values, outcome_coarse.values):
+            if coarse is not None:
+                assert fine == coarse
+
+    @given(
+        v=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.floats(min_value=0.001, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_true_vector_is_consistent_with_outcome(self, v, seed):
+        scheme = pps_scheme([1.0])
+        outcome = scheme.sample((v,), seed)
+        assert outcome.consistent_with((v,))

@@ -1,0 +1,77 @@
+"""Tests for the dyadic (J-style) bounded estimator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.variance import expected_value
+from repro.core.functions import ExponentiatedRange, OneSidedRange
+from repro.core.schemes import pps_scheme
+from repro.estimators.dyadic import DyadicEstimator
+
+
+@pytest.fixture
+def scheme():
+    return pps_scheme([1.0, 1.0])
+
+
+class TestDyadicLevel:
+    def test_levels(self):
+        assert DyadicEstimator._dyadic_level(1.0) == 0
+        assert DyadicEstimator._dyadic_level(0.6) == 0
+        assert DyadicEstimator._dyadic_level(0.5) == 1
+        assert DyadicEstimator._dyadic_level(0.3) == 1
+        assert DyadicEstimator._dyadic_level(0.25) == 2
+        assert DyadicEstimator._dyadic_level(0.2) == 2
+
+    def test_rejects_bad_seed(self):
+        with pytest.raises(ValueError):
+            DyadicEstimator._dyadic_level(0.0)
+
+    @given(seed=st.floats(min_value=1e-9, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_level_brackets_seed(self, seed):
+        level = DyadicEstimator._dyadic_level(seed)
+        assert 2.0 ** (-(level + 1)) < seed <= 2.0 ** (-level)
+
+
+class TestMoments:
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    @pytest.mark.parametrize(
+        "vector", [(0.6, 0.2), (0.6, 0.0), (0.35, 0.3), (0.9, 0.45)]
+    )
+    def test_unbiased(self, scheme, p, vector):
+        target = OneSidedRange(p=p)
+        estimator = DyadicEstimator(target)
+        assert expected_value(estimator, scheme, vector) == pytest.approx(
+            target(vector), rel=1e-4, abs=1e-7
+        )
+
+    def test_unbiased_for_symmetric_range(self, scheme):
+        target = ExponentiatedRange(p=1.0)
+        estimator = DyadicEstimator(target)
+        vector = (0.3, 0.8)
+        assert expected_value(estimator, scheme, vector) == pytest.approx(
+            target(vector), rel=1e-4
+        )
+
+    @given(
+        v1=st.floats(min_value=0.0, max_value=1.0),
+        v2=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.floats(min_value=0.005, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_nonnegative(self, v1, v2, seed):
+        scheme = pps_scheme([1.0, 1.0])
+        estimator = DyadicEstimator(OneSidedRange(p=1.0))
+        assert estimator.estimate_for(scheme, (v1, v2), seed) >= 0.0
+
+    def test_bounded_on_v2_zero_vector(self, scheme):
+        """Unlike L*, the dyadic estimator stays bounded on (v1, 0) for
+        p = 1: the per-level gain is at most the lower-bound gap over a
+        dyadic interval, which the level width controls."""
+        estimator = DyadicEstimator(OneSidedRange(p=1.0))
+        values = [
+            estimator.estimate_for(scheme, (0.6, 0.0), seed)
+            for seed in (1e-7, 1e-5, 1e-3, 0.1, 0.5, 0.9)
+        ]
+        assert max(values) <= 4.0  # a fixed bound, independent of the seed

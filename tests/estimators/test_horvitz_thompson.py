@@ -1,0 +1,104 @@
+"""Tests for the Horvitz–Thompson estimator on monotone samples."""
+
+import pytest
+
+from repro.analysis.variance import expected_value, variance
+from repro.core.functions import ExponentiatedRange, OneSidedRange, WeightedSum
+from repro.core.schemes import pps_scheme
+from repro.estimators.horvitz_thompson import HorvitzThompsonEstimator
+from repro.estimators.lstar import LStarEstimator, LStarOneSidedRangePPS
+
+
+@pytest.fixture
+def scheme():
+    return pps_scheme([1.0, 1.0])
+
+
+class TestEstimates:
+    def test_inverse_probability_when_revealed(self, scheme):
+        """For RG_1+ and v = (0.6, 0.2), the value is revealed exactly when
+        both entries are sampled (probability v2 = 0.2)."""
+        target = OneSidedRange(p=1.0)
+        ht = HorvitzThompsonEstimator(target)
+        outcome = scheme.sample((0.6, 0.2), 0.1)
+        assert ht.estimate(outcome) == pytest.approx(0.4 / 0.2)
+
+    def test_zero_when_not_revealed(self, scheme):
+        target = OneSidedRange(p=1.0)
+        ht = HorvitzThompsonEstimator(target)
+        outcome = scheme.sample((0.6, 0.2), 0.35)
+        assert ht.estimate(outcome) == 0.0
+
+    def test_zero_when_value_is_zero(self, scheme):
+        target = OneSidedRange(p=1.0)
+        ht = HorvitzThompsonEstimator(target)
+        outcome = scheme.sample((0.2, 0.6), 0.1)
+        assert ht.estimate(outcome) == 0.0
+
+    def test_revelation_probability_for_range(self, scheme):
+        """For the symmetric range and v = (0.6, 0.2): both entries are
+        sampled when u <= 0.2, and the range is also revealed on
+        u in (0.6, 1] where both entries are known to be below u only if
+        that pins the value — it does not, so q = 0.2."""
+        target = ExponentiatedRange(p=1.0)
+        ht = HorvitzThompsonEstimator(target)
+        outcome = scheme.sample((0.6, 0.2), 0.15)
+        assert ht.estimate(outcome) == pytest.approx(0.4 / 0.2)
+
+    def test_weighted_sum_single_entry(self):
+        """Classic PPS subset-sum: the HT estimate of a single weight is
+        w / min(1, w) = 1 for w <= 1, giving the usual inverse-probability
+        form."""
+        scheme1 = pps_scheme([1.0])
+        target = WeightedSum([1.0])
+        ht = HorvitzThompsonEstimator(target)
+        outcome = scheme1.sample((0.4,), 0.3)
+        assert ht.estimate(outcome) == pytest.approx(1.0)
+
+
+class TestApplicability:
+    def test_applicable_when_revelation_probability_positive(self, scheme):
+        ht = HorvitzThompsonEstimator(OneSidedRange(p=1.0))
+        assert ht.is_applicable(scheme, (0.6, 0.2))
+
+    def test_not_applicable_when_v2_zero(self, scheme):
+        """The paper's motivating failure: estimating the range of
+        (0.5, 0) under PPS — the exact value is never revealed."""
+        ht = HorvitzThompsonEstimator(ExponentiatedRange(p=1.0))
+        assert not ht.is_applicable(scheme, (0.5, 0.0))
+
+    def test_estimates_are_zero_when_not_applicable(self, scheme):
+        target = OneSidedRange(p=1.0)
+        ht = HorvitzThompsonEstimator(target)
+        for seed in (0.05, 0.2, 0.5, 0.9):
+            assert ht.estimate_for(scheme, (0.5, 0.0), seed) == 0.0
+
+
+class TestMomentsAndDominance:
+    @pytest.mark.parametrize("vector", [(0.6, 0.2), (0.9, 0.45), (0.35, 0.3)])
+    def test_unbiased_where_applicable(self, scheme, vector):
+        target = OneSidedRange(p=1.0)
+        ht = HorvitzThompsonEstimator(target)
+        assert expected_value(ht, scheme, vector) == pytest.approx(
+            target(vector), rel=1e-5
+        )
+
+    @pytest.mark.parametrize("vector", [(0.6, 0.2), (0.9, 0.45), (0.35, 0.3)])
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    def test_dominated_by_lstar(self, scheme, vector, p):
+        """Theorem 4.2 corollary: Var[L*] <= Var[HT] on every vector."""
+        target = OneSidedRange(p=p)
+        ht = HorvitzThompsonEstimator(target)
+        lstar = LStarOneSidedRangePPS(p=p)
+        assert variance(lstar, scheme, target, vector) <= variance(
+            ht, scheme, target, vector
+        ) + 1e-9
+
+    def test_strictly_dominated_when_partial_information_exists(self, scheme):
+        target = OneSidedRange(p=1.0)
+        ht = HorvitzThompsonEstimator(target)
+        lstar = LStarEstimator(target)
+        vector = (0.9, 0.1)
+        assert variance(lstar, scheme, target, vector) < 0.99 * variance(
+            ht, scheme, target, vector
+        )

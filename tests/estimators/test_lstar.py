@@ -1,0 +1,181 @@
+"""Tests for the L* estimator (generic and closed form).
+
+These tests verify the headline claims of Section 4: the closed form
+(eq. 31), unbiasedness, nonnegativity, monotonicity, 4-competitiveness on
+the examples considered, and domination of the Horvitz–Thompson estimator.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.variance import expected_value, expected_square
+from repro.analysis.competitiveness import competitive_ratio
+from repro.core.functions import (
+    AbsoluteCombination,
+    DistinctOr,
+    ExponentiatedRange,
+    OneSidedRange,
+    WeightedSum,
+)
+from repro.core.schemes import pps_scheme
+from repro.estimators.lstar import LStarEstimator, LStarOneSidedRangePPS
+
+
+@pytest.fixture
+def scheme():
+    return pps_scheme([1.0, 1.0])
+
+
+class TestClosedFormAgainstPaper:
+    def test_p1_is_log_ratio(self, scheme):
+        """For p = 1 the L* estimate collapses to log(v1 / a) (Example 4)."""
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        outcome = scheme.sample((0.6, 0.2), 0.1)   # both entries sampled
+        assert estimator.estimate(outcome) == pytest.approx(math.log(3.0))
+        outcome = scheme.sample((0.6, 0.2), 0.35)  # only entry 1 sampled
+        assert estimator.estimate(outcome) == pytest.approx(math.log(0.6 / 0.35))
+
+    def test_p2_closed_form(self, scheme):
+        estimator = LStarOneSidedRangePPS(p=2.0)
+        outcome = scheme.sample((0.6, 0.2), 0.1)
+        expected = 2 * 0.6 * math.log(3.0) - 2 * 0.4
+        assert estimator.estimate(outcome) == pytest.approx(expected)
+
+    def test_zero_when_entry1_unsampled(self, scheme):
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        outcome = scheme.sample((0.6, 0.2), 0.75)
+        assert estimator.estimate(outcome) == 0.0
+
+    def test_zero_when_difference_nonpositive(self, scheme):
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        outcome = scheme.sample((0.3, 0.5), 0.1)
+        assert estimator.estimate(outcome) == 0.0
+
+    def test_fractional_p_uses_quadrature(self, scheme):
+        estimator = LStarOneSidedRangePPS(p=0.5)
+        generic = LStarEstimator(OneSidedRange(p=0.5))
+        outcome = scheme.sample((0.6, 0.2), 0.1)
+        assert estimator.estimate(outcome) == pytest.approx(
+            generic.estimate(outcome), rel=1e-6
+        )
+
+    def test_rejects_non_unit_pps(self):
+        scheme2 = pps_scheme([2.0, 2.0])
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        with pytest.raises(ValueError):
+            estimator.estimate(scheme2.sample((0.6, 0.2), 0.1))
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            LStarOneSidedRangePPS(p=0.0)
+
+
+class TestGenericMatchesClosedForm:
+    @given(
+        v1=st.floats(min_value=0.05, max_value=1.0),
+        ratio=st.floats(min_value=0.0, max_value=0.95),
+        seed=st.floats(min_value=0.01, max_value=1.0),
+        p=st.sampled_from([0.5, 1.0, 2.0, 3.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_agreement(self, v1, ratio, seed, p):
+        scheme = pps_scheme([1.0, 1.0])
+        v2 = v1 * ratio
+        outcome = scheme.sample((v1, v2), seed)
+        generic = LStarEstimator(OneSidedRange(p=p)).estimate(outcome)
+        closed = LStarOneSidedRangePPS(p=p).estimate(outcome)
+        assert generic == pytest.approx(closed, rel=1e-6, abs=1e-9)
+
+
+class TestUnbiasedness:
+    @pytest.mark.parametrize("p", [0.5, 1.0, 2.0])
+    @pytest.mark.parametrize(
+        "vector", [(0.6, 0.2), (0.6, 0.0), (0.35, 0.3), (0.9, 0.6), (1.0, 0.0)]
+    )
+    def test_rg_plus(self, scheme, p, vector):
+        estimator = LStarOneSidedRangePPS(p=p)
+        target = OneSidedRange(p=p)
+        assert expected_value(estimator, scheme, vector) == pytest.approx(
+            target(vector), rel=1e-5, abs=1e-7
+        )
+
+    @pytest.mark.parametrize(
+        "target",
+        [
+            ExponentiatedRange(p=1.0),
+            ExponentiatedRange(p=2.0),
+            DistinctOr(),
+            WeightedSum([1.0, 2.0]),
+        ],
+    )
+    @pytest.mark.parametrize("vector", [(0.6, 0.2), (0.25, 0.7), (0.5, 0.0)])
+    def test_generic_targets(self, scheme, target, vector):
+        estimator = LStarEstimator(target)
+        assert expected_value(estimator, scheme, vector) == pytest.approx(
+            target(vector), rel=1e-4, abs=1e-6
+        )
+
+    def test_three_instance_target(self):
+        scheme3 = pps_scheme([1.0, 1.0, 1.0])
+        target = AbsoluteCombination([1.0, -2.0, 1.0], p=2.0)
+        estimator = LStarEstimator(target)
+        vector = (0.7, 0.8, 0.1)
+        assert expected_value(estimator, scheme3, vector) == pytest.approx(
+            target(vector), rel=1e-4
+        )
+
+
+class TestNonnegativityAndMonotonicity:
+    @given(
+        v1=st.floats(min_value=0.0, max_value=1.0),
+        v2=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.floats(min_value=0.005, max_value=1.0),
+        p=st.sampled_from([0.5, 1.0, 2.0]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_nonnegative(self, v1, v2, seed, p):
+        scheme = pps_scheme([1.0, 1.0])
+        estimator = LStarOneSidedRangePPS(p=p)
+        assert estimator.estimate_for(scheme, (v1, v2), seed) >= 0.0
+
+    @given(
+        v1=st.floats(min_value=0.05, max_value=1.0),
+        ratio=st.floats(min_value=0.0, max_value=1.0),
+        a=st.floats(min_value=0.01, max_value=1.0),
+        b=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_seed(self, v1, ratio, a, b):
+        """Theorem 4.2: fixing the data, the estimate is non-increasing in
+        the seed (more information => larger-or-equal estimate)."""
+        scheme = pps_scheme([1.0, 1.0])
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        vector = (v1, v1 * ratio)
+        low, high = min(a, b), max(a, b)
+        est_low = estimator.estimate_for(scheme, vector, low)
+        est_high = estimator.estimate_for(scheme, vector, high)
+        assert est_low >= est_high - 1e-9
+
+
+class TestCompetitiveness:
+    @pytest.mark.parametrize("vector", [(0.6, 0.2), (0.6, 0.0), (0.9, 0.45)])
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    def test_within_factor_four(self, scheme, vector, p):
+        estimator = LStarOneSidedRangePPS(p=p)
+        target = OneSidedRange(p=p)
+        ratio = competitive_ratio(estimator, scheme, target, vector)
+        assert ratio <= 4.0 + 1e-3
+        assert ratio >= 1.0 - 1e-6
+
+    def test_unbounded_estimate_still_finite_variance(self, scheme):
+        """Example 4: for v = (v1, 0) the L* estimate diverges as the seed
+        approaches 0, yet its expected square stays finite."""
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        near_zero = estimator.estimate_for(scheme, (0.6, 0.0), 1e-6)
+        assert near_zero > 5.0  # log(0.6 / 1e-6) ~ 13.3
+        square = expected_square(estimator, scheme, (0.6, 0.0))
+        # Closed form: ∫_0^{v1} ln(v1/u)^2 du = 2 v1.
+        assert square == pytest.approx(2 * 0.6, rel=1e-4)

@@ -1,0 +1,138 @@
+"""Tests for the optimal range (Section 3): lambda_L, lambda_U, in-range."""
+
+import pytest
+
+from repro.core.functions import OneSidedRange
+from repro.core.integration import integral_of_lb_over_u2
+from repro.core.lower_bound import OutcomeLowerBound
+from repro.core.schemes import pps_scheme
+from repro.estimators.lstar import LStarOneSidedRangePPS
+from repro.estimators.optimal_range import (
+    candidate_vectors,
+    in_range,
+    lambda_lower,
+    lambda_upper,
+    z_optimal_estimate,
+)
+from repro.estimators.ustar import UStarOneSidedRangePPS
+
+
+@pytest.fixture
+def scheme():
+    return pps_scheme([1.0, 1.0])
+
+
+def committed_for(estimator, outcome, target):
+    """``M = ∫_rho^1 estimate(u) du`` for an outcome, computed exactly from
+    the estimator itself (which only needs the outcome)."""
+    from repro.core.outcome import Outcome
+
+    rho = outcome.seed
+    import numpy as np
+    from scipy import integrate
+
+    def est_at(u):
+        known = outcome.known_at(u)
+        values = tuple(known.get(i) for i in range(outcome.dimension))
+        return estimator.estimate(Outcome(seed=u, values=values, scheme=outcome.scheme))
+
+    points = sorted({rho, 1.0, *outcome.information_breakpoints()})
+    total = 0.0
+    for a, b in zip(points, points[1:]):
+        value, _ = integrate.quad(est_at, a, b, limit=100)
+        total += value
+    return total
+
+
+class TestLambdaLower:
+    def test_closed_form(self, scheme):
+        target = OneSidedRange(p=1.0)
+        outcome = scheme.sample((0.6, 0.2), 0.35)
+        # f(S) = 0.6 - 0.35 = 0.25 at the observed seed.
+        assert lambda_lower(outcome, target, committed=0.0) == pytest.approx(
+            0.25 / 0.35
+        )
+
+    def test_committed_reduces_lower_bound(self, scheme):
+        target = OneSidedRange(p=1.0)
+        outcome = scheme.sample((0.6, 0.2), 0.35)
+        assert lambda_lower(outcome, target, committed=0.1) == pytest.approx(
+            (0.25 - 0.1) / 0.35
+        )
+
+
+class TestCandidateVectors:
+    def test_pins_sampled_entries(self, scheme):
+        outcome = scheme.sample((0.6, 0.2), 0.35)
+        for z in candidate_vectors(outcome):
+            assert z[0] == 0.6
+            assert 0.0 <= z[1] < 0.35
+
+    def test_includes_extremes(self, scheme):
+        outcome = scheme.sample((0.6, 0.2), 0.35)
+        candidates = candidate_vectors(outcome, per_entry=4)
+        seconds = sorted({z[1] for z in candidates})
+        assert seconds[0] == 0.0
+        assert seconds[-1] == pytest.approx(0.35, rel=1e-6)
+
+
+class TestZOptimalAndLambdaUpper:
+    def test_z_optimal_matches_flattest_chord(self, scheme):
+        """With nothing committed, lambda(rho, z, 0) is the flattest chord
+        of the lower-bound function of z anchored at (rho, 0)."""
+        target = OneSidedRange(p=1.0)
+        outcome = scheme.sample((0.6, 0.2), 0.5)
+        value = z_optimal_estimate(outcome, target, (0.6, 0.2), committed=0.0)
+        # f^{(0.6,0.2)}(eta) equals 0.4 for eta <= 0.2 and 0.6 - eta above;
+        # the infimum of (f(eta) - 0) / (0.5 - eta) is attained at eta = 0,
+        # giving 0.4 / 0.5 = 0.8.
+        assert value == pytest.approx(0.8, abs=2e-2)
+
+    def test_z_optimal_is_zero_for_uninformative_outcome(self, scheme):
+        """At seed 1 the outcome is consistent with zero-difference vectors,
+        so the z-optimal estimate of any consistent vector vanishes (the
+        lower bound is 0 just left of the seed)."""
+        target = OneSidedRange(p=1.0)
+        outcome = scheme.sample((0.6, 0.2), 1.0)
+        value = z_optimal_estimate(outcome, target, (0.6, 0.2), committed=0.0)
+        assert value == pytest.approx(0.0, abs=1e-6)
+
+    def test_lambda_upper_at_least_lambda_lower(self, scheme):
+        target = OneSidedRange(p=1.0)
+        for seed in (0.1, 0.35, 0.7):
+            outcome = scheme.sample((0.6, 0.2), seed)
+            low = lambda_lower(outcome, target, committed=0.0)
+            high = lambda_upper(outcome, target, committed=0.0)
+            assert high >= low - 1e-9
+
+
+class TestInRange:
+    @pytest.mark.parametrize("seed", [0.1, 0.35, 0.55])
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    def test_lstar_and_ustar_are_in_range(self, scheme, seed, p):
+        """Both boundary solutions must lie inside the optimal range at
+        every outcome (they *are* the boundaries, eq. 21)."""
+        target = OneSidedRange(p=p)
+        vector = (0.6, 0.2)
+        outcome = scheme.sample(vector, seed)
+        for estimator in (LStarOneSidedRangePPS(p=p), UStarOneSidedRangePPS(p=p)):
+            committed = committed_for(estimator, outcome, target)
+            estimate = estimator.estimate(outcome)
+            assert in_range(outcome, target, estimate, committed, slack=5e-2)
+
+    def test_far_out_estimate_is_not_in_range(self, scheme):
+        target = OneSidedRange(p=1.0)
+        outcome = scheme.sample((0.6, 0.2), 0.35)
+        assert not in_range(outcome, target, 100.0, committed=0.0)
+        assert not in_range(outcome, target, -1.0, committed=0.0)
+
+    def test_lstar_sits_at_the_lower_boundary(self, scheme):
+        """The L* estimate equals lambda_L given its own committed mass —
+        that is its defining equation (30)."""
+        target = OneSidedRange(p=1.0)
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        outcome = scheme.sample((0.6, 0.2), 0.35)
+        committed = committed_for(estimator, outcome, target)
+        lb = OutcomeLowerBound(outcome, target)
+        expected_low = (lb(0.35) - committed) / 0.35
+        assert estimator.estimate(outcome) == pytest.approx(expected_low, rel=1e-5)

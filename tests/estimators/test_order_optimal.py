@@ -1,0 +1,169 @@
+"""Tests for the order-optimal construction over finite domains (Example 5)."""
+
+import pytest
+
+from repro.core.domain import GridDomain
+from repro.core.functions import OneSidedRange
+from repro.core.schemes import CoordinatedScheme, StepThreshold
+from repro.estimators.order_optimal import (
+    DiscreteProblem,
+    build_order_optimal,
+    order_by_target_ascending,
+    order_by_target_descending,
+)
+from repro.experiments.example5 import (
+    DEFAULT_PROBABILITIES,
+    build_problem,
+    paper_voptimal_tables,
+)
+
+
+@pytest.fixture
+def problem():
+    return build_problem(DEFAULT_PROBABILITIES)
+
+
+class TestDiscreteProblem:
+    def test_intervals_partition_unit_range(self, problem):
+        intervals = problem.intervals
+        assert intervals[0].low == 0.0
+        assert intervals[-1].high == 1.0
+        for left, right in zip(intervals, intervals[1:]):
+            assert right.low == pytest.approx(left.high)
+
+    def test_interval_count(self, problem):
+        # Breakpoints at pi1, pi2, pi3 and 1.0 -> four intervals.
+        assert len(problem.intervals) == 4
+
+    def test_lower_bound_steps_match_paper_table(self, problem):
+        """The step lower-bound functions printed in Example 5."""
+        expected = {
+            (1.0, 0.0): (1, 0, 0, 0),
+            (2.0, 1.0): (1, 1, 0, 0),
+            (2.0, 0.0): (2, 1, 0, 0),
+            (3.0, 2.0): (1, 1, 1, 0),
+            (3.0, 1.0): (2, 2, 1, 0),
+            (3.0, 0.0): (3, 2, 1, 0),
+        }
+        for vector, steps in expected.items():
+            assert problem.lower_bound_steps(vector) == pytest.approx(steps)
+
+    def test_zero_value_vectors_have_zero_lower_bound(self, problem):
+        for vector in [(0.0, 0.0), (1.0, 1.0), (2.0, 3.0)]:
+            assert all(s == 0.0 for s in problem.lower_bound_steps(vector))
+
+    def test_consistent_vectors_of_informative_outcome(self, problem):
+        interval = problem.intervals[0]
+        key = problem.outcome_key((3.0, 1.0), interval)
+        assert problem.consistent_vectors(key) == ((3.0, 1.0),)
+
+    def test_consistent_vectors_of_partial_outcome(self, problem):
+        # Seeds in (pi1, pi2]: value 3 sampled, value <=1 hidden.
+        interval = problem.intervals[1]
+        key = problem.outcome_key((3.0, 1.0), interval)
+        consistent = set(problem.consistent_vectors(key))
+        assert consistent == {(3.0, 0.0), (3.0, 1.0)}
+
+
+class TestConstruction:
+    def test_requires_exactly_one_ordering_argument(self, problem):
+        with pytest.raises(ValueError):
+            build_order_optimal(problem)
+        with pytest.raises(ValueError):
+            build_order_optimal(
+                problem, order=list(problem.vectors), priority=lambda v: 0.0
+            )
+
+    def test_order_must_cover_domain(self, problem):
+        with pytest.raises(ValueError):
+            build_order_optimal(problem, order=[(0.0, 0.0)])
+
+    @pytest.mark.parametrize(
+        "order_builder", [order_by_target_ascending, order_by_target_descending]
+    )
+    def test_unbiased_and_nonnegative_on_every_vector(self, problem, order_builder):
+        estimator = build_order_optimal(problem, order=order_builder(problem))
+        for vector in problem.vectors:
+            assert estimator.expected_value(vector) == pytest.approx(
+                problem.value(vector), abs=1e-9
+            )
+        assert all(value >= 0.0 for value in estimator.table.values())
+
+    def test_custom_priority_unbiased(self, problem):
+        estimator = build_order_optimal(
+            problem, priority=lambda v: abs((v[0] - v[1]) - 2.0)
+        )
+        for vector in problem.vectors:
+            assert estimator.expected_value(vector) == pytest.approx(
+                problem.value(vector), abs=1e-9
+            )
+
+    def test_ascending_order_matches_voptimal_for_prioritised_vectors(self, problem):
+        """The f-ascending (L*) order is v-optimal for (1,0), (2,1), (3,2)."""
+        estimator = build_order_optimal(problem, order=order_by_target_ascending(problem))
+        tables = paper_voptimal_tables(DEFAULT_PROBABILITIES)
+        for vector in [(1.0, 0.0), (2.0, 1.0), (3.0, 2.0)]:
+            for interval_index, expected in tables[vector].items():
+                interval = problem.intervals[interval_index]
+                assert estimator.estimate_for_vector(
+                    vector, interval.midpoint
+                ) == pytest.approx(expected, abs=1e-9)
+
+    def test_descending_order_matches_voptimal_for_prioritised_vectors(self, problem):
+        """The f-descending (U*) order is v-optimal for (1,0), (2,0), (3,0)."""
+        estimator = build_order_optimal(
+            problem, order=order_by_target_descending(problem)
+        )
+        tables = paper_voptimal_tables(DEFAULT_PROBABILITIES)
+        for vector in [(1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]:
+            for interval_index, expected in tables[vector].items():
+                interval = problem.intervals[interval_index]
+                assert estimator.estimate_for_vector(
+                    vector, interval.midpoint
+                ) == pytest.approx(expected, abs=1e-9)
+
+    def test_order_changes_variance_profile(self, problem):
+        """Customisation in action: the ascending order has lower variance
+        on low-difference vectors, the descending order on high-difference
+        ones."""
+        ascending = build_order_optimal(problem, order=order_by_target_ascending(problem))
+        descending = build_order_optimal(
+            problem, order=order_by_target_descending(problem)
+        )
+        assert ascending.variance((3.0, 2.0)) < descending.variance((3.0, 2.0))
+        assert descending.variance((3.0, 0.0)) < ascending.variance((3.0, 0.0))
+
+    def test_estimate_from_outcome_object(self, problem):
+        estimator = build_order_optimal(problem, order=order_by_target_ascending(problem))
+        outcome = problem.scheme.sample((3.0, 1.0), 0.4)
+        value = estimator.estimate(outcome)
+        assert value == pytest.approx(
+            estimator.estimate_for_vector((3.0, 1.0), 0.4), abs=1e-12
+        )
+
+    def test_unknown_outcome_raises(self, problem):
+        estimator = build_order_optimal(problem, order=order_by_target_ascending(problem))
+        outcome = problem.scheme.sample((7.0, 0.0), 0.1)  # outside the domain
+        with pytest.raises(KeyError):
+            estimator.estimate(outcome)
+
+
+class TestAdmissibilityStructure:
+    def test_every_estimate_is_within_consistent_voptimal_range(self, problem):
+        """In-range property on the finite domain: each outcome's estimate
+        lies between the smallest and largest per-vector optimal estimate
+        among consistent vectors (necessary for admissibility)."""
+        estimator = build_order_optimal(problem, order=order_by_target_ascending(problem))
+        for key, value in estimator.table.items():
+            interval = problem.intervals[key[0]]
+            consistent = problem.consistent_vectors(key)
+            if not consistent:
+                continue
+            # Bounds from the consistent vectors' lower-bound functions: a
+            # crude but valid sandwich is [0, max f(z) / interval.low+].
+            max_value = max(problem.value(z) for z in consistent)
+            assert value >= -1e-12
+            if interval.low > 0:
+                assert value <= max_value / interval.low + 1e-9
+            # The most informative interval has estimates bounded by the
+            # largest optimal slope, max f / length of first interval.

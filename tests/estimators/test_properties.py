@@ -1,0 +1,134 @@
+"""Cross-estimator property-based tests (hypothesis).
+
+These are the invariants the paper proves in general; checking them on
+randomly drawn problems is the strongest regression net the library has:
+
+* every estimator is nonnegative on every outcome;
+* L*, U*, HT and the dyadic estimator are unbiased (HT where applicable);
+* L* is monotone; L* dominates HT; everything respects the v-optimal
+  floor; the L* ratio never exceeds 4.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.variance import expected_square, expected_value
+from repro.core.functions import ExponentiatedRange, OneSidedRange
+from repro.core.schemes import pps_scheme
+from repro.estimators.dyadic import DyadicEstimator
+from repro.estimators.horvitz_thompson import HorvitzThompsonEstimator
+from repro.estimators.lstar import LStarEstimator, LStarOneSidedRangePPS
+from repro.estimators.ustar import UStarOneSidedRangePPS
+from repro.estimators.vopt import VOptimalOracle
+
+SCHEME = pps_scheme([1.0, 1.0])
+
+vectors = st.tuples(
+    st.floats(min_value=0.05, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+seeds = st.floats(min_value=0.01, max_value=1.0)
+exponents = st.sampled_from([0.5, 1.0, 2.0])
+
+
+@given(vector=vectors, seed=seeds, p=exponents)
+@settings(max_examples=100, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_all_estimators_nonnegative(vector, seed, p):
+    target = OneSidedRange(p=p)
+    estimators = [
+        LStarOneSidedRangePPS(p=p),
+        UStarOneSidedRangePPS(p=p),
+        HorvitzThompsonEstimator(target),
+        DyadicEstimator(target),
+    ]
+    for estimator in estimators:
+        assert estimator.estimate_for(SCHEME, vector, seed) >= 0.0
+
+
+@given(vector=vectors, p=exponents)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_lstar_and_ustar_unbiased(vector, p):
+    target = OneSidedRange(p=p)
+    for estimator in (LStarOneSidedRangePPS(p=p), UStarOneSidedRangePPS(p=p)):
+        mean = expected_value(estimator, SCHEME, vector, rtol=1e-7)
+        assert mean == pytest.approx(target(vector), rel=1e-4, abs=1e-6)
+
+
+@given(vector=vectors, p=st.sampled_from([1.0, 2.0]))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_lstar_ratio_below_four(vector, p):
+    target = OneSidedRange(p=p)
+    estimator = LStarOneSidedRangePPS(p=p)
+    oracle = VOptimalOracle(SCHEME, target, vector, grid=2048)
+    floor = oracle.minimal_expected_square()
+    if floor <= 1e-12:
+        return
+    ratio = expected_square(estimator, SCHEME, vector, rtol=1e-6) / floor
+    assert ratio <= 4.0 + 5e-2
+
+
+@given(vector=vectors, seed_pair=st.tuples(seeds, seeds), p=exponents)
+@settings(max_examples=100, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_lstar_monotone_in_seed(vector, seed_pair, p):
+    estimator = LStarOneSidedRangePPS(p=p)
+    low, high = min(seed_pair), max(seed_pair)
+    assert (
+        estimator.estimate_for(SCHEME, vector, low)
+        >= estimator.estimate_for(SCHEME, vector, high) - 1e-9
+    )
+
+
+@given(vector=vectors, p=st.sampled_from([1.0, 2.0]))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_lstar_dominates_ht(vector, p):
+    target = OneSidedRange(p=p)
+    ht = HorvitzThompsonEstimator(target)
+    if not ht.is_applicable(SCHEME, vector):
+        return
+    lstar = LStarOneSidedRangePPS(p=p)
+    lstar_sq = expected_square(lstar, SCHEME, vector, rtol=1e-6)
+    ht_sq = expected_square(ht, SCHEME, vector, rtol=1e-6)
+    assert lstar_sq <= ht_sq + 1e-6
+
+
+@given(
+    vector=st.tuples(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    ),
+    p=st.sampled_from([1.0, 2.0]),
+)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_generic_lstar_unbiased_for_symmetric_range(vector, p):
+    target = ExponentiatedRange(p=p)
+    estimator = LStarEstimator(target)
+    mean = expected_value(estimator, SCHEME, vector, rtol=1e-7)
+    assert mean == pytest.approx(target(vector), rel=1e-4, abs=1e-6)
+
+
+@given(vector=vectors, seed=seeds)
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_estimators_only_depend_on_the_outcome(vector, seed):
+    """Two data vectors producing the same outcome must receive the same
+    estimate — estimators cannot peek at the data."""
+    target = OneSidedRange(p=1.0)
+    outcome = SCHEME.sample(vector, seed)
+    # Build an alternative vector consistent with the same outcome by
+    # moving the unsampled coordinates below the threshold.
+    alternative = list(vector)
+    for i, value in enumerate(outcome.values):
+        if value is None:
+            alternative[i] = 0.0
+    alt_outcome = SCHEME.sample(tuple(alternative), seed)
+    if alt_outcome.values != outcome.values:
+        return  # the alternative changed the outcome (e.g. value == seed edge)
+    for estimator in (
+        LStarOneSidedRangePPS(p=1.0),
+        UStarOneSidedRangePPS(p=1.0),
+        HorvitzThompsonEstimator(target),
+        DyadicEstimator(target),
+    ):
+        assert estimator.estimate(outcome) == pytest.approx(
+            estimator.estimate(alt_outcome), rel=1e-12, abs=1e-12
+        )

@@ -1,0 +1,131 @@
+"""Tests for the U* estimator (closed form and numeric backward solver)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.variance import expected_value, variance
+from repro.core.functions import OneSidedRange
+from repro.core.schemes import pps_scheme
+from repro.estimators.lstar import LStarOneSidedRangePPS
+from repro.estimators.ustar import UStarNumeric, UStarOneSidedRangePPS
+from repro.estimators.vopt import VOptimalOracle
+
+
+@pytest.fixture
+def scheme():
+    return pps_scheme([1.0, 1.0])
+
+
+class TestClosedFormAgainstPaper:
+    def test_p_ge_1_on_partial_outcome(self, scheme):
+        """Example 4: for p >= 1 and u in (v2, v1] the estimate is
+        p (v1 - u)^{p-1}."""
+        for p in (1.0, 2.0, 3.0):
+            estimator = UStarOneSidedRangePPS(p=p)
+            outcome = scheme.sample((0.6, 0.2), 0.4)
+            assert estimator.estimate(outcome) == pytest.approx(
+                p * (0.6 - 0.4) ** (p - 1.0)
+            )
+
+    def test_p_ge_1_zero_when_both_sampled(self, scheme):
+        estimator = UStarOneSidedRangePPS(p=2.0)
+        outcome = scheme.sample((0.6, 0.2), 0.1)
+        assert estimator.estimate(outcome) == 0.0
+
+    def test_p_le_1_on_partial_outcome(self, scheme):
+        estimator = UStarOneSidedRangePPS(p=0.5)
+        outcome = scheme.sample((0.6, 0.2), 0.4)
+        assert estimator.estimate(outcome) == pytest.approx(0.6 ** (-0.5))
+
+    def test_p_le_1_when_both_sampled(self, scheme):
+        estimator = UStarOneSidedRangePPS(p=0.5)
+        outcome = scheme.sample((0.6, 0.2), 0.1)
+        expected = (0.4 ** 0.5 - 0.6 ** (-0.5) * 0.4) / 0.2
+        assert estimator.estimate(outcome) == pytest.approx(expected)
+
+    def test_zero_when_entry1_unsampled(self, scheme):
+        estimator = UStarOneSidedRangePPS(p=1.0)
+        outcome = scheme.sample((0.6, 0.2), 0.75)
+        assert estimator.estimate(outcome) == 0.0
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            UStarOneSidedRangePPS(p=-1.0)
+
+
+class TestUnbiasednessAndNonnegativity:
+    @pytest.mark.parametrize("p", [0.5, 1.0, 2.0])
+    @pytest.mark.parametrize(
+        "vector", [(0.6, 0.2), (0.6, 0.0), (0.35, 0.3), (0.9, 0.6)]
+    )
+    def test_unbiased(self, scheme, p, vector):
+        estimator = UStarOneSidedRangePPS(p=p)
+        target = OneSidedRange(p=p)
+        assert expected_value(estimator, scheme, vector) == pytest.approx(
+            target(vector), rel=1e-5, abs=1e-7
+        )
+
+    @given(
+        v1=st.floats(min_value=0.0, max_value=1.0),
+        v2=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.floats(min_value=0.005, max_value=1.0),
+        p=st.sampled_from([0.5, 1.0, 2.0]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_nonnegative(self, v1, v2, seed, p):
+        scheme = pps_scheme([1.0, 1.0])
+        estimator = UStarOneSidedRangePPS(p=p)
+        assert estimator.estimate_for(scheme, (v1, v2), seed) >= 0.0
+
+    def test_bounded_unlike_lstar(self, scheme):
+        """For p >= 1 the U* estimate is bounded by p * v1^{p-1}; the L*
+        estimate on the same (v1, 0) vector diverges as the seed shrinks."""
+        ustar = UStarOneSidedRangePPS(p=1.0)
+        lstar = LStarOneSidedRangePPS(p=1.0)
+        tiny = 1e-6
+        assert ustar.estimate_for(scheme, (0.6, 0.0), tiny) <= 1.0 + 1e-12
+        assert lstar.estimate_for(scheme, (0.6, 0.0), tiny) > 5.0
+
+
+class TestCustomisationProperties:
+    def test_voptimal_for_zero_v2(self, scheme):
+        """Example 4: when v2 = 0 the U* estimates coincide with the
+        v-optimal estimates (U* is customised for dissimilar data)."""
+        for p in (1.0, 2.0):
+            estimator = UStarOneSidedRangePPS(p=p)
+            oracle = VOptimalOracle(scheme, OneSidedRange(p=p), (0.6, 0.0), grid=4096)
+            for u in (0.05, 0.2, 0.4, 0.55):
+                assert estimator.estimate_for(scheme, (0.6, 0.0), u) == pytest.approx(
+                    oracle.estimate_at_seed(u), rel=2e-2, abs=2e-2
+                )
+
+    def test_lower_variance_than_lstar_on_dissimilar_data(self, scheme):
+        target = OneSidedRange(p=1.0)
+        ustar = UStarOneSidedRangePPS(p=1.0)
+        lstar = LStarOneSidedRangePPS(p=1.0)
+        vector = (0.8, 0.0)  # maximal dissimilarity: one side absent
+        assert variance(ustar, scheme, target, vector) < variance(
+            lstar, scheme, target, vector
+        )
+
+    def test_higher_variance_than_lstar_on_similar_data(self, scheme):
+        target = OneSidedRange(p=1.0)
+        ustar = UStarOneSidedRangePPS(p=1.0)
+        lstar = LStarOneSidedRangePPS(p=1.0)
+        vector = (0.62, 0.6)  # very similar instances
+        assert variance(lstar, scheme, target, vector) < variance(
+            ustar, scheme, target, vector
+        )
+
+
+class TestNumericUStar:
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    @pytest.mark.parametrize("vector", [(0.6, 0.2), (0.6, 0.0)])
+    @pytest.mark.parametrize("seed", [0.1, 0.35, 0.5])
+    def test_matches_closed_form(self, scheme, p, vector, seed):
+        closed = UStarOneSidedRangePPS(p=p)
+        numeric = UStarNumeric(OneSidedRange(p=p), seed_grid=256)
+        outcome = scheme.sample(vector, seed)
+        assert numeric.estimate(outcome) == pytest.approx(
+            closed.estimate(outcome), rel=5e-2, abs=5e-2
+        )

@@ -1,0 +1,80 @@
+"""Tests for the v-optimal oracle (minimum-variance benchmark)."""
+
+import pytest
+
+from repro.analysis.variance import expected_square, expected_value
+from repro.core.functions import OneSidedRange
+from repro.core.schemes import pps_scheme
+from repro.estimators.lstar import LStarOneSidedRangePPS
+from repro.estimators.ustar import UStarOneSidedRangePPS
+from repro.estimators.vopt import VOptimalOracle
+
+
+@pytest.fixture
+def scheme():
+    return pps_scheme([1.0, 1.0])
+
+
+class TestOracleEstimates:
+    def test_constant_for_v2_zero_p1(self, scheme):
+        """For (v1, 0) and p = 1 the lower bound is linear, so the
+        v-optimal estimate is the constant 1 on (0, v1] and 0 beyond."""
+        oracle = VOptimalOracle(scheme, OneSidedRange(p=1.0), (0.6, 0.0), grid=4096)
+        assert oracle.estimate_at_seed(0.3) == pytest.approx(1.0, abs=5e-3)
+        assert oracle.estimate_at_seed(0.59) == pytest.approx(1.0, abs=5e-3)
+        assert oracle.estimate_at_seed(0.8) == pytest.approx(0.0, abs=5e-3)
+
+    def test_oracle_unbiased_by_construction(self, scheme):
+        """Integrating the negated hull slope over the seed returns f(v)."""
+        target = OneSidedRange(p=2.0)
+        for vector in [(0.6, 0.2), (0.6, 0.0), (0.9, 0.45)]:
+            oracle = VOptimalOracle(scheme, target, vector, grid=4096)
+
+            class _Adapter:
+                name = "vopt"
+
+                def estimate_for(self, scheme_, vec, seed):
+                    return oracle.estimate_at_seed(seed)
+
+            assert expected_value(_Adapter(), scheme, vector) == pytest.approx(
+                target(vector), rel=2e-2
+            )
+
+    def test_estimate_requires_consistent_outcome(self, scheme):
+        oracle = VOptimalOracle(scheme, OneSidedRange(p=1.0), (0.6, 0.2))
+        good = scheme.sample((0.6, 0.2), 0.3)
+        assert oracle.estimate(good) >= 0.0
+        bad = scheme.sample((0.9, 0.2), 0.3)
+        with pytest.raises(ValueError):
+            oracle.estimate(bad)
+
+    def test_rejects_bad_seed(self, scheme):
+        oracle = VOptimalOracle(scheme, OneSidedRange(p=1.0), (0.6, 0.2))
+        with pytest.raises(ValueError):
+            oracle.estimate_at_seed(0.0)
+
+
+class TestMinimality:
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    @pytest.mark.parametrize("vector", [(0.6, 0.2), (0.6, 0.0), (0.9, 0.45)])
+    def test_no_estimator_beats_the_oracle(self, scheme, p, vector):
+        """The oracle's expected square lower-bounds L*, U* and any other
+        nonnegative unbiased estimator on its own vector."""
+        target = OneSidedRange(p=p)
+        oracle = VOptimalOracle(scheme, target, vector, grid=4096)
+        floor = oracle.minimal_expected_square()
+        for estimator in (LStarOneSidedRangePPS(p=p), UStarOneSidedRangePPS(p=p)):
+            actual = expected_square(estimator, scheme, vector)
+            assert actual >= floor * (1.0 - 1e-3)
+
+    def test_minimal_variance_consistent_with_expected_square(self, scheme):
+        target = OneSidedRange(p=1.0)
+        oracle = VOptimalOracle(scheme, target, (0.6, 0.2), grid=4096)
+        assert oracle.minimal_variance() == pytest.approx(
+            oracle.minimal_expected_square() - 0.4 ** 2, rel=1e-9
+        )
+
+    def test_closed_form_for_v2_zero_p1(self, scheme):
+        """Minimum expected square for (v1, 0), p = 1 is exactly v1."""
+        oracle = VOptimalOracle(scheme, OneSidedRange(p=1.0), (0.6, 0.0), grid=4096)
+        assert oracle.minimal_expected_square() == pytest.approx(0.6, rel=1e-2)

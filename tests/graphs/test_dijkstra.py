@@ -1,0 +1,82 @@
+"""Tests for Dijkstra shortest paths, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.dijkstra import dijkstra_order, shortest_path_lengths
+from repro.graphs.generators import (
+    grid_graph,
+    preferential_attachment_graph,
+    random_edge_lengths,
+    small_world_graph,
+)
+from repro.graphs.graph import Graph
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    g = nx.DiGraph() if graph.directed else nx.Graph()
+    g.add_nodes_from(graph.nodes())
+    for a, b, w in graph.edges():
+        g.add_edge(a, b, weight=w)
+    return g
+
+
+class TestCorrectness:
+    def test_simple_path(self):
+        g = Graph()
+        g.add_edges([("a", "b", 1.0), ("b", "c", 2.0), ("a", "c", 5.0)])
+        distances = shortest_path_lengths(g, "a")
+        assert distances == {"a": 0.0, "b": 1.0, "c": 3.0}
+
+    def test_unreachable_nodes_absent(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_node("isolated")
+        distances = shortest_path_lengths(g, "a")
+        assert "isolated" not in distances
+
+    def test_missing_source_raises(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        with pytest.raises(KeyError):
+            shortest_path_lengths(g, "zzz")
+
+    def test_cutoff(self):
+        g = grid_graph(5, 5)
+        distances = shortest_path_lengths(g, (0, 0), cutoff=2.0)
+        assert all(d <= 2.0 for d in distances.values())
+        assert (4, 4) not in distances
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda rng: grid_graph(6, 7),
+            lambda rng: small_world_graph(80, k=4, rng=rng),
+            lambda rng: preferential_attachment_graph(80, m=2, rng=rng),
+            lambda rng: random_edge_lengths(grid_graph(6, 6), rng=rng),
+        ],
+    )
+    def test_matches_networkx(self, builder):
+        rng = np.random.default_rng(17)
+        graph = builder(rng)
+        reference = to_networkx(graph)
+        source = graph.nodes()[0]
+        ours = shortest_path_lengths(graph, source)
+        theirs = nx.single_source_dijkstra_path_length(reference, source)
+        assert set(ours) == set(theirs)
+        for node, distance in ours.items():
+            assert distance == pytest.approx(theirs[node])
+
+
+class TestSettleOrder:
+    def test_order_is_nondecreasing_in_distance(self):
+        graph = small_world_graph(60, k=4, rng=np.random.default_rng(3))
+        order = dijkstra_order(graph, 0)
+        distances = [d for _, d in order]
+        assert distances == sorted(distances)
+
+    def test_first_settled_is_source(self):
+        graph = grid_graph(4, 4)
+        order = dijkstra_order(graph, (2, 2))
+        assert order[0] == ((2, 2), 0.0)

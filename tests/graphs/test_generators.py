@@ -1,0 +1,90 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    erdos_renyi_graph,
+    grid_graph,
+    preferential_attachment_graph,
+    random_edge_lengths,
+    small_world_graph,
+)
+
+
+class TestGridGraph:
+    def test_node_and_edge_counts(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical edges
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+
+class TestSmallWorld:
+    def test_size_and_degree(self):
+        g = small_world_graph(50, k=4, rewire_probability=0.0,
+                              rng=np.random.default_rng(0))
+        assert g.num_nodes == 50
+        # Without rewiring every node keeps exactly k ring neighbours.
+        assert all(g.degree(n) == 4 for n in g.nodes())
+
+    def test_rewiring_changes_structure(self):
+        a = small_world_graph(50, k=4, rewire_probability=0.0,
+                              rng=np.random.default_rng(1))
+        b = small_world_graph(50, k=4, rewire_probability=0.5,
+                              rng=np.random.default_rng(1))
+        edges_a = {frozenset((x, y)) for x, y, _ in a.edges()}
+        edges_b = {frozenset((x, y)) for x, y, _ in b.edges()}
+        assert edges_a != edges_b
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            small_world_graph(10, k=3)
+        with pytest.raises(ValueError):
+            small_world_graph(2, k=2)
+
+
+class TestPreferentialAttachment:
+    def test_size(self):
+        g = preferential_attachment_graph(100, m=2, rng=np.random.default_rng(2))
+        assert g.num_nodes == 100
+        # Every new node adds exactly m edges.
+        assert g.num_edges == (3 * 2) // 2 + (100 - 3) * 2
+
+    def test_heavy_tailed_degrees(self):
+        g = preferential_attachment_graph(300, m=2, rng=np.random.default_rng(3))
+        degrees = sorted((g.degree(n) for n in g.nodes()), reverse=True)
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(3, m=3)
+
+
+class TestErdosRenyi:
+    def test_edge_probability(self):
+        g = erdos_renyi_graph(60, 0.1, rng=np.random.default_rng(4))
+        possible = 60 * 59 / 2
+        assert g.num_edges == pytest.approx(possible * 0.1, rel=0.4)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+
+class TestRandomEdgeLengths:
+    def test_weights_in_range_and_structure_preserved(self):
+        g = grid_graph(4, 4)
+        reweighted = random_edge_lengths(g, 0.5, 1.5, rng=np.random.default_rng(5))
+        assert reweighted.num_edges == g.num_edges
+        assert reweighted.num_nodes == g.num_nodes
+        for a, b, w in reweighted.edges():
+            assert 0.5 <= w <= 1.5
+            assert g.edge_weight(a, b) is not None
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            random_edge_lengths(grid_graph(2, 2), 1.5, 0.5)

@@ -1,0 +1,68 @@
+"""Tests for the graph container."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+
+
+class TestGraph:
+    def test_add_edge_and_neighbors(self):
+        g = Graph()
+        g.add_edge("a", "b", 2.0)
+        assert g.neighbors("a") == {"b": 2.0}
+        assert g.neighbors("b") == {"a": 2.0}
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+
+    def test_directed_edges_one_way(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 1.0)
+        assert g.neighbors("a") == {"b": 1.0}
+        assert g.neighbors("b") == {}
+        assert g.num_edges == 1
+
+    def test_self_loops_ignored(self):
+        g = Graph()
+        g.add_edge("a", "a", 1.0)
+        assert g.num_edges == 0
+        assert g.has_node("a")
+
+    def test_negative_weight_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", -1.0)
+
+    def test_edge_weight_lookup(self):
+        g = Graph()
+        g.add_edge(1, 2, 0.5)
+        assert g.edge_weight(1, 2) == 0.5
+        assert g.edge_weight(2, 1) == 0.5
+        assert g.edge_weight(1, 3) is None
+
+    def test_edges_iteration_undirected_reports_once(self):
+        g = Graph()
+        g.add_edges([("a", "b", 1.0), ("b", "c", 2.0)])
+        edges = list(g.edges())
+        assert len(edges) == 2
+
+    def test_degree(self):
+        g = Graph()
+        g.add_edges([("a", "b", 1.0), ("a", "c", 1.0)])
+        assert g.degree("a") == 2
+        assert g.degree("b") == 1
+        assert g.degree("missing") == 0
+
+    def test_subgraph(self):
+        g = Graph()
+        g.add_edges([("a", "b", 1.0), ("b", "c", 1.0), ("c", "d", 1.0)])
+        sub = g.subgraph(["a", "b", "c"])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+        assert sub.edge_weight("c", "d") is None
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_edge("a", "b")
+        g.add_node("a")
+        assert g.neighbors("a") == {"b": 1.0}

@@ -1,0 +1,128 @@
+"""Tests for closeness similarity (exact and ADS-estimated)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.variance import expected_value
+from repro.core.functions import MaxPower, MinPower
+from repro.core.outcome import Outcome
+from repro.core.schemes import CoordinatedScheme
+from repro.estimators.lstar import LStarEstimator
+from repro.graphs.generators import grid_graph, small_world_graph
+from repro.graphs.similarity import (
+    FixedProbabilityThreshold,
+    estimate_closeness_similarity,
+    exact_closeness_similarity,
+    exponential_decay,
+    inverse_decay,
+    threshold_decay,
+)
+from repro.sketches.ads import build_ads, node_ranks
+
+
+class TestDecayFunctions:
+    def test_exponential(self):
+        alpha = exponential_decay(2.0)
+        assert alpha(0.0) == 1.0
+        assert alpha(2.0) == pytest.approx(math.exp(-1.0))
+
+    def test_inverse(self):
+        alpha = inverse_decay(1.0)
+        assert alpha(0.0) == 1.0
+        assert alpha(3.0) == 0.25
+
+    def test_threshold(self):
+        alpha = threshold_decay(2.0)
+        assert alpha(2.0) == 1.0
+        assert alpha(2.1) == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            exponential_decay(0.0)
+        with pytest.raises(ValueError):
+            inverse_decay(0.0)
+        with pytest.raises(ValueError):
+            threshold_decay(-1.0)
+
+
+class TestExactSimilarity:
+    def test_self_similarity_is_one(self):
+        graph = grid_graph(4, 4)
+        assert exact_closeness_similarity(
+            graph, (1, 1), (1, 1), exponential_decay(1.0)
+        ) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        graph = grid_graph(4, 4)
+        alpha = exponential_decay(2.0)
+        ab = exact_closeness_similarity(graph, (0, 0), (3, 3), alpha)
+        ba = exact_closeness_similarity(graph, (3, 3), (0, 0), alpha)
+        assert ab == pytest.approx(ba)
+
+    def test_in_unit_interval_and_monotone_in_distance(self):
+        graph = grid_graph(5, 5)
+        alpha = exponential_decay(2.0)
+        near = exact_closeness_similarity(graph, (0, 0), (0, 1), alpha)
+        far = exact_closeness_similarity(graph, (0, 0), (4, 4), alpha)
+        assert 0.0 <= far < near <= 1.0
+
+
+class TestFixedProbabilityThreshold:
+    def test_threshold_shape(self):
+        tau = FixedProbabilityThreshold(0.3)
+        assert tau(0.2) == 0.0
+        assert math.isinf(tau(0.5))
+        assert tau.inclusion_probability(1.0) == 0.3
+        assert tau.inclusion_probability(0.0) == 0.0
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            FixedProbabilityThreshold(1.5)
+
+    def test_per_node_estimation_problem_is_unbiased(self):
+        """The per-node scheme used by the similarity estimator (two fixed
+        inclusion probabilities, shared seed) admits an unbiased L*
+        estimate of max/min of the alpha values."""
+        scheme = CoordinatedScheme(
+            [FixedProbabilityThreshold(0.6), FixedProbabilityThreshold(0.3)]
+        )
+        vector = (0.8, 0.5)   # the two alpha values
+        for target in (MaxPower(p=1.0), MinPower(p=1.0)):
+            estimator = LStarEstimator(target)
+            assert expected_value(estimator, scheme, vector) == pytest.approx(
+                target(vector), rel=1e-4
+            )
+
+
+class TestSketchEstimation:
+    def test_estimate_close_to_exact_for_large_k(self):
+        graph = grid_graph(6, 6)
+        alpha = exponential_decay(2.0)
+        ranks = node_ranks(graph, salt="sim-test")
+        k = graph.num_nodes  # full sketches: the estimate should be near-exact
+        s1 = build_ads(graph, (0, 0), k, ranks=ranks)
+        s2 = build_ads(graph, (2, 3), k, ranks=ranks)
+        estimate = estimate_closeness_similarity(s1, s2, ranks, alpha)
+        exact = exact_closeness_similarity(graph, (0, 0), (2, 3), alpha)
+        assert estimate.value == pytest.approx(exact, abs=1e-6)
+
+    def test_estimate_reasonable_for_moderate_k(self):
+        graph = small_world_graph(80, k=6, rng=np.random.default_rng(2))
+        alpha = exponential_decay(2.0)
+        ranks = node_ranks(graph, salt="sim-mod")
+        s1 = build_ads(graph, 0, 24, ranks=ranks)
+        s2 = build_ads(graph, 1, 24, ranks=ranks)
+        estimate = estimate_closeness_similarity(s1, s2, ranks, alpha)
+        exact = exact_closeness_similarity(graph, 0, 1, alpha)
+        assert estimate.value == pytest.approx(exact, abs=0.25)
+
+    def test_value_clamped_to_unit_interval(self):
+        graph = grid_graph(4, 4)
+        alpha = exponential_decay(1.0)
+        ranks = node_ranks(graph, salt="clamp")
+        s1 = build_ads(graph, (0, 0), 3, ranks=ranks)
+        s2 = build_ads(graph, (3, 3), 3, ranks=ranks)
+        estimate = estimate_closeness_similarity(s1, s2, ranks, alpha)
+        assert 0.0 <= estimate.value <= 1.0

@@ -1,0 +1,114 @@
+"""Tests for all-distances sketches and HIP inclusion probabilities."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.dijkstra import shortest_path_lengths
+from repro.graphs.generators import grid_graph, small_world_graph
+from repro.sketches.ads import build_ads, build_all_ads, node_ranks
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return grid_graph(6, 6)
+
+
+class TestConstruction:
+    def test_source_always_included(self, graph):
+        sketch = build_ads(graph, (0, 0), k=4, salt="t")
+        entry = sketch.entry((0, 0))
+        assert entry is not None
+        assert entry.distance == 0.0
+        assert entry.threshold == 1.0
+
+    def test_entries_record_true_distances(self, graph):
+        sketch = build_ads(graph, (0, 0), k=4, salt="t")
+        distances = shortest_path_lengths(graph, (0, 0))
+        for node, entry in sketch.entries.items():
+            assert entry.distance == pytest.approx(distances[node])
+
+    def test_large_k_includes_every_node(self, graph):
+        sketch = build_ads(graph, (0, 0), k=graph.num_nodes, salt="t")
+        assert len(sketch) == graph.num_nodes
+
+    def test_k_one_keeps_prefix_minima(self, graph):
+        """With k = 1 a node enters the sketch exactly when its rank is the
+        smallest among all nodes at most as far (prefix minima in the
+        distance order)."""
+        ranks = node_ranks(graph, salt="t")
+        sketch = build_ads(graph, (0, 0), k=1, ranks=ranks)
+        distances = shortest_path_lengths(graph, (0, 0))
+        for node in sketch.entries:
+            closer_ranks = [
+                ranks[other]
+                for other in graph.nodes()
+                if distances[other] < distances[node]
+            ]
+            if closer_ranks:
+                assert ranks[node] < min(closer_ranks)
+
+    def test_rejects_bad_k(self, graph):
+        with pytest.raises(ValueError):
+            build_ads(graph, (0, 0), k=0)
+
+    def test_expected_size_logarithmic(self):
+        """E[|ADS|] = sum over ranks i of min(1, k/i) ~ k ln(n/k): check the
+        sketch stays dramatically smaller than the graph."""
+        graph = grid_graph(12, 12)
+        sketches = [
+            build_ads(graph, (0, 0), k=8, salt=f"salt{j}") for j in range(10)
+        ]
+        mean_size = np.mean([len(s) for s in sketches])
+        assert mean_size < graph.num_nodes / 2
+        assert mean_size > 8
+
+
+class TestHIPProbabilities:
+    def test_probabilities_in_unit_interval(self, graph):
+        sketch = build_ads(graph, (2, 2), k=4, salt="p")
+        for entry in sketch.entries.values():
+            assert 0.0 < entry.threshold <= 1.0
+
+    def test_inclusion_probability_matches_empirical_frequency(self):
+        """The HIP value of a node equals its conditional inclusion
+        probability; unconditionally, P[node in ADS] equals E[HIP * 1] so
+        the empirical inclusion frequency matches the average threshold
+        among runs where the node is included... the cleanest checkable
+        statement is the Monte-Carlo unbiasedness of the HIP cardinality
+        estimator, below."""
+        graph = grid_graph(7, 7)
+        radius = 4.0
+        distances = shortest_path_lengths(graph, (3, 3))
+        true_count = sum(1 for d in distances.values() if d <= radius)
+        estimates = []
+        for j in range(300):
+            sketch = build_ads(graph, (3, 3), k=6, salt=f"mc{j}")
+            estimates.append(sketch.neighborhood_cardinality_estimate(radius))
+        se = np.std(estimates) / np.sqrt(len(estimates))
+        assert np.mean(estimates) == pytest.approx(true_count, abs=5 * se)
+
+    def test_distance_decay_sum_estimate_unbiased(self):
+        graph = small_world_graph(60, k=4, rng=np.random.default_rng(5))
+        alpha = lambda d: 1.0 / (1.0 + d)  # noqa: E731
+        distances = shortest_path_lengths(graph, 0)
+        true_sum = sum(alpha(d) for d in distances.values())
+        estimates = []
+        for j in range(300):
+            sketch = build_ads(graph, 0, k=8, salt=f"decay{j}")
+            estimates.append(sketch.distance_decay_sum_estimate(alpha))
+        se = np.std(estimates) / np.sqrt(len(estimates))
+        assert np.mean(estimates) == pytest.approx(true_sum, abs=5 * se)
+
+
+class TestAllSketches:
+    def test_shared_ranks_coordinate_sketches(self, graph):
+        sketches = build_all_ads(graph, k=4, salt="shared")
+        ranks = node_ranks(graph, salt="shared")
+        # A node with a very small rank appears in many sketches.
+        smallest = min(ranks, key=ranks.get)
+        containing = sum(1 for s in sketches.values() if smallest in s)
+        assert containing == len(sketches)
+
+    def test_every_node_has_a_sketch(self, graph):
+        sketches = build_all_ads(graph, k=3, salt="all")
+        assert set(sketches) == set(graph.nodes())

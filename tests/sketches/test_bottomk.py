@@ -1,0 +1,127 @@
+"""Tests for bottom-k sketches (reservoir / priority / exponential ranks)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sketches.bottomk import (
+    BottomKSketch,
+    RankMethod,
+    bottom_k_sketch,
+    coordinated_bottom_k,
+)
+
+
+WEIGHTS = {f"item{i}": 0.2 + 0.1 * i for i in range(30)}
+
+
+class TestRankMethods:
+    def test_uniform_rank_ignores_weight(self):
+        assert RankMethod.UNIFORM.rank(5.0, 0.3) == 0.3
+
+    def test_priority_rank(self):
+        assert RankMethod.PRIORITY.rank(2.0, 0.3) == pytest.approx(0.15)
+
+    def test_exponential_rank(self):
+        assert RankMethod.EXPONENTIAL.rank(2.0, math.exp(-1.0)) == pytest.approx(0.5)
+
+    def test_zero_weight_rank_infinite(self):
+        for method in RankMethod:
+            assert math.isinf(method.rank(0.0, 0.5))
+
+
+class TestBottomKSketch:
+    def test_size_is_k(self):
+        sketch = bottom_k_sketch(WEIGHTS, k=5, salt="s")
+        assert len(sketch) == 5
+
+    def test_threshold_is_next_rank(self):
+        sketch = bottom_k_sketch(WEIGHTS, k=5, salt="s")
+        retained_ranks = sorted(rank for _, rank in sketch.entries.values())
+        assert retained_ranks[-1] <= sketch.threshold
+
+    def test_small_population_keeps_everything(self):
+        sketch = bottom_k_sketch({"a": 1.0, "b": 2.0}, k=5, salt="s")
+        assert len(sketch) == 2
+        assert math.isinf(sketch.threshold)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            bottom_k_sketch(WEIGHTS, k=0)
+
+    def test_empty_weights(self):
+        sketch = bottom_k_sketch({}, k=3)
+        assert len(sketch) == 0
+
+    def test_priority_prefers_heavy_items(self):
+        rng = np.random.default_rng(0)
+        heavy_hits = 0
+        reps = 300
+        weights = {"heavy": 10.0, **{f"light{i}": 0.1 for i in range(20)}}
+        for _ in range(reps):
+            sketch = bottom_k_sketch(weights, k=3, rng=rng,
+                                     method=RankMethod.PRIORITY)
+            if "heavy" in sketch:
+                heavy_hits += 1
+        assert heavy_hits / reps > 0.95
+
+    def test_conditional_inclusion_probability_formulas(self):
+        sketch = BottomKSketch(
+            k=2, method=RankMethod.PRIORITY, entries={}, threshold=0.5
+        )
+        assert sketch.conditional_inclusion_probability(0.4) == pytest.approx(0.2)
+        assert sketch.conditional_inclusion_probability(4.0) == 1.0
+        exponential = BottomKSketch(
+            k=2, method=RankMethod.EXPONENTIAL, entries={}, threshold=0.5
+        )
+        assert exponential.conditional_inclusion_probability(2.0) == pytest.approx(
+            1.0 - math.exp(-1.0)
+        )
+        uniform = BottomKSketch(
+            k=2, method=RankMethod.UNIFORM, entries={}, threshold=0.5
+        )
+        assert uniform.conditional_inclusion_probability(2.0) == 0.5
+
+    def test_subset_sum_estimate_unbiased(self):
+        rng = np.random.default_rng(3)
+        weights = {f"i{k}": 0.5 + 0.1 * k for k in range(25)}
+        true_total = sum(weights.values())
+        estimates = []
+        for _ in range(2500):
+            sketch = bottom_k_sketch(weights, k=8, rng=rng,
+                                     method=RankMethod.PRIORITY)
+            estimates.append(sketch.subset_sum_estimate())
+        se = np.std(estimates) / np.sqrt(len(estimates))
+        assert np.mean(estimates) == pytest.approx(true_total, abs=5 * se)
+
+
+class TestCoordination:
+    def test_identical_instances_have_identical_sketches(self):
+        instances = {"a": WEIGHTS, "b": dict(WEIGHTS)}
+        sketches = coordinated_bottom_k(instances, k=6, salt="x")
+        assert set(sketches["a"].entries) == set(sketches["b"].entries)
+
+    def test_similar_instances_overlap_heavily(self):
+        rng = np.random.default_rng(4)
+        base = {f"i{k}": float(w) for k, w in enumerate(rng.uniform(0.5, 1.5, 200))}
+        perturbed = {k: w * float(rng.uniform(0.95, 1.05)) for k, w in base.items()}
+        sketches = coordinated_bottom_k({"a": base, "b": perturbed}, k=20, salt="y")
+        overlap = len(set(sketches["a"].entries) & set(sketches["b"].entries))
+        assert overlap >= 15  # coordination keeps the sketches aligned
+
+    def test_independent_sampling_would_overlap_less(self):
+        """Sanity contrast: with different salts (independent randomness)
+        the overlap of two samples of the same instance drops."""
+        base = {f"i{k}": 1.0 for k in range(200)}
+        coordinated = coordinated_bottom_k({"a": base, "b": base}, k=20, salt="z")
+        overlap_coordinated = len(
+            set(coordinated["a"].entries) & set(coordinated["b"].entries)
+        )
+        independent_a = bottom_k_sketch(base, k=20, salt="z1")
+        independent_b = bottom_k_sketch(base, k=20, salt="z2")
+        overlap_independent = len(
+            set(independent_a.entries) & set(independent_b.entries)
+        )
+        assert overlap_coordinated == 20
+        assert overlap_independent < 20

@@ -1,0 +1,89 @@
+"""Tests for single-instance PPS sampling."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.pps import (
+    choose_tau_for_size,
+    pps_sample,
+    subset_sum_estimate,
+)
+
+
+WEIGHTS = {f"item{i}": w for i, w in enumerate([0.1, 0.4, 0.9, 1.5, 3.0, 0.05])}
+
+
+class TestPPSSample:
+    def test_deterministic_with_hashed_seeds(self):
+        a = pps_sample(WEIGHTS, tau_star=1.0, salt="s")
+        b = pps_sample(WEIGHTS, tau_star=1.0, salt="s")
+        assert a.entries == b.entries
+
+    def test_large_weights_always_sampled(self):
+        sample = pps_sample(WEIGHTS, tau_star=1.0, salt="s")
+        assert "item4" in sample  # weight 3.0 >= any threshold u * 1.0
+        assert "item3" in sample  # weight 1.5
+
+    def test_zero_weights_never_sampled(self):
+        sample = pps_sample({"x": 0.0, "y": 1.0}, tau_star=0.5)
+        assert "x" not in sample
+
+    def test_explicit_seeds(self):
+        sample = pps_sample({"x": 0.4, "y": 0.2}, tau_star=1.0, seeds={"x": 0.3, "y": 0.3})
+        assert "x" in sample and "y" not in sample
+
+    def test_inclusion_probability(self):
+        sample = pps_sample(WEIGHTS, tau_star=2.0, salt="s")
+        assert sample.inclusion_probability(1.0) == 0.5
+        assert sample.inclusion_probability(4.0) == 1.0
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ValueError):
+            pps_sample(WEIGHTS, tau_star=0.0)
+
+    def test_inclusion_frequencies_match_probabilities(self):
+        rng = np.random.default_rng(0)
+        weights = {"a": 0.25, "b": 0.5, "c": 2.0}
+        counts = {k: 0 for k in weights}
+        reps = 4000
+        for _ in range(reps):
+            sample = pps_sample(weights, tau_star=1.0, rng=rng)
+            for k in sample.entries:
+                counts[k] += 1
+        assert counts["a"] / reps == pytest.approx(0.25, abs=0.03)
+        assert counts["b"] / reps == pytest.approx(0.5, abs=0.03)
+        assert counts["c"] == reps
+
+
+class TestSubsetSumEstimate:
+    def test_unbiased_over_replications(self):
+        rng = np.random.default_rng(1)
+        weights = {f"i{k}": 0.1 + 0.05 * k for k in range(12)}
+        true_total = sum(weights.values())
+        estimates = []
+        for _ in range(3000):
+            sample = pps_sample(weights, tau_star=1.0, rng=rng)
+            estimates.append(subset_sum_estimate(sample))
+        se = np.std(estimates) / np.sqrt(len(estimates))
+        assert np.mean(estimates) == pytest.approx(true_total, abs=4 * se + 1e-3)
+
+    def test_selection(self):
+        sample = pps_sample({"x": 2.0, "y": 3.0}, tau_star=1.0, salt="s")
+        assert subset_sum_estimate(sample, selection=["x"]) == pytest.approx(2.0)
+
+
+class TestChooseTau:
+    def test_expected_size_hits_target(self):
+        rng = np.random.default_rng(2)
+        weights = {f"i{k}": float(w) for k, w in enumerate(rng.pareto(1.5, 300) + 0.1)}
+        tau = choose_tau_for_size(weights, expected_size=20.0)
+        expected = sum(min(1.0, w / tau) for w in weights.values())
+        assert expected == pytest.approx(20.0, rel=0.02)
+
+    def test_target_larger_than_population(self):
+        weights = {"a": 0.5, "b": 0.7}
+        tau = choose_tau_for_size(weights, expected_size=10.0)
+        assert sum(min(1.0, w / tau) for w in weights.values()) == pytest.approx(2.0)
+
+    def test_empty_weights(self):
+        assert choose_tau_for_size({}, expected_size=5.0) == 1.0

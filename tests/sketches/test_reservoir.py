@@ -1,0 +1,62 @@
+"""Tests for reservoir sampling (streaming and coordinated hash-rank forms)."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.reservoir import ReservoirSampler, coordinated_reservoir
+
+
+class TestReservoirSampler:
+    def test_keeps_first_k(self):
+        sampler = ReservoirSampler(k=5, rng=np.random.default_rng(0))
+        sampler.extend(range(3))
+        assert sorted(sampler.sample) == [0, 1, 2]
+        assert sampler.seen == 3
+
+    def test_size_never_exceeds_k(self):
+        sampler = ReservoirSampler(k=5, rng=np.random.default_rng(0))
+        sampler.extend(range(100))
+        assert len(sampler.sample) == 5
+        assert sampler.seen == 100
+
+    def test_uniformity(self):
+        """Every stream element should appear with probability k / n."""
+        rng = np.random.default_rng(1)
+        counts = np.zeros(20)
+        reps = 3000
+        for _ in range(reps):
+            sampler = ReservoirSampler(k=4, rng=rng)
+            sampler.extend(range(20))
+            for item in sampler.sample:
+                counts[item] += 1
+        frequencies = counts / reps
+        assert np.allclose(frequencies, 4 / 20, atol=0.03)
+
+    def test_scale_up_estimate(self):
+        rng = np.random.default_rng(2)
+        estimates = []
+        for _ in range(500):
+            sampler = ReservoirSampler(k=30, rng=rng)
+            sampler.extend(range(300))
+            estimates.append(sampler.scale_up_estimate(lambda x: x % 3 == 0))
+        assert np.mean(estimates) == pytest.approx(100.0, rel=0.05)
+
+    def test_scale_up_on_empty_reservoir(self):
+        sampler = ReservoirSampler(k=3)
+        assert sampler.scale_up_estimate(lambda x: True) == 0.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(k=0)
+
+
+class TestCoordinatedReservoir:
+    def test_identical_instances_identical_samples(self):
+        weights = {f"i{k}": 1.0 for k in range(100)}
+        sketches = coordinated_reservoir({"a": weights, "b": dict(weights)}, k=10)
+        assert set(sketches["a"].entries) == set(sketches["b"].entries)
+
+    def test_sample_size(self):
+        weights = {f"i{k}": 1.0 for k in range(100)}
+        sketches = coordinated_reservoir({"a": weights}, k=10)
+        assert len(sketches["a"]) == 10
