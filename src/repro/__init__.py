@@ -77,6 +77,12 @@ from .analysis import (
     simulate_sum_estimate,
     variance,
 )
+from .engine import (
+    BatchOutcome,
+    BatchSumEngine,
+    BatchSumResult,
+    resolve_kernel,
+)
 
 __version__ = "0.1.0"
 
@@ -119,5 +125,9 @@ __all__ = [
     "moments",
     "simulate_sum_estimate",
     "variance",
+    "BatchOutcome",
+    "BatchSumEngine",
+    "BatchSumResult",
+    "resolve_kernel",
     "__version__",
 ]

@@ -10,6 +10,7 @@ from .queries import (
     lpp_difference,
     lpp_plus,
     sum_aggregate,
+    target_values_batch,
     weighted_jaccard,
 )
 from .sum_estimator import (
@@ -34,6 +35,7 @@ __all__ = [
     "lpp_difference",
     "lpp_plus",
     "sum_aggregate",
+    "target_values_batch",
     "weighted_jaccard",
     "ItemEstimate",
     "SumAggregateEstimator",

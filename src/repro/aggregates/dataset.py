@@ -146,6 +146,35 @@ class MultiInstanceDataset:
         """Sum of weights of one instance."""
         return sum(tup[index] for tup in self._columns.values())
 
+    def weight_matrix(
+        self,
+        selection: Optional[Iterable[ItemKey]] = None,
+        instances: Optional[Sequence[int]] = None,
+    ):
+        """Dense ``(items, instances)`` weight matrix plus its item keys.
+
+        This is the bridge to the vectorized engine and query backends: a
+        NumPy array with one row per item (following ``iter_items`` order,
+        including all-zero rows for selected-but-absent items) and one
+        column per requested instance.  Returns ``(keys, matrix)``.
+        """
+        import numpy as np
+
+        idx = tuple(instances) if instances is not None else tuple(
+            range(self.num_instances)
+        )
+        keys: List[ItemKey] = []
+        rows: List[Tuple[float, ...]] = []
+        for key, tup in self.iter_items(selection):
+            keys.append(key)
+            rows.append(tuple(tup[i] for i in idx))
+        matrix = (
+            np.asarray(rows, dtype=float)
+            if rows
+            else np.empty((0, len(idx)), dtype=float)
+        )
+        return tuple(keys), matrix
+
     def restrict(self, selection: Iterable[ItemKey]) -> "MultiInstanceDataset":
         """A new dataset containing only the selected items."""
         restricted = MultiInstanceDataset(self._instance_names)

@@ -74,17 +74,33 @@ class SumAggregateEstimator:
     instances:
         Which instances (and in which order) form the tuple passed to
         ``target``; defaults to all instances of the sample.
+    backend:
+        ``"scalar"`` applies ``estimator.estimate`` outcome by outcome
+        (the reference path); ``"vectorized"`` batches the retained items
+        into a :class:`~repro.engine.batch_outcome.BatchOutcome` and runs
+        the matching kernel from :mod:`repro.engine.kernels`, raising
+        ``ValueError`` when no kernel covers the estimator/scheme pair;
+        ``"auto"`` uses the kernel when one applies and silently falls
+        back to the scalar path otherwise.
     """
+
+    _BACKENDS = ("scalar", "vectorized", "auto")
 
     def __init__(
         self,
         target: EstimationTarget,
         estimator: Optional[Estimator] = None,
         instances: Optional[Sequence[int]] = None,
+        backend: str = "scalar",
     ) -> None:
+        if backend not in self._BACKENDS:
+            raise ValueError(
+                f"backend must be one of {self._BACKENDS}, got {backend!r}"
+            )
         self._target = target
         self._estimator = estimator if estimator is not None else LStarEstimator(target)
         self._instances = tuple(instances) if instances is not None else None
+        self._backend = backend
 
     @property
     def target(self) -> EstimationTarget:
@@ -93,6 +109,10 @@ class SumAggregateEstimator:
     @property
     def estimator(self) -> Estimator:
         return self._estimator
+
+    @property
+    def backend(self) -> str:
+        return self._backend
 
     def estimate(
         self,
@@ -106,11 +126,23 @@ class SumAggregateEstimator:
         enumerated; items outside the selection are skipped.
         """
         selected = set(selection) if selection is not None else None
+        keys = [
+            key
+            for key in sample.sampled_items()
+            if selected is None or key in selected
+        ]
+        if self._backend != "scalar":
+            batched = self._estimate_batched(sample, keys)
+            if batched is not None:
+                return batched
+            if self._backend == "vectorized":
+                raise ValueError(
+                    "no vectorized kernel covers this estimator/scheme pair; "
+                    "use backend='scalar' or backend='auto'"
+                )
         contributions: List[ItemEstimate] = []
         total = 0.0
-        for key in sample.sampled_items():
-            if selected is not None and key not in selected:
-                continue
+        for key in keys:
             outcome = sample.outcome_for(key, instances=self._instances)
             value = self._estimator.estimate(outcome)
             total += value
@@ -123,6 +155,56 @@ class SumAggregateEstimator:
             estimator=self._estimator.name,
         )
 
+    def _estimate_batched(
+        self, sample: CoordinatedSample, keys: Sequence[ItemKey]
+    ) -> Optional[SumEstimate]:
+        """Kernel-based estimation of the retained items, or ``None``.
+
+        Imported lazily so that the aggregates layer has no import-time
+        dependency on the engine (the engine's driver consumes datasets
+        from this package).
+        """
+        import numpy as np
+
+        from ..core.schemes import CoordinatedScheme
+        from ..engine.batch_outcome import BatchOutcome
+        from ..engine.kernels import resolve_kernel
+
+        idx = (
+            self._instances
+            if self._instances is not None
+            else tuple(range(sample.num_instances))
+        )
+        scheme = (
+            sample.scheme
+            if self._instances is None
+            else CoordinatedScheme([sample.scheme.thresholds[i] for i in idx])
+        )
+        kernel = resolve_kernel(self._estimator, scheme)
+        if kernel is None:
+            return None
+        n = len(keys)
+        seeds = np.empty(n)
+        values = np.full((n, len(idx)), np.nan)
+        instance_samples = sample.instance_samples
+        for k, key in enumerate(keys):
+            seeds[k] = sample.seed_of(key)
+            for column, i in enumerate(idx):
+                weight = instance_samples[i].entries.get(key)
+                if weight is not None:
+                    values[k, column] = weight
+        batch = BatchOutcome(seeds=seeds, values=values, scheme=scheme)
+        estimates = kernel.estimate_batch(batch)
+        contributions = tuple(
+            ItemEstimate(key=key, seed=float(seeds[k]), estimate=float(estimates[k]))
+            for k, key in enumerate(keys)
+        )
+        return SumEstimate(
+            value=float(estimates.sum()),
+            items=contributions,
+            estimator=self._estimator.name,
+        )
+
 
 def estimate_lpp(
     sample: CoordinatedSample,
@@ -130,6 +212,7 @@ def estimate_lpp(
     instances: Tuple[int, int] = (0, 1),
     estimator: Optional[Estimator] = None,
     selection: Optional[Iterable[ItemKey]] = None,
+    backend: str = "scalar",
 ) -> float:
     """Estimate ``L_p^p`` between two instances from a coordinated sample.
 
@@ -138,9 +221,9 @@ def estimate_lpp(
     is an ``RG_p+`` sum aggregate — exactly the decomposition used in
     Example 1 of the paper.
     """
-    forward = estimate_lpp_plus(sample, p, instances, estimator, selection)
+    forward = estimate_lpp_plus(sample, p, instances, estimator, selection, backend)
     backward = estimate_lpp_plus(
-        sample, p, (instances[1], instances[0]), estimator, selection
+        sample, p, (instances[1], instances[0]), estimator, selection, backend
     )
     return forward + backward
 
@@ -151,6 +234,7 @@ def estimate_lp(
     instances: Tuple[int, int] = (0, 1),
     estimator: Optional[Estimator] = None,
     selection: Optional[Iterable[ItemKey]] = None,
+    backend: str = "scalar",
 ) -> float:
     """Estimate the ``L_p`` difference as the ``p``-th root of ``L_p^p``.
 
@@ -158,7 +242,7 @@ def estimate_lp(
     applications accept it because the underlying ``L_p^p`` estimate is
     unbiased and concentrates.
     """
-    value = estimate_lpp(sample, p, instances, estimator, selection)
+    value = estimate_lpp(sample, p, instances, estimator, selection, backend)
     return max(0.0, value) ** (1.0 / p)
 
 
@@ -168,10 +252,11 @@ def estimate_lpp_plus(
     instances: Tuple[int, int] = (0, 1),
     estimator: Optional[Estimator] = None,
     selection: Optional[Iterable[ItemKey]] = None,
+    backend: str = "scalar",
 ) -> float:
     """Estimate the one-sided difference ``sum max(0, v_i - v_j)^p``."""
     target = OneSidedRange(p=p)
     aggregator = SumAggregateEstimator(
-        target, estimator=estimator, instances=instances
+        target, estimator=estimator, instances=instances, backend=backend
     )
     return aggregator.estimate(sample, selection=selection).value

@@ -73,6 +73,7 @@ def simulate_sum_estimate(
     tuples: Sequence[Sequence[float]],
     replications: int = 200,
     rng: Optional[np.random.Generator] = None,
+    backend: str = "scalar",
 ) -> EstimateSummary:
     """Repeatedly estimate ``sum_k f(v^(k))`` from coordinated samples.
 
@@ -81,11 +82,30 @@ def simulate_sum_estimate(
     The per-item unbiasedness of the estimator makes the sum estimate
     unbiased, and independence across items makes its variance the sum of
     the per-item variances — both facts are checked by the tests.
+
+    ``backend="vectorized"`` batches the replication × item grid through
+    the engine kernel matching ``estimator`` (raising when none exists);
+    ``"auto"`` falls back to the scalar loop instead of raising.  The
+    vectorized path consumes the generator stream in the same order as
+    the scalar loop, so both backends see identical seeds.
     """
+    if backend not in ("scalar", "vectorized", "auto"):
+        raise ValueError(f"unknown backend {backend!r}")
     rng = rng if rng is not None else np.random.default_rng()
     vectors = [tuple(float(x) for x in t) for t in tuples]
     true_value = sum(target(v) for v in vectors)
     totals = np.empty(replications)
+    if backend != "scalar" and vectors:
+        batched = _simulate_batched(estimator, scheme, vectors, replications, rng)
+        if batched is not None:
+            return EstimateSummary(
+                estimator=estimator.name, true_value=true_value, estimates=batched
+            )
+        if backend == "vectorized":
+            raise ValueError(
+                "no vectorized kernel covers this estimator/scheme pair; "
+                "use backend='scalar' or backend='auto'"
+            )
     for rep in range(replications):
         total = 0.0
         seeds = 1.0 - rng.random(len(vectors))
@@ -95,6 +115,45 @@ def simulate_sum_estimate(
     return EstimateSummary(
         estimator=estimator.name, true_value=true_value, estimates=totals
     )
+
+
+def _simulate_batched(
+    estimator: Estimator,
+    scheme: MonotoneSamplingScheme,
+    vectors: Sequence[Sequence[float]],
+    replications: int,
+    rng: np.random.Generator,
+    max_block_items: int = 1 << 20,
+) -> Optional[np.ndarray]:
+    """Replications × items through the engine kernel, or ``None``.
+
+    Replications are processed in blocks so the working set stays bounded
+    no matter how large the grid is.  Engine imports are local to keep
+    the analysis layer usable without it.
+    """
+    from ..core.schemes import CoordinatedScheme
+    from ..engine.batch_outcome import BatchOutcome
+    from ..engine.kernels import resolve_kernel
+
+    if not isinstance(scheme, CoordinatedScheme):
+        return None
+    kernel = resolve_kernel(estimator, scheme)
+    if kernel is None:
+        return None
+    matrix = np.asarray(vectors, dtype=float)
+    n = matrix.shape[0]
+    block = max(1, max_block_items // max(1, n))
+    totals = np.empty(replications)
+    for start in range(0, replications, block):
+        reps = min(block, replications - start)
+        seeds = 1.0 - rng.random((reps, n))
+        tiled = np.broadcast_to(matrix, (reps, n, matrix.shape[1]))
+        batch = BatchOutcome.sample_vectors(
+            scheme, tiled.reshape(reps * n, -1), seeds.reshape(-1)
+        )
+        estimates = kernel.estimate_batch(batch).reshape(reps, n)
+        totals[start : start + reps] = estimates.sum(axis=1)
+    return totals
 
 
 def relative_errors(summaries: Sequence[EstimateSummary]) -> Dict[str, float]:

@@ -136,13 +136,29 @@ def monte_carlo_moments(
     vector: Sequence[float],
     replications: int = 2000,
     rng: Optional[np.random.Generator] = None,
+    backend: str = "scalar",
 ) -> MomentReport:
-    """Monte-Carlo mean and second moment (random seeds)."""
+    """Monte-Carlo mean and second moment (random seeds).
+
+    ``backend="vectorized"`` evaluates all replications in one engine
+    batch (raising when no kernel matches); ``"auto"`` falls back to the
+    scalar loop.  Both consume the generator stream in the same order.
+    """
+    if backend not in ("scalar", "vectorized", "auto"):
+        raise ValueError(f"unknown backend {backend!r}")
     rng = rng if rng is not None else np.random.default_rng()
-    samples = np.empty(replications)
-    for i in range(replications):
-        seed = 1.0 - float(rng.random())  # uniform on (0, 1]
-        samples[i] = estimator.estimate_for(scheme, vector, seed)
+    samples = _moments_batched(estimator, scheme, vector, replications, rng) \
+        if backend != "scalar" else None
+    if samples is None:
+        if backend == "vectorized":
+            raise ValueError(
+                "no vectorized kernel covers this estimator/scheme pair; "
+                "use backend='scalar' or backend='auto'"
+            )
+        samples = np.empty(replications)
+        for i in range(replications):
+            seed = 1.0 - float(rng.random())  # uniform on (0, 1]
+            samples[i] = estimator.estimate_for(scheme, vector, seed)
     return MomentReport(
         estimator=estimator.name,
         vector=tuple(float(x) for x in vector),
@@ -150,3 +166,25 @@ def monte_carlo_moments(
         mean=float(samples.mean()),
         second_moment=float((samples ** 2).mean()),
     )
+
+
+def _moments_batched(
+    estimator: Estimator,
+    scheme: MonotoneSamplingScheme,
+    vector: Sequence[float],
+    replications: int,
+    rng: np.random.Generator,
+) -> Optional[np.ndarray]:
+    """All replications of one vector through the engine kernel, or None."""
+    from ..engine.batch_outcome import BatchOutcome
+    from ..engine.kernels import resolve_kernel
+
+    if not isinstance(scheme, CoordinatedScheme):
+        return None
+    kernel = resolve_kernel(estimator, scheme)
+    if kernel is None:
+        return None
+    seeds = 1.0 - rng.random(replications)
+    tiled = np.tile(np.asarray(vector, dtype=float), (replications, 1))
+    batch = BatchOutcome.sample_vectors(scheme, tiled, seeds)
+    return kernel.estimate_batch(batch)

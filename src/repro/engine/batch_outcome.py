@@ -1,0 +1,217 @@
+"""Array-of-outcomes representation for vectorized estimation.
+
+The scalar pipeline materialises one :class:`~repro.core.outcome.Outcome`
+object per item and calls ``Estimator.estimate`` on each — perfectly
+faithful to the paper, but the object churn and per-item Python dispatch
+dominate the running time long before the mathematics does.
+
+:class:`BatchOutcome` stores the *same information* as a list of outcomes
+in three parallel NumPy arrays:
+
+* ``seeds`` — shape ``(n,)``, the seed ``rho_k`` of every item;
+* ``values`` — shape ``(n, r)``, the sampled value of entry ``i`` of item
+  ``k``, with ``NaN`` marking an unsampled entry (the scalar ``None``);
+* the shared :class:`~repro.core.schemes.CoordinatedScheme`, which fixes
+  the per-entry threshold functions exactly as in the scalar pipeline.
+
+Because the arrays are column-parallel, every closed-form estimator of the
+paper becomes a handful of NumPy expressions over them (see
+:mod:`repro.engine.kernels`), and sampling a whole dataset is a single
+broadcast comparison ``values >= seed * tau_star`` instead of a Python
+loop.  Conversion helpers to and from scalar outcomes are provided so the
+two representations stay interchangeable (and testable against each
+other).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.outcome import Outcome
+from ..core.schemes import CoordinatedScheme, LinearThreshold
+
+__all__ = [
+    "BatchOutcome",
+    "linear_rates",
+    "is_unit_pps",
+]
+
+
+def linear_rates(scheme: CoordinatedScheme) -> Optional[np.ndarray]:
+    """Per-entry PPS rates ``tau*`` when every threshold is linear, else None."""
+    rates = []
+    for threshold in scheme.thresholds:
+        if not isinstance(threshold, LinearThreshold):
+            return None
+        rates.append(threshold.tau_star)
+    return np.asarray(rates, dtype=float)
+
+
+def is_unit_pps(scheme: CoordinatedScheme, dimension: Optional[int] = None) -> bool:
+    """Whether ``scheme`` is coordinated PPS with ``tau* = 1`` per entry."""
+    if dimension is not None and scheme.dimension != dimension:
+        return False
+    rates = linear_rates(scheme)
+    return rates is not None and bool(np.all(np.abs(rates - 1.0) <= 1e-12))
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """``n`` monotone-sampling outcomes under one scheme, as parallel arrays.
+
+    Attributes
+    ----------
+    seeds:
+        Shape ``(n,)`` array of the per-item seeds, each in ``(0, 1]``.
+    values:
+        Shape ``(n, r)`` array of sampled values; ``NaN`` marks an entry
+        that was not sampled (the scalar representation's ``None``).
+    scheme:
+        The shared coordinated sampling scheme of all ``n`` items.
+    """
+
+    seeds: np.ndarray
+    values: np.ndarray
+    scheme: CoordinatedScheme
+
+    def __post_init__(self) -> None:
+        seeds = np.asarray(self.seeds, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        if seeds.ndim != 1:
+            raise ValueError("seeds must be a one-dimensional array")
+        if values.ndim != 2 or values.shape[0] != seeds.shape[0]:
+            raise ValueError(
+                f"values must have shape (n, r) with n = {seeds.shape[0]}, "
+                f"got {values.shape}"
+            )
+        if values.shape[1] != self.scheme.dimension:
+            raise ValueError(
+                f"values have {values.shape[1]} entries per item, scheme "
+                f"expects {self.scheme.dimension}"
+            )
+        if seeds.size and (seeds.min() <= 0.0 or seeds.max() > 1.0):
+            raise ValueError("seeds must lie in (0, 1]")
+        object.__setattr__(self, "seeds", seeds)
+        object.__setattr__(self, "values", values)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.seeds.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Number of entries per item tuple."""
+        return int(self.values.shape[1])
+
+    @property
+    def sampled(self) -> np.ndarray:
+        """Boolean mask of shape ``(n, r)``: entry was sampled."""
+        return ~np.isnan(self.values)
+
+    @property
+    def is_empty(self) -> np.ndarray:
+        """Boolean mask of shape ``(n,)``: no entry of the item sampled."""
+        return ~self.sampled.any(axis=1)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_outcomes(
+        cls, outcomes: Sequence[Outcome], scheme: Optional[CoordinatedScheme] = None
+    ) -> "BatchOutcome":
+        """Pack scalar outcomes (sharing one scheme) into a batch."""
+        if scheme is None:
+            if not outcomes:
+                raise ValueError("cannot infer the scheme from an empty sequence")
+            scheme = outcomes[0].scheme  # type: ignore[assignment]
+        if not isinstance(scheme, CoordinatedScheme):
+            raise TypeError("BatchOutcome requires a CoordinatedScheme")
+        n = len(outcomes)
+        seeds = np.empty(n)
+        values = np.full((n, scheme.dimension), np.nan)
+        for k, outcome in enumerate(outcomes):
+            if outcome.dimension != scheme.dimension:
+                raise ValueError("all outcomes must share the scheme dimension")
+            seeds[k] = outcome.seed
+            for i, v in enumerate(outcome.values):
+                if v is not None:
+                    values[k, i] = v
+        return cls(seeds=seeds, values=values, scheme=scheme)
+
+    @classmethod
+    def sample_vectors(
+        cls,
+        scheme: CoordinatedScheme,
+        vectors: np.ndarray,
+        seeds: np.ndarray,
+    ) -> "BatchOutcome":
+        """Vectorized counterpart of ``scheme.sample`` over many vectors.
+
+        ``vectors`` has shape ``(n, r)`` and ``seeds`` shape ``(n,)``.  An
+        entry is reported exactly when its weight is at or above the
+        threshold at the item's seed — identical to the scalar sampler,
+        including the boundary convention (``>=`` keeps a weight that lands
+        exactly on the threshold).
+        """
+        vectors = np.asarray(vectors, dtype=float)
+        seeds = np.asarray(seeds, dtype=float)
+        if vectors.ndim != 2 or vectors.shape[1] != scheme.dimension:
+            raise ValueError(
+                f"vectors must have shape (n, {scheme.dimension}), got {vectors.shape}"
+            )
+        rates = linear_rates(scheme)
+        if rates is not None:
+            thresholds = seeds[:, None] * rates[None, :]
+        else:
+            thresholds = np.empty_like(vectors)
+            for i in range(scheme.dimension):
+                tau = scheme.thresholds[i]
+                thresholds[:, i] = [tau(u) for u in seeds]
+        values = np.where(vectors >= thresholds, vectors, np.nan)
+        return cls(seeds=seeds, values=values, scheme=scheme)
+
+    # ------------------------------------------------------------------
+    # Conversion / slicing
+    # ------------------------------------------------------------------
+    def to_outcomes(self) -> Iterator[Outcome]:
+        """Yield the equivalent scalar :class:`Outcome` objects."""
+        for k in range(len(self)):
+            values: List[Optional[float]] = [
+                None if np.isnan(v) else float(v) for v in self.values[k]
+            ]
+            yield Outcome(
+                seed=float(self.seeds[k]), values=tuple(values), scheme=self.scheme
+            )
+
+    def outcome_at(self, index: int) -> Outcome:
+        """The scalar outcome of item ``index``."""
+        row = self.values[index]
+        values = tuple(None if np.isnan(v) else float(v) for v in row)
+        return Outcome(seed=float(self.seeds[index]), values=values, scheme=self.scheme)
+
+    def take(self, indices: np.ndarray) -> "BatchOutcome":
+        """A new batch restricted to the given item indices (or mask)."""
+        indices = np.asarray(indices)
+        return BatchOutcome(
+            seeds=self.seeds[indices],
+            values=self.values[indices],
+            scheme=self.scheme,
+        )
+
+    def select_instances(self, instances: Iterable[int]) -> "BatchOutcome":
+        """Restrict every item tuple to (and reorder by) ``instances``.
+
+        Mirrors ``CoordinatedSample.outcome_for(..., instances=...)``: the
+        scheme is restricted to the matching threshold functions.
+        """
+        idx: Tuple[int, ...] = tuple(instances)
+        scheme = CoordinatedScheme([self.scheme.thresholds[i] for i in idx])
+        return BatchOutcome(
+            seeds=self.seeds, values=self.values[:, idx], scheme=scheme
+        )

@@ -44,6 +44,11 @@ class HorvitzThompsonEstimator(Estimator):
     def target(self) -> EstimationTarget:
         return self._target
 
+    @property
+    def tolerance(self) -> float:
+        """Relative tolerance used to decide whether ``f`` is revealed."""
+        return self._tolerance
+
     def estimate(self, outcome: Outcome) -> float:
         revealed, value = self._revealed_value(outcome, outcome.seed)
         if not revealed:

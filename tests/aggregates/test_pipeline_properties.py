@@ -10,7 +10,7 @@ zero on empty samples).
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
 
 from repro.aggregates.coordinated import CoordinatedPPSSampler
 from repro.aggregates.dataset import MultiInstanceDataset
@@ -74,6 +74,14 @@ def test_monte_carlo_mean_tracks_exact_query(mapping):
     truth = lpp_plus(dataset, 1.0, (0, 1))
     if truth == 0.0:
         return
+    # The empirical-spread bound below is meaningless when a contributing
+    # item is so rarely sampled that 60 replications plausibly never see
+    # it (all-zero estimates give spread 0 while the mean misses truth by
+    # the item's full contribution).  Require every item with a positive
+    # target value to have a non-negligible inclusion probability.
+    for tup in mapping.values():
+        if tup[0] > tup[1]:
+            assume(tup[0] >= 0.2)
     sampler = CoordinatedPPSSampler([1.0, 1.0])
     rng = np.random.default_rng(0)
     aggregator = SumAggregateEstimator(

@@ -13,7 +13,11 @@ from repro.aggregates.queries import (
     sum_aggregate,
     weighted_jaccard,
 )
-from repro.core.functions import AbsoluteCombination, ExponentiatedRange
+from repro.core.functions import (
+    AbsoluteCombination,
+    ExponentiatedRange,
+    OneSidedRange,
+)
 
 
 @pytest.fixture
@@ -91,3 +95,35 @@ class TestSumAggregate:
     def test_with_selection(self, dataset):
         total = sum_aggregate(dataset, lambda tup: tup[0], selection=["a", "c"])
         assert total == pytest.approx(0.95 + 0.23)
+
+
+class TestVectorizedBackend:
+    def test_every_query_matches_scalar(self, dataset):
+        sel = ["a", "b", "c", "d"]
+        pairs = [
+            (lpp_difference, (dataset, 1.5, (0, 1))),
+            (lpp_difference, (dataset, 1.0, (0, 1), sel)),
+            (lp_difference, (dataset, 2.0, (0, 1))),
+            (lpp_plus, (dataset, 2.0, (1, 0))),
+            (distinct_count, (dataset, [0, 2])),
+            (jaccard_similarity, (dataset, (0, 1))),
+            (weighted_jaccard, (dataset, (0, 1))),
+            (custom_query, (dataset, ExponentiatedRange(p=2.0), (0, 1))),
+            (custom_query, (dataset, AbsoluteCombination([1, -2, 1], p=2.0),)),
+        ]
+        for fn, args in pairs:
+            assert fn(*args, backend="vectorized") == pytest.approx(
+                fn(*args), abs=1e-12
+            ), fn.__name__
+
+    def test_both_backends_reject_wrong_arity_targets(self, dataset):
+        # A 3-instance dataset fed to the 2-entry RG_p+ must fail the same
+        # way on both paths instead of silently using the first 2 columns.
+        with pytest.raises(ValueError, match="two-entry"):
+            custom_query(dataset, OneSidedRange(p=1.0))
+        with pytest.raises(ValueError, match="two-entry"):
+            custom_query(dataset, OneSidedRange(p=1.0), backend="vectorized")
+
+    def test_unknown_backend_rejected(self, dataset):
+        with pytest.raises(ValueError, match="backend"):
+            lpp_difference(dataset, 1.0, backend="numpy")

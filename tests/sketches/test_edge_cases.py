@@ -1,0 +1,117 @@
+"""Edge cases of the sampling substrates.
+
+Three boundary behaviours the estimation layers silently rely on:
+bottom-k sketches whose capacity meets or exceeds the population, items
+of zero weight under PPS, and seeds landing *exactly* on an inclusion
+threshold (the ``>=`` convention must agree everywhere — scalar scheme,
+multi-instance sampler, and the vectorized engine).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.aggregates.coordinated import CoordinatedPPSSampler
+from repro.aggregates.dataset import MultiInstanceDataset
+from repro.core.schemes import StepThreshold, pps_scheme
+from repro.engine import BatchOutcome
+from repro.sketches.bottomk import RankMethod, bottom_k_sketch
+from repro.sketches.pps import pps_sample, subset_sum_estimate
+
+
+class TestBottomKAtCapacity:
+    WEIGHTS = {"a": 3.0, "b": 1.0, "c": 0.5, "d": 2.0}
+
+    @pytest.mark.parametrize("method", list(RankMethod))
+    @pytest.mark.parametrize("k", [4, 5, 100])
+    def test_k_at_least_population_keeps_everything(self, method, k):
+        sketch = bottom_k_sketch(self.WEIGHTS, k=k, method=method)
+        assert set(sketch.entries) == set(self.WEIGHTS)
+        assert math.isinf(sketch.threshold)
+        for weight in self.WEIGHTS.values():
+            assert sketch.conditional_inclusion_probability(weight) == 1.0
+        # With certain inclusion the subset-sum estimate is the exact sum.
+        assert sketch.subset_sum_estimate() == pytest.approx(
+            sum(self.WEIGHTS.values())
+        )
+
+    def test_k_equal_to_population_minus_zero_weight_items(self):
+        weights = dict(self.WEIGHTS, zero=0.0)
+        sketch = bottom_k_sketch(weights, k=4)
+        # Zero-weight items have infinite rank and never occupy a slot.
+        assert "zero" not in sketch.entries
+        assert math.isinf(sketch.threshold)
+        assert sketch.conditional_inclusion_probability(0.0) == 0.0
+
+
+class TestZeroWeightPPS:
+    def test_zero_weight_items_never_sampled(self):
+        weights = {"a": 0.0, "b": 0.7, "c": 0.0}
+        sample = pps_sample(weights, tau_star=1.0, seeds={"a": 1e-9, "b": 0.5, "c": 1e-9})
+        assert "a" not in sample and "c" not in sample
+        assert "b" in sample
+        assert sample.inclusion_probability(0.0) == 0.0
+        assert subset_sum_estimate(sample) == pytest.approx(max(0.7, 1.0))
+
+    def test_zero_weight_entries_in_coordinated_sampler(self):
+        dataset = MultiInstanceDataset(
+            ["v1", "v2"], {"x": (0.9, 0.0), "y": (0.0, 0.8)}
+        )
+        sample = CoordinatedPPSSampler([1.0, 1.0]).sample(
+            dataset, seeds={"x": 0.1, "y": 0.1}
+        )
+        # Each item appears only in the instance where its weight is
+        # positive; the zero entry is unsampled in the outcome.
+        assert sample.outcome_for("x").values == (0.9, None)
+        assert sample.outcome_for("y").values == (None, 0.8)
+
+    def test_all_zero_dataset_items_are_dropped(self):
+        dataset = MultiInstanceDataset(["v1", "v2"])
+        dataset.set_item("gone", (0.0, 0.0))
+        assert "gone" not in dataset
+        assert len(dataset) == 0
+
+
+class TestSeedExactlyOnThreshold:
+    def test_pps_sample_boundary_is_inclusive(self):
+        # weight == seed * tau*: the >= convention keeps the item.
+        sample = pps_sample({"edge": 0.5}, tau_star=1.0, seeds={"edge": 0.5})
+        assert "edge" in sample
+        just_above = pps_sample(
+            {"edge": 0.5}, tau_star=1.0, seeds={"edge": np.nextafter(0.5, 1.0)}
+        )
+        assert "edge" not in just_above
+
+    def test_scheme_sampler_and_engine_agree_on_boundary(self):
+        scheme = pps_scheme([1.0, 1.0])
+        outcome = scheme.sample((0.5, 0.25), 0.5)
+        assert outcome.values == (0.5, None)
+        batch = BatchOutcome.sample_vectors(
+            scheme, np.array([[0.5, 0.25]]), np.array([0.5])
+        )
+        assert batch.outcome_at(0).values == outcome.values
+
+        dataset = MultiInstanceDataset(["v1", "v2"], {"k": (0.5, 0.25)})
+        sample = CoordinatedPPSSampler([1.0, 1.0]).sample(
+            dataset, seeds={"k": 0.5}
+        )
+        assert sample.outcome_for("k").values == outcome.values
+
+    def test_step_threshold_boundary_is_inclusive(self):
+        # StepThreshold: a value is sampled iff the seed is at most its
+        # inclusion probability, boundary included.
+        threshold = StepThreshold([(1.0, 0.25), (2.0, 0.5), (3.0, 1.0)])
+        assert threshold(0.25) == 1.0          # tau at the boundary seed
+        assert threshold(np.nextafter(0.25, 1.0)) == 2.0
+        scheme = pps_scheme([1.0])
+        boundary = scheme.sample((0.3,), 0.3)
+        assert boundary.values == (0.3,)
+
+    def test_known_at_drops_entry_exactly_at_breakpoint(self):
+        scheme = pps_scheme([1.0, 1.0])
+        outcome = scheme.sample((0.5, 0.2), 0.1)
+        # At u == v1 the entry is still at its threshold, hence known ...
+        assert outcome.known_at(0.5) == {0: 0.5}
+        # ... and strictly above it the entry drops out.
+        assert outcome.known_at(float(np.nextafter(0.5, 1.0))) == {}
