@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.aggregates.dataset import MultiInstanceDataset
-from repro.aggregates.queries import lpp_difference
+from repro.aggregates.exact import lpp_difference
 from repro.experiments import example1
 
 

@@ -18,6 +18,7 @@ Run with:  python examples/lp_difference_estimation.py
 
 import numpy as np
 
+from repro.api import EstimationSession
 from repro.datasets import ip_flow_pairs, surname_pairs
 from repro.experiments import lp_difference
 
@@ -42,6 +43,10 @@ def main() -> None:
     rng = np.random.default_rng(0)
     volatile = ip_flow_pairs(10, rng=rng)
     stable = surname_pairs(10, rng=rng)
+    session = EstimationSession()
+    print("\nExact L1 differences via the session facade:")
+    print(f"  volatile workload: {session.query('lpp', volatile, p=1.0).value:.4f}")
+    print(f"  stable workload  : {session.query('lpp', stable, p=1.0).value:.4f}")
     print("\nSample ip-flow tuples (volatile):")
     for key, tup in list(volatile.iter_items())[:5]:
         print(f"  {key}: {tuple(round(x, 3) for x in tup)}")

@@ -1,16 +1,12 @@
 """Quickstart: estimating a difference from a coordinated sample.
 
-This walks through the library's core loop on a single item and then on a
-small multi-instance dataset:
+This walks through the library's core loop twice:
 
-1. define the coordinated PPS sampling scheme and the target function
-   (the one-sided range ``RG_1+``, whose sum aggregate is the increase-only
-   ``L_1`` difference);
-2. sample an item tuple with a shared seed and look at the outcome;
-3. apply the L* estimator (the paper's recommended default: admissible,
-   monotone, 4-competitive) and its U* / Horvitz–Thompson alternatives;
-4. estimate a full ``L_1`` difference from a coordinated sample of a
-   small dataset and compare against the exact value.
+1. the **session facade** (`repro.api`) — one fluent builder that owns
+   scheme construction, target/estimator resolution via the plugin
+   registries, seed management and backend dispatch;
+2. the **low-level API** — the scheme/estimator objects the session
+   orchestrates, which remain the reference implementation.
 
 Run with:  python examples/quickstart.py
 """
@@ -18,22 +14,54 @@ Run with:  python examples/quickstart.py
 import numpy as np
 
 from repro import (
+    EstimationSession,
     HorvitzThompsonEstimator,
     LStarEstimator,
     OneSidedRange,
     UStarOneSidedRangePPS,
     pps_scheme,
 )
-from repro.aggregates import (
-    CoordinatedPPSSampler,
-    MultiInstanceDataset,
-    estimate_lpp,
-    lpp_difference,
-)
+from repro.aggregates import MultiInstanceDataset, estimate_lpp
+
+
+def session_walkthrough() -> None:
+    print("== Session facade ==")
+    session = (
+        EstimationSession([1.0, 1.0], scheme="pps", backend="auto")
+        .target("one_sided_range", p=1.0)   # f(v1, v2) = max(0, v1 - v2)
+        .estimator("lstar")                 # the paper's recommended default
+    )
+
+    # One item: sample the (hidden) tuple with a shared seed and estimate.
+    result = session.estimate((0.6, 0.2), seed=0.35)
+    print(f"single item   : estimate {result.value:.4f} "
+          f"(estimator {result.estimator}, outcome {result.metadata['outcome']})")
+
+    # A whole dataset: coordinated sampling + sum aggregation in one call.
+    dataset = MultiInstanceDataset(
+        ["yesterday", "today"],
+        {
+            "alpha": (0.55, 0.60),
+            "beta": (0.20, 0.00),
+            "gamma": (0.75, 0.70),
+            "delta": (0.10, 0.35),
+            "epsilon": (0.42, 0.44),
+        },
+    )
+    exact = session.query("lpp_plus", dataset, p=1.0)
+    estimate = session.estimate(dataset, rng=7)
+    print(f"dataset       : exact L1+ {exact.value:.4f}, one-sample estimate "
+          f"{estimate.value:.4f} ({estimate.items_contributing} items contributed)")
+
+    # Error statistics over many replications, with variance attached.
+    tuples = [tup for _, tup in dataset.iter_items()]
+    study = session.simulate(tuples, replications=2000, rng=11)
+    print(f"simulate      : mean {study.value:.4f} vs true "
+          f"{study.metadata['true_value']:.4f}, std error {study.std_error:.4f}")
 
 
 def single_item_walkthrough() -> None:
-    print("== Single item ==")
+    print("\n== Low-level API: single item ==")
     scheme = pps_scheme([1.0, 1.0])      # coordinated PPS, tau* = 1
     target = OneSidedRange(p=1.0)        # f(v1, v2) = max(0, v1 - v2)
 
@@ -54,7 +82,7 @@ def single_item_walkthrough() -> None:
 
 
 def sum_aggregate_walkthrough() -> None:
-    print("\n== Sum aggregate over a dataset ==")
+    print("\n== Low-level API: sum aggregate over a dataset ==")
     dataset = MultiInstanceDataset(
         ["yesterday", "today"],
         {
@@ -65,13 +93,14 @@ def sum_aggregate_walkthrough() -> None:
             "epsilon": (0.42, 0.44),
         },
     )
-    exact = lpp_difference(dataset, p=1.0)
+    session = EstimationSession([1.0, 1.0]).target("one_sided_range", p=1.0)
+    exact = session.query("lpp", dataset, p=1.0).value
     print(f"exact L1 difference: {exact:.4f}")
 
-    sampler = CoordinatedPPSSampler([1.0, 1.0])
     rng = np.random.default_rng(7)
     estimates = [
-        estimate_lpp(sampler.sample(dataset, rng=rng), p=1.0) for _ in range(2000)
+        estimate_lpp(session.sample(dataset, rng=rng), p=1.0)
+        for _ in range(2000)
     ]
     print(f"mean of 2000 sampled estimates: {float(np.mean(estimates)):.4f}")
     print(f"empirical standard deviation  : {float(np.std(estimates)):.4f}")
@@ -79,5 +108,6 @@ def sum_aggregate_walkthrough() -> None:
 
 
 if __name__ == "__main__":
+    session_walkthrough()
     single_item_walkthrough()
     sum_aggregate_walkthrough()

@@ -24,13 +24,38 @@ Sampling: Competitiveness and Customization"* (Edith Cohen, PODC 2014):
 Quickstart
 ----------
 
+The session facade (:mod:`repro.api`) drives the whole pipeline — scheme
+construction, estimator/target resolution through the plugin registries,
+seed management, and backend dispatch — from one fluent builder:
+
+>>> from repro import EstimationSession
+>>> session = (
+...     EstimationSession([1.0, 1.0], scheme="pps")
+...     .target("one_sided_range", p=1)
+...     .estimator("lstar")
+... )
+>>> round(session.estimate((0.6, 0.2), seed=0.35).value, 6)
+0.538997
+
+The same session estimates sum aggregates over whole datasets
+(``session.estimate(dataset, rng=7)``), evaluates exact ground truth
+(``session.query("lpp", dataset, p=2)``), and runs Monte-Carlo error
+studies (``session.simulate(tuples, replications=200)``).  New targets,
+estimators and queries plug in with one ``repro.api.register_*`` call.
+
+Low-level API
+-------------
+
+The layers the session orchestrates remain importable directly — they
+are the reference implementation the tests pin down:
+
 >>> from repro import pps_scheme, OneSidedRange, LStarEstimator
 >>> scheme = pps_scheme([1.0, 1.0])
 >>> target = OneSidedRange(p=1)
 >>> estimator = LStarEstimator(target)
 >>> outcome = scheme.sample((0.6, 0.2), seed=0.35)
 >>> round(estimator.estimate(outcome), 6)
-1.098612
+0.538997
 """
 
 from .core import (
@@ -83,6 +108,19 @@ from .engine import (
     BatchSumResult,
     resolve_kernel,
 )
+# The facade imports the layers above, so it must come last; by now the
+# registries have been populated by each layer's self-registration.
+from .api import (
+    BackendPolicy,
+    EstimateResult,
+    EstimationSession,
+    Session,
+    register_estimator,
+    register_query,
+    register_scheme,
+    register_target,
+    set_default_backend,
+)
 
 __version__ = "0.1.0"
 
@@ -129,5 +167,14 @@ __all__ = [
     "BatchSumEngine",
     "BatchSumResult",
     "resolve_kernel",
+    "BackendPolicy",
+    "EstimateResult",
+    "EstimationSession",
+    "Session",
+    "register_estimator",
+    "register_query",
+    "register_scheme",
+    "register_target",
+    "set_default_backend",
     "__version__",
 ]

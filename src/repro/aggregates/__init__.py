@@ -1,5 +1,13 @@
-"""Sum-aggregate estimation over coordinated samples of multi-instance data."""
+"""Sum-aggregate estimation over coordinated samples of multi-instance data.
 
+Exact (ground-truth) query implementations live in
+:mod:`repro.aggregates.exact` and self-register into the
+:mod:`repro.api` query registry; the same-named helpers re-exported here
+from :mod:`repro.aggregates.queries` are deprecation shims that delegate
+to the session facade.
+"""
+
+from . import exact
 from .coordinated import CoordinatedPPSSampler, CoordinatedSample, InstanceSample
 from .dataset import MultiInstanceDataset, example1_dataset
 from .queries import (

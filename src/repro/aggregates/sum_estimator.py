@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..api.backend import BackendPolicy, BackendSpec
 from ..core.functions import EstimationTarget, ExponentiatedRange, OneSidedRange
 from ..estimators.base import Estimator
 from ..estimators.lstar import LStarEstimator
@@ -75,32 +76,30 @@ class SumAggregateEstimator:
         Which instances (and in which order) form the tuple passed to
         ``target``; defaults to all instances of the sample.
     backend:
-        ``"scalar"`` applies ``estimator.estimate`` outcome by outcome
-        (the reference path); ``"vectorized"`` batches the retained items
-        into a :class:`~repro.engine.batch_outcome.BatchOutcome` and runs
-        the matching kernel from :mod:`repro.engine.kernels`, raising
+        ``None`` (the default) uses the process-wide
+        :class:`~repro.api.backend.BackendPolicy`, which auto-dispatches
+        by the number of retained items.  A mode string or a policy
+        object overrides it: ``"scalar"`` applies ``estimator.estimate``
+        outcome by outcome (the reference path); ``"vectorized"`` batches
+        the retained items into a
+        :class:`~repro.engine.batch_outcome.BatchOutcome` and runs the
+        matching kernel from :mod:`repro.engine.kernels`, raising
         ``ValueError`` when no kernel covers the estimator/scheme pair;
         ``"auto"`` uses the kernel when one applies and silently falls
         back to the scalar path otherwise.
     """
-
-    _BACKENDS = ("scalar", "vectorized", "auto")
 
     def __init__(
         self,
         target: EstimationTarget,
         estimator: Optional[Estimator] = None,
         instances: Optional[Sequence[int]] = None,
-        backend: str = "scalar",
+        backend: BackendSpec = None,
     ) -> None:
-        if backend not in self._BACKENDS:
-            raise ValueError(
-                f"backend must be one of {self._BACKENDS}, got {backend!r}"
-            )
+        self._policy = BackendPolicy.coerce(backend)
         self._target = target
         self._estimator = estimator if estimator is not None else LStarEstimator(target)
         self._instances = tuple(instances) if instances is not None else None
-        self._backend = backend
 
     @property
     def target(self) -> EstimationTarget:
@@ -112,7 +111,11 @@ class SumAggregateEstimator:
 
     @property
     def backend(self) -> str:
-        return self._backend
+        return self._policy.mode
+
+    @property
+    def policy(self) -> BackendPolicy:
+        return self._policy
 
     def estimate(
         self,
@@ -131,11 +134,12 @@ class SumAggregateEstimator:
             for key in sample.sampled_items()
             if selected is None or key in selected
         ]
-        if self._backend != "scalar":
+        resolved = self._policy.resolve(len(keys))
+        if resolved != "scalar":
             batched = self._estimate_batched(sample, keys)
             if batched is not None:
                 return batched
-            if self._backend == "vectorized":
+            if resolved == "vectorized":
                 raise ValueError(
                     "no vectorized kernel covers this estimator/scheme pair; "
                     "use backend='scalar' or backend='auto'"
@@ -212,7 +216,7 @@ def estimate_lpp(
     instances: Tuple[int, int] = (0, 1),
     estimator: Optional[Estimator] = None,
     selection: Optional[Iterable[ItemKey]] = None,
-    backend: str = "scalar",
+    backend: BackendSpec = None,
 ) -> float:
     """Estimate ``L_p^p`` between two instances from a coordinated sample.
 
@@ -234,7 +238,7 @@ def estimate_lp(
     instances: Tuple[int, int] = (0, 1),
     estimator: Optional[Estimator] = None,
     selection: Optional[Iterable[ItemKey]] = None,
-    backend: str = "scalar",
+    backend: BackendSpec = None,
 ) -> float:
     """Estimate the ``L_p`` difference as the ``p``-th root of ``L_p^p``.
 
@@ -252,7 +256,7 @@ def estimate_lpp_plus(
     instances: Tuple[int, int] = (0, 1),
     estimator: Optional[Estimator] = None,
     selection: Optional[Iterable[ItemKey]] = None,
-    backend: str = "scalar",
+    backend: BackendSpec = None,
 ) -> float:
     """Estimate the one-sided difference ``sum max(0, v_i - v_j)^p``."""
     target = OneSidedRange(p=p)

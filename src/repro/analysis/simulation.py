@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..api.backend import BackendPolicy, BackendSpec
 from ..core.functions import EstimationTarget
 from ..core.schemes import MonotoneSamplingScheme
 from ..estimators.base import Estimator
@@ -73,7 +74,7 @@ def simulate_sum_estimate(
     tuples: Sequence[Sequence[float]],
     replications: int = 200,
     rng: Optional[np.random.Generator] = None,
-    backend: str = "scalar",
+    backend: BackendSpec = None,
 ) -> EstimateSummary:
     """Repeatedly estimate ``sum_k f(v^(k))`` from coordinated samples.
 
@@ -83,25 +84,28 @@ def simulate_sum_estimate(
     unbiased, and independence across items makes its variance the sum of
     the per-item variances — both facts are checked by the tests.
 
-    ``backend="vectorized"`` batches the replication × item grid through
-    the engine kernel matching ``estimator`` (raising when none exists);
-    ``"auto"`` falls back to the scalar loop instead of raising.  The
-    vectorized path consumes the generator stream in the same order as
-    the scalar loop, so both backends see identical seeds.
+    ``backend`` is ``None`` (process-wide
+    :class:`~repro.api.backend.BackendPolicy`, auto-dispatching on the
+    replication × item grid size), a mode string, or a policy.
+    ``"vectorized"`` batches the grid through the engine kernel matching
+    ``estimator`` (raising when none exists); ``"auto"`` falls back to
+    the scalar loop instead of raising.  The vectorized path consumes the
+    generator stream in the same order as the scalar loop, so both
+    backends see identical seeds.
     """
-    if backend not in ("scalar", "vectorized", "auto"):
-        raise ValueError(f"unknown backend {backend!r}")
+    policy = BackendPolicy.coerce(backend)
     rng = rng if rng is not None else np.random.default_rng()
     vectors = [tuple(float(x) for x in t) for t in tuples]
     true_value = sum(target(v) for v in vectors)
     totals = np.empty(replications)
-    if backend != "scalar" and vectors:
+    resolved = policy.resolve(replications * len(vectors))
+    if resolved != "scalar" and vectors:
         batched = _simulate_batched(estimator, scheme, vectors, replications, rng)
         if batched is not None:
             return EstimateSummary(
                 estimator=estimator.name, true_value=true_value, estimates=batched
             )
-        if backend == "vectorized":
+        if resolved == "vectorized":
             raise ValueError(
                 "no vectorized kernel covers this estimator/scheme pair; "
                 "use backend='scalar' or backend='auto'"

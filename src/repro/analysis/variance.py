@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..api.backend import BackendPolicy, BackendSpec
 from ..core.functions import EstimationTarget
 from ..core.schemes import CoordinatedScheme, MonotoneSamplingScheme
 from ..estimators.base import Estimator
@@ -136,21 +137,23 @@ def monte_carlo_moments(
     vector: Sequence[float],
     replications: int = 2000,
     rng: Optional[np.random.Generator] = None,
-    backend: str = "scalar",
+    backend: BackendSpec = None,
 ) -> MomentReport:
     """Monte-Carlo mean and second moment (random seeds).
 
-    ``backend="vectorized"`` evaluates all replications in one engine
-    batch (raising when no kernel matches); ``"auto"`` falls back to the
-    scalar loop.  Both consume the generator stream in the same order.
+    ``backend`` follows the shared policy convention (``None`` = the
+    process-wide :class:`~repro.api.backend.BackendPolicy`, sized on the
+    replication count).  ``"vectorized"`` evaluates all replications in
+    one engine batch (raising when no kernel matches); ``"auto"`` falls
+    back to the scalar loop.  Both consume the generator stream in the
+    same order.
     """
-    if backend not in ("scalar", "vectorized", "auto"):
-        raise ValueError(f"unknown backend {backend!r}")
+    resolved = BackendPolicy.coerce(backend).resolve(replications)
     rng = rng if rng is not None else np.random.default_rng()
     samples = _moments_batched(estimator, scheme, vector, replications, rng) \
-        if backend != "scalar" else None
+        if resolved != "scalar" else None
     if samples is None:
-        if backend == "vectorized":
+        if resolved == "vectorized":
             raise ValueError(
                 "no vectorized kernel covers this estimator/scheme pair; "
                 "use backend='scalar' or backend='auto'"

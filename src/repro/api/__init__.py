@@ -1,0 +1,81 @@
+"""repro.api — the unified estimation-session facade.
+
+One import point for the whole pipeline:
+
+* :class:`EstimationSession` (alias :class:`Session`) — fluent builder
+  owning scheme construction, seed management, backend policy, and
+  result objects;
+* :class:`BackendPolicy` / :func:`set_default_backend` — one dispatch
+  rule replacing the scattered ``backend=`` keywords;
+* the plugin registries (:func:`register_estimator`,
+  :func:`register_target`, :func:`register_query`,
+  :func:`register_scheme`) that the library's own layers self-register
+  into and user code extends with one call.
+
+Import-order note: the registry and backend modules are dependency-free
+and imported eagerly, so lower layers (``repro.core``,
+``repro.estimators``, ``repro.aggregates``) can self-register at import
+time without cycles; the session and result classes — which import those
+layers — load lazily on first attribute access (PEP 562).
+"""
+
+from .backend import (
+    BACKEND_MODES,
+    BackendPolicy,
+    default_backend,
+    set_default_backend,
+)
+from .registry import (
+    ESTIMATORS,
+    QUERIES,
+    SCHEMES,
+    TARGETS,
+    Registry,
+    register_estimator,
+    register_query,
+    register_scheme,
+    register_target,
+)
+
+__all__ = [
+    "BACKEND_MODES",
+    "BackendPolicy",
+    "default_backend",
+    "set_default_backend",
+    "ESTIMATORS",
+    "QUERIES",
+    "SCHEMES",
+    "TARGETS",
+    "Registry",
+    "register_estimator",
+    "register_query",
+    "register_scheme",
+    "register_target",
+    "EstimateResult",
+    "EstimationSession",
+    "Session",
+]
+
+#: Lazily-loaded attributes: they import the estimation layers, which in
+#: turn import this package's registries during their own initialisation.
+_LAZY = {
+    "EstimationSession": "session",
+    "Session": "session",
+    "EstimateResult": "results",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

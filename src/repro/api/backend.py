@@ -1,0 +1,157 @@
+"""Backend selection policy: one object instead of scattered ``backend=``.
+
+Before the facade existed, every entry point grew its own
+``backend="scalar"|"vectorized"|"auto"`` keyword with its own default.
+:class:`BackendPolicy` centralises the decision:
+
+* ``mode`` — ``"scalar"`` (reference path), ``"vectorized"`` (engine
+  kernels, raising when none applies), or ``"auto"``;
+* ``auto_threshold`` — under ``"auto"``, inputs smaller than this many
+  per-item estimates stay on the scalar path (NumPy dispatch overhead
+  beats the loop only past a few hundred items), larger inputs use a
+  kernel whenever one exists.
+
+The process-wide default is ``auto`` and can be overridden without code
+changes through the environment (``REPRO_BACKEND=scalar|vectorized|auto``
+and ``REPRO_BACKEND_THRESHOLD=<int>``) or programmatically with
+:func:`set_default_backend` — which is what ``run_all --backend`` uses.
+
+Every legacy ``backend=`` argument now accepts ``None`` (use the default
+policy), one of the three mode strings, or a :class:`BackendPolicy`, and
+resolves it through :meth:`BackendPolicy.coerce` — so the scattered
+keywords share one default and one resolution rule.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Union
+
+__all__ = [
+    "BACKEND_MODES",
+    "BackendPolicy",
+    "BackendSpec",
+    "default_backend",
+    "set_default_backend",
+]
+
+#: The three recognised dispatch modes.
+BACKEND_MODES = ("scalar", "vectorized", "auto")
+
+#: Environment variables consulted for the process-wide default.
+ENV_MODE = "REPRO_BACKEND"
+ENV_THRESHOLD = "REPRO_BACKEND_THRESHOLD"
+
+#: Below this many per-item estimates, ``auto`` stays scalar.
+DEFAULT_AUTO_THRESHOLD = 512
+
+
+@dataclass(frozen=True)
+class BackendPolicy:
+    """An immutable backend decision rule.
+
+    ``resolve(size)`` returns the legacy backend string the low-level
+    estimation code understands; ``resolve_exact(size)`` is the variant
+    for exact (ground-truth) queries, which have no kernel-availability
+    question and therefore never return ``"auto"``.
+    """
+
+    mode: str = "auto"
+    auto_threshold: int = DEFAULT_AUTO_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if self.mode not in BACKEND_MODES:
+            raise ValueError(
+                f"backend mode must be one of {BACKEND_MODES}, got {self.mode!r}"
+            )
+        if self.auto_threshold < 0:
+            raise ValueError("auto_threshold must be nonnegative")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def default(cls) -> "BackendPolicy":
+        """The process-wide policy: override > environment > ``auto``."""
+        if _DEFAULT_OVERRIDE is not None:
+            return _DEFAULT_OVERRIDE
+        mode = os.environ.get(ENV_MODE, "").strip().lower() or "auto"
+        if mode not in BACKEND_MODES:
+            raise ValueError(
+                f"{ENV_MODE}={mode!r} is not a valid backend mode "
+                f"(expected one of {BACKEND_MODES})"
+            )
+        raw_threshold = os.environ.get(ENV_THRESHOLD, "").strip()
+        threshold = int(raw_threshold) if raw_threshold else DEFAULT_AUTO_THRESHOLD
+        return cls(mode=mode, auto_threshold=threshold)
+
+    @classmethod
+    def coerce(cls, spec: "BackendSpec") -> "BackendPolicy":
+        """Normalise ``None`` / a mode string / a policy into a policy."""
+        if spec is None:
+            return cls.default()
+        if isinstance(spec, BackendPolicy):
+            return spec
+        if isinstance(spec, str):
+            return cls(mode=spec)
+        raise TypeError(
+            "backend must be None, one of "
+            f"{BACKEND_MODES}, or a BackendPolicy; got {spec!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve(self, size: Optional[int] = None) -> str:
+        """Dispatch decision for estimation paths.
+
+        Returns ``"scalar"``, ``"vectorized"``, or ``"auto"`` (meaning
+        "use an engine kernel when one applies, scalar otherwise") — the
+        contract the estimation layers already implement.  Under
+        ``mode="auto"`` a known-small input short-circuits to scalar.
+        """
+        if self.mode != "auto":
+            return self.mode
+        if size is not None and size < self.auto_threshold:
+            return "scalar"
+        return "auto"
+
+    def resolve_exact(self, size: Optional[int] = None) -> str:
+        """Dispatch decision for exact queries: scalar or vectorized only."""
+        if self.mode != "auto":
+            return self.mode
+        if size is not None and size < self.auto_threshold:
+            return "scalar"
+        return "vectorized"
+
+
+#: Accepted forms of a backend specification throughout the library.
+BackendSpec = Union[None, str, BackendPolicy]
+
+_DEFAULT_OVERRIDE: Optional[BackendPolicy] = None
+
+
+def default_backend() -> BackendPolicy:
+    """The current process-wide default policy."""
+    return BackendPolicy.default()
+
+
+def set_default_backend(spec: BackendSpec) -> Optional[BackendPolicy]:
+    """Install (or with ``None`` clear) a process-wide default policy.
+
+    Takes precedence over the ``REPRO_BACKEND`` environment variable; the
+    CLI entry points use it so one flag governs a whole run.  Returns the
+    previously installed override (or ``None``) so a temporary change can
+    be restored exactly::
+
+        previous = set_default_backend("vectorized")
+        try:
+            ...
+        finally:
+            set_default_backend(previous)
+    """
+    global _DEFAULT_OVERRIDE
+    previous = _DEFAULT_OVERRIDE
+    _DEFAULT_OVERRIDE = None if spec is None else BackendPolicy.coerce(spec)
+    return previous

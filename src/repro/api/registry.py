@@ -1,0 +1,162 @@
+"""String-keyed plugin registries for the estimation facade.
+
+The paper's framework is one pipeline — monotone sampling scheme →
+outcome → customized estimator → aggregate query — and every stage admits
+user-supplied components.  The registries here are the extension seam:
+:mod:`repro.core` registers its target functions and scheme constructors,
+:mod:`repro.estimators` its estimator factories, and
+:mod:`repro.aggregates` its exact query evaluators, all at import time.
+A new workload then becomes one registration call::
+
+    from repro.api import register_target
+
+    @register_target("clipped_range")
+    def _clipped_range(p=1.0, cap=1.0):
+        return GenericTarget(lambda v: min(cap, abs(v[0] - v[1]) ** p), 2)
+
+after which ``EstimationSession(...).target("clipped_range", p=2)`` works
+exactly like the built-ins.
+
+This module is deliberately dependency-free (it imports nothing from the
+rest of :mod:`repro`) so that any layer can register into it without
+creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "Registry",
+    "ESTIMATORS",
+    "TARGETS",
+    "QUERIES",
+    "SCHEMES",
+    "register_estimator",
+    "register_target",
+    "register_query",
+    "register_scheme",
+]
+
+
+class Registry:
+    """A case-insensitive name → factory mapping with strict registration.
+
+    Keys are normalised (lower case, ``-`` treated as ``_``) so that
+    ``"one-sided-range"`` and ``"One_Sided_Range"`` resolve to the same
+    entry.  Registering an existing key raises unless ``overwrite=True``
+    is passed — silent replacement of a built-in is a debugging nightmare
+    in a plugin system.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self._kind = kind
+        self._entries: Dict[str, Any] = {}
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    @staticmethod
+    def _normalise(name: str) -> str:
+        if not isinstance(name, str) or not name:
+            raise TypeError("registry keys must be non-empty strings")
+        return name.strip().lower().replace("-", "_")
+
+    def register(
+        self,
+        name: str,
+        obj: Optional[Any] = None,
+        *,
+        overwrite: bool = False,
+    ) -> Any:
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        ``register("x", factory)`` registers directly and returns the
+        factory; ``@register("x")`` decorates.  A duplicate key raises
+        :class:`ValueError` unless ``overwrite=True``.
+        """
+        key = self._normalise(name)
+
+        def _store(value: Any) -> Any:
+            if not overwrite and key in self._entries:
+                raise ValueError(
+                    f"{self._kind} {name!r} is already registered; pass "
+                    "overwrite=True to replace it"
+                )
+            self._entries[key] = value
+            return value
+
+        if obj is None:
+            return _store
+        return _store(obj)
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (mostly for tests tearing down plugins)."""
+        self._entries.pop(self._normalise(name), None)
+
+    def get(self, name: str) -> Any:
+        """Look up an entry, raising a helpful ``KeyError`` when absent."""
+        key = self._normalise(name)
+        try:
+            return self._entries[key]
+        except KeyError:
+            known = ", ".join(self.names()) or "(none registered)"
+            raise KeyError(
+                f"unknown {self._kind} {name!r}; registered {self._kind}s: "
+                f"{known}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered keys, sorted."""
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return self._normalise(name) in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Registry {self._kind}: {', '.join(self.names())}>"
+
+
+#: Estimator factories ``(target, **params) -> Estimator``.
+ESTIMATORS = Registry("estimator")
+#: Target factories ``(**params) -> EstimationTarget``.
+TARGETS = Registry("target")
+#: Exact query evaluators ``(dataset, *args, **kwargs) -> float``.
+QUERIES = Registry("query")
+#: Scheme factories ``(weights, **params) -> MonotoneSamplingScheme``.
+SCHEMES = Registry("scheme")
+
+
+def register_estimator(
+    name: str, factory: Optional[Callable[..., Any]] = None, *, overwrite: bool = False
+) -> Any:
+    """Register an estimator factory ``(target, **params) -> Estimator``."""
+    return ESTIMATORS.register(name, factory, overwrite=overwrite)
+
+
+def register_target(
+    name: str, factory: Optional[Callable[..., Any]] = None, *, overwrite: bool = False
+) -> Any:
+    """Register a target factory ``(**params) -> EstimationTarget``."""
+    return TARGETS.register(name, factory, overwrite=overwrite)
+
+
+def register_query(
+    name: str, func: Optional[Callable[..., float]] = None, *, overwrite: bool = False
+) -> Any:
+    """Register an exact query ``(dataset, ..., backend=...) -> float``."""
+    return QUERIES.register(name, func, overwrite=overwrite)
+
+
+def register_scheme(
+    name: str, factory: Optional[Callable[..., Any]] = None, *, overwrite: bool = False
+) -> Any:
+    """Register a scheme factory ``(weights, **params) -> scheme``."""
+    return SCHEMES.register(name, factory, overwrite=overwrite)

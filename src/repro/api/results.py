@@ -1,0 +1,86 @@
+"""Result objects returned by :class:`~repro.api.session.EstimationSession`.
+
+Low-level entry points return bare floats or layer-specific records
+(:class:`~repro.aggregates.sum_estimator.SumEstimate`,
+:class:`~repro.engine.driver.BatchSumResult`,
+:class:`~repro.analysis.simulation.EstimateSummary`).  The facade wraps
+them all in one shape: the estimate, the variance when the operation
+produces one, and the sample/dispatch metadata a caller needs to judge the
+number (which estimator ran, which backend, how many items contributed).
+
+``EstimateResult`` supports ``float(result)`` and arithmetic comparison
+through ``value`` so quick scripts can treat it as a number.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["EstimateResult"]
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """One estimate (or exact value) with its provenance.
+
+    Attributes
+    ----------
+    value:
+        The estimate / query value.
+    estimator:
+        Name of the per-item estimator, or ``"exact"`` for ground-truth
+        queries.
+    target:
+        ``repr`` of the target function being aggregated (``""`` when the
+        operation has no target, e.g. the built-in similarity queries).
+    backend:
+        The backend the policy resolved to for this call.
+    items_seen:
+        Items enumerated by the operation, when known.
+    items_contributing:
+        Items with a nonzero contribution, when known.
+    variance:
+        Variance attached to the value: empirical across replications for
+        ``simulate``, exact (quadrature) for ``moments``; ``None`` for a
+        single-pass estimate.
+    metadata:
+        Operation-specific extras (seed, replications, true value, ...).
+    """
+
+    value: float
+    estimator: str = ""
+    target: str = ""
+    backend: str = ""
+    items_seen: Optional[int] = None
+    items_contributing: Optional[int] = None
+    variance: Optional[float] = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def std_error(self) -> Optional[float]:
+        """Square root of ``variance`` when one is attached."""
+        if self.variance is None:
+            return None
+        return math.sqrt(max(0.0, self.variance))
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def describe(self) -> Dict[str, Any]:
+        """A flat dict view (handy for tables and logging)."""
+        out: Dict[str, Any] = {
+            "value": self.value,
+            "estimator": self.estimator,
+            "target": self.target,
+            "backend": self.backend,
+        }
+        if self.items_seen is not None:
+            out["items_seen"] = self.items_seen
+        if self.items_contributing is not None:
+            out["items_contributing"] = self.items_contributing
+        if self.variance is not None:
+            out["variance"] = self.variance
+        out.update(self.metadata)
+        return out

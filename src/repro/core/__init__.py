@@ -59,3 +59,34 @@ __all__ = [
     "check_domain",
     "check_vector",
 ]
+
+# ----------------------------------------------------------------------
+# Facade wiring: targets and scheme constructors self-register into the
+# repro.api registries (the registry module is dependency-free, so this
+# creates no import cycle).  String keys are what EstimationSession's
+# .target("...") and scheme="..." arguments resolve.
+# ----------------------------------------------------------------------
+from ..api.registry import register_scheme, register_target
+
+register_target("one_sided_range", OneSidedRange)
+register_target("rg_plus", OneSidedRange)
+register_target("range", ExponentiatedRange)
+register_target("exponentiated_range", ExponentiatedRange)
+register_target("rg", ExponentiatedRange)
+register_target("abs_combination", AbsoluteCombination)
+register_target("distinct_or", DistinctOr)
+register_target("or", DistinctOr)
+register_target("max_power", MaxPower)
+register_target("min_power", MinPower)
+register_target("weighted_sum", WeightedSum)
+register_target("generic", GenericTarget)
+
+register_scheme("pps", pps_scheme)
+
+
+def _step_scheme(weights):
+    """``scheme="step"``: per-instance ``(value, probability)`` tables."""
+    return CoordinatedScheme([StepThreshold(pairs) for pairs in weights])
+
+
+register_scheme("step", _step_scheme)

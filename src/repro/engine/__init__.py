@@ -31,8 +31,10 @@ Chunked batch driver (:mod:`repro.engine.driver`)
 Backend selection
 -----------------
 
-User-facing entry points do not call this package directly; they take a
-``backend`` argument instead:
+User-facing entry points do not call this package directly; dispatch is
+governed by the shared :class:`~repro.api.backend.BackendPolicy` (the
+session facade's ``backend=`` argument, or the per-function ``backend=``
+keywords, all of which default to the process-wide policy):
 
 * ``SumAggregateEstimator(..., backend="vectorized")`` and the
   ``estimate_lpp*`` helpers batch the per-item estimation of a
@@ -55,7 +57,9 @@ from .driver import BatchSumEngine, BatchSumResult
 from .kernels import (
     BatchKernel,
     HTOneSidedPPSKernel,
+    HTRangePPSKernel,
     LStarOneSidedPPSKernel,
+    LStarRangePPSKernel,
     OrderOptimalTableKernel,
     UStarOneSidedPPSKernel,
     resolve_kernel,
@@ -67,7 +71,9 @@ __all__ = [
     "BatchSumResult",
     "BatchKernel",
     "HTOneSidedPPSKernel",
+    "HTRangePPSKernel",
     "LStarOneSidedPPSKernel",
+    "LStarRangePPSKernel",
     "OrderOptimalTableKernel",
     "UStarOneSidedPPSKernel",
     "is_unit_pps",

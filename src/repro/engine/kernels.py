@@ -30,7 +30,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.functions import OneSidedRange
+from ..core.functions import ExponentiatedRange, OneSidedRange
 from ..core.schemes import CoordinatedScheme
 from ..estimators.base import Estimator
 from ..estimators.horvitz_thompson import HorvitzThompsonEstimator
@@ -42,8 +42,10 @@ from .batch_outcome import BatchOutcome, is_unit_pps
 __all__ = [
     "BatchKernel",
     "LStarOneSidedPPSKernel",
+    "LStarRangePPSKernel",
     "UStarOneSidedPPSKernel",
     "HTOneSidedPPSKernel",
+    "HTRangePPSKernel",
     "OrderOptimalTableKernel",
     "resolve_kernel",
 ]
@@ -73,6 +75,12 @@ def _split_two_entry(batch: BatchOutcome):
     return u, v1, v2
 
 
+#: Anchor ratio ``a / v1`` below which the hypergeometric tail loses
+#: precision (SciPy's 2F1 near z = 1 for non-integer exponents in (1, 2)
+#: drifts by percents); such rows are deferred to the scalar estimator.
+_TAIL_STABLE_RATIO = 1e-2
+
+
 def _lstar_tail_general(v1: np.ndarray, a: np.ndarray, p: float) -> np.ndarray:
     """``∫_a^{v1} (v1 - x)^p / x^2 dx`` for ``0 < a < v1``, elementwise.
 
@@ -81,9 +89,12 @@ def _lstar_tail_general(v1: np.ndarray, a: np.ndarray, p: float) -> np.ndarray:
 
         v1^(p-1) * (1-c)^p * ( 1/c - 2F1(p, 1; p+1; 1-c) ),   c = a / v1,
 
-    which NumPy/SciPy evaluate elementwise at machine precision — the
-    vectorized stand-in for the scalar implementation's adaptive
-    quadrature.
+    which NumPy/SciPy evaluate elementwise — the vectorized stand-in for
+    the scalar implementation's adaptive quadrature.  Only valid to the
+    engine parity tolerance for ``c >= _TAIL_STABLE_RATIO``: SciPy's 2F1
+    is inaccurate near ``z = 1`` for non-integer ``p`` in (1, 2), so the
+    kernels route smaller anchors through their scalar fallback instead
+    of calling this.
     """
     from scipy.special import hyp2f1
 
@@ -130,10 +141,111 @@ class LStarOneSidedPPSKernel(BatchKernel):
         elif p == 2.0:
             estimates[idx] = 2.0 * x1 * np.log(x1 / a) - 2.0 * (x1 - a)
         else:
-            head = (x1 - a) ** p / a
-            tail = _lstar_tail_general(x1, a, p)
-            estimates[idx] = np.maximum(0.0, head - tail)
+            stable = a >= _TAIL_STABLE_RATIO * x1
+            if stable.any():
+                head = (x1[stable] - a[stable]) ** p / a[stable]
+                tail = _lstar_tail_general(x1[stable], a[stable], p)
+                estimates[idx[stable]] = np.maximum(0.0, head - tail)
+            if not stable.all():
+                scalar = self._scalar_fallback()
+                for k in idx[~stable]:
+                    estimates[k] = scalar.estimate(batch.outcome_at(int(k)))
         return estimates
+
+    def _scalar_fallback(self) -> LStarOneSidedRangePPS:
+        """Quadrature-backed scalar estimator for tiny-anchor rows."""
+        if not hasattr(self, "_fallback"):
+            self._fallback = LStarOneSidedRangePPS(self._p)
+        return self._fallback
+
+
+class LStarRangePPSKernel(BatchKernel):
+    """Vectorized L* for the two-sided range ``RG_p`` under unit PPS.
+
+    The scalar counterpart is the generic
+    :class:`~repro.estimators.lstar.LStarEstimator` applied to
+    :class:`~repro.core.functions.ExponentiatedRange`, whose lower-bound
+    curve under coordinated PPS with ``tau* = 1`` over two-entry tuples is
+    piecewise closed-form.  Writing ``b`` for the larger and ``a`` for the
+    smaller entry, the curve at hypothetical seed ``u >= rho`` is
+
+        (b - a)^p   for u <= a (both entries still sampled),
+        (b - u)^p   for a < u <= b (only ``b`` sampled; the hidden entry
+                    is bounded by the threshold ``u``),
+        0           beyond b,
+
+    so eq. (31) collapses, with anchor ``α = a`` when both entries are
+    sampled and ``α = rho`` when only ``b`` is, to
+
+        est = (b - α)^p / min(α, 1) - ∫_{min(α,1)}^{min(b,1)} (b - x)^p / x^2 dx .
+
+    For ``p`` in {1, 2} the integral is elementary; other exponents reuse
+    the hypergeometric tail of the one-sided kernel.  This is the
+    ROADMAP's "vectorize the RG_p closed forms" item: sum-aggregating
+    ``RG_p`` is the paper's flagship ``L_p^p``-difference application.
+    """
+
+    def __init__(self, p: float = 1.0, name: Optional[str] = None) -> None:
+        if p <= 0:
+            raise ValueError("p must be positive")
+        self._p = float(p)
+        self.name = name if name is not None else LStarEstimator.name
+
+    @property
+    def p(self) -> float:
+        return self._p
+
+    def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
+        u, v1, v2 = _split_two_entry(batch)
+        estimates = np.zeros(len(batch))
+        with np.errstate(invalid="ignore"):
+            b = np.fmax(v1, v2)  # NaN only when neither entry is sampled
+            both = ~np.isnan(v1) & ~np.isnan(v2)
+            anchor = np.where(both, np.fmin(v1, v2), u)
+            active = ~np.isnan(b) & (anchor < b)
+        if not active.any():
+            return estimates
+        idx = np.flatnonzero(active)
+        x = b[idx]
+        alpha = anchor[idx]
+        lo = np.minimum(alpha, 1.0)  # an entry above 1 is always sampled
+        hi = np.minimum(x, 1.0)
+        p = self._p
+        if p == 1.0:
+            head = (x - alpha) / lo
+            tail = x * (1.0 / lo - 1.0 / hi) - np.log(hi / lo)
+            estimates[idx] = np.maximum(0.0, head - tail)
+        elif p == 2.0:
+            head = (x - alpha) ** 2 / lo
+            tail = (
+                x ** 2 * (1.0 / lo - 1.0 / hi)
+                - 2.0 * x * np.log(hi / lo)
+                + (hi - lo)
+            )
+            estimates[idx] = np.maximum(0.0, head - tail)
+        else:
+            stable = lo >= _TAIL_STABLE_RATIO * x
+            if stable.any():
+                xs, los = x[stable], lo[stable]
+                head = (xs - alpha[stable]) ** p / los
+                tail = _lstar_tail_general(xs, los, p)
+                above = xs > 1.0
+                if above.any():
+                    tail[above] -= _lstar_tail_general(
+                        xs[above], np.ones(int(above.sum())), p
+                    )
+                estimates[idx[stable]] = np.maximum(0.0, head - tail)
+            if not stable.all():
+                scalar = self._scalar_fallback()
+                for k in idx[~stable]:
+                    estimates[k] = scalar.estimate(batch.outcome_at(int(k)))
+        return estimates
+
+    def _scalar_fallback(self) -> LStarEstimator:
+        """Quadrature-backed generic L* for tiny-anchor rows."""
+        if not hasattr(self, "_fallback"):
+            self._fallback = LStarEstimator(ExponentiatedRange(p=self._p))
+        return self._fallback
 
 
 class UStarOneSidedPPSKernel(BatchKernel):
@@ -258,6 +370,71 @@ class HTOneSidedPPSKernel(BatchKernel):
         return estimates
 
 
+class HTRangePPSKernel(BatchKernel):
+    """Vectorized Horvitz–Thompson for ``RG_p`` under unit-rate PPS.
+
+    The two-sided range of a two-entry tuple is fully revealed exactly
+    when both entries are sampled (the consistency box degenerates to a
+    point), which happens while the seed is at most the smaller entry
+    ``a``; hence
+
+        est = (b - a)^p / min(1, a)   when both sampled and b > a,
+
+    and 0 otherwise.  As with the one-sided HT kernel, the scalar
+    estimator decides revelation with a numeric tolerance and a
+    bisection, so outcomes inside the tolerance slivers (ranges so small
+    that ``b^p`` is within the tolerance of ``(b - u)^p``) are deferred
+    to the scalar implementation item by item to keep parity exact.
+    """
+
+    def __init__(
+        self, p: float = 1.0, tolerance: float = 1e-9, name: Optional[str] = None
+    ) -> None:
+        if p <= 0:
+            raise ValueError("p must be positive")
+        self._p = float(p)
+        self._tolerance = float(tolerance)
+        self._scalar = HorvitzThompsonEstimator(
+            ExponentiatedRange(p=self._p), tolerance=self._tolerance
+        )
+        self.name = name if name is not None else self._scalar.name
+
+    @property
+    def p(self) -> float:
+        return self._p
+
+    def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
+        u, v1, v2 = _split_two_entry(batch)
+        estimates = np.zeros(len(batch))
+        p = self._p
+        tol = self._tolerance
+        with np.errstate(invalid="ignore"):
+            b = np.fmax(v1, v2)
+            a = np.fmin(v1, v2)
+            both = ~np.isnan(v1) & ~np.isnan(v2)
+            revealed = both & (b > a)
+            # Tolerance slivers where the scalar bisection could deviate:
+            # the hidden-entry bound erases so little of the range that
+            # revelation stays within the tolerance past the closed-form
+            # revelation probability.
+            scale = np.maximum(1.0, np.where(np.isnan(b), 1.0, b) ** p)
+            sliver_both = revealed & (b ** p - (b - a) ** p <= 2.0 * tol * scale)
+            only_b = ~np.isnan(b) & ~both
+            sliver_hidden = (
+                only_b & (b > u) & (b ** p - (b - u) ** p <= 2.0 * tol * scale)
+            )
+        fallback = sliver_both | sliver_hidden
+
+        exact = revealed & ~fallback
+        idx = np.flatnonzero(exact)
+        if idx.size:
+            estimates[idx] = (b[idx] - a[idx]) ** p / np.minimum(1.0, a[idx])
+
+        for k in np.flatnonzero(fallback):
+            estimates[k] = self._scalar.estimate(batch.outcome_at(int(k)))
+        return estimates
+
+
 class OrderOptimalTableKernel(BatchKernel):
     """Vectorized lookup of an order-optimal estimator's finite table.
 
@@ -363,10 +540,20 @@ def resolve_kernel(
         estimator.target, OneSidedRange
     ):
         return LStarOneSidedPPSKernel(estimator.target.p, name=estimator.name)
+    if isinstance(estimator, LStarEstimator) and isinstance(
+        estimator.target, ExponentiatedRange
+    ):
+        return LStarRangePPSKernel(estimator.target.p, name=estimator.name)
     if isinstance(estimator, HorvitzThompsonEstimator) and isinstance(
         estimator.target, OneSidedRange
     ):
         return HTOneSidedPPSKernel(
+            estimator.target.p, tolerance=estimator.tolerance, name=estimator.name
+        )
+    if isinstance(estimator, HorvitzThompsonEstimator) and isinstance(
+        estimator.target, ExponentiatedRange
+    ):
+        return HTRangePPSKernel(
             estimator.target.p, tolerance=estimator.tolerance, name=estimator.name
         )
     return None

@@ -47,3 +47,68 @@ __all__ = [
     "UStarOneSidedRangePPS",
     "VOptimalOracle",
 ]
+
+# ----------------------------------------------------------------------
+# Facade wiring: estimator factories self-register into the repro.api
+# registry.  Every factory takes the estimation target first — that is
+# the contract EstimationSession.estimator("name", **params) relies on —
+# and the closed forms validate that the target matches their setting.
+# ----------------------------------------------------------------------
+from ..core.functions import EstimationTarget, OneSidedRange
+from ..api.registry import register_estimator
+
+
+def _require_one_sided(target: EstimationTarget, name: str) -> OneSidedRange:
+    if not isinstance(target, OneSidedRange):
+        raise TypeError(
+            f"estimator {name!r} is the closed form for the one-sided range "
+            "RG_p+ under unit PPS; use the generic variant for other targets"
+        )
+    return target
+
+
+def _lstar(target: EstimationTarget, **params) -> Estimator:
+    return LStarEstimator(target, **params)
+
+
+def _lstar_closed(target: EstimationTarget, **params) -> Estimator:
+    return LStarOneSidedRangePPS(
+        p=_require_one_sided(target, "lstar_closed").p, **params
+    )
+
+
+def _ustar(target: EstimationTarget, **params) -> Estimator:
+    return UStarOneSidedRangePPS(
+        p=_require_one_sided(target, "ustar").p, **params
+    )
+
+
+def _ustar_numeric(target: EstimationTarget, **params) -> Estimator:
+    return UStarNumeric(target, **params)
+
+
+def _ht(target: EstimationTarget, **params) -> Estimator:
+    return HorvitzThompsonEstimator(target, **params)
+
+
+def _dyadic(target: EstimationTarget, **params) -> Estimator:
+    return DyadicEstimator(target, **params)
+
+
+def _order_optimal(target: EstimationTarget, problem=None, **params) -> Estimator:
+    if problem is None:
+        raise ValueError(
+            "the order-optimal construction needs a DiscreteProblem: "
+            "session.estimator('order_optimal', problem=..., order=...)"
+        )
+    return build_order_optimal(problem, **params)
+
+
+register_estimator("lstar", _lstar)
+register_estimator("lstar_closed", _lstar_closed)
+register_estimator("ustar", _ustar)
+register_estimator("ustar_numeric", _ustar_numeric)
+register_estimator("ht", _ht)
+register_estimator("horvitz_thompson", _ht)
+register_estimator("dyadic", _dyadic)
+register_estimator("order_optimal", _order_optimal)

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..aggregates.dataset import MultiInstanceDataset, example1_dataset
-from ..aggregates.queries import custom_query, lp_difference, lpp_difference, lpp_plus
+from ..api.session import EstimationSession
 from ..core.functions import AbsoluteCombination
 from .report import format_table
 
@@ -40,38 +40,48 @@ class QueryRow:
 
 
 def run(dataset: MultiInstanceDataset = None) -> List[QueryRow]:
-    """Evaluate every query of Example 1 exactly."""
+    """Evaluate every query of Example 1 exactly, through the facade."""
     data = dataset if dataset is not None else example1_dataset()
+    session = EstimationSession()
     g_target = AbsoluteCombination([1.0, -2.0, 1.0], p=2.0)
+
+    def query(name: str, **kwargs) -> float:
+        return session.query(name, data, **kwargs).value
+
     rows = [
         QueryRow(
             query="L1",
             selection=("b", "c", "e"),
-            computed=lpp_difference(data, 1.0, (0, 1), ["b", "c", "e"]),
+            computed=query("lpp", p=1.0, instances=(0, 1),
+                           selection=["b", "c", "e"]),
             paper_value=0.71,
         ),
         QueryRow(
             query="L2^2",
             selection=("c", "f", "h"),
-            computed=lpp_difference(data, 2.0, (0, 1), ["c", "f", "h"]),
+            computed=query("lpp", p=2.0, instances=(0, 1),
+                           selection=["c", "f", "h"]),
             paper_value=0.16,
         ),
         QueryRow(
             query="L2",
             selection=("c", "f", "h"),
-            computed=lp_difference(data, 2.0, (0, 1), ["c", "f", "h"]),
+            computed=query("lp", p=2.0, instances=(0, 1),
+                           selection=["c", "f", "h"]),
             paper_value=0.40,
         ),
         QueryRow(
             query="L1+",
             selection=("b", "c", "e"),
-            computed=lpp_plus(data, 1.0, (0, 1), ["b", "c", "e"]),
+            computed=query("lpp_plus", p=1.0, instances=(0, 1),
+                           selection=["b", "c", "e"]),
             paper_value=0.235,
         ),
         QueryRow(
             query="G",
             selection=("b", "d"),
-            computed=custom_query(data, g_target, (0, 1, 2), ["b", "d"]),
+            computed=query("custom", target=g_target, instances=(0, 1, 2),
+                           selection=["b", "d"]),
             paper_value=1.18,
         ),
     ]

@@ -13,8 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..aggregates.coordinated import CoordinatedPPSSampler, CoordinatedSample
+from ..aggregates.coordinated import CoordinatedSample
 from ..aggregates.dataset import example1_dataset
+from ..api.session import EstimationSession
 from .report import format_table
 
 __all__ = ["PAPER_SEEDS", "PAPER_PATTERNS", "OutcomeRow", "run", "format_report"]
@@ -61,8 +62,8 @@ class OutcomeRow:
 def run() -> Tuple[List[OutcomeRow], CoordinatedSample]:
     """Replay Example 2's coordinated PPS sampling with the fixed seeds."""
     dataset = example1_dataset()
-    sampler = CoordinatedPPSSampler([1.0, 1.0, 1.0])
-    sample = sampler.sample(dataset, seeds=PAPER_SEEDS)
+    session = EstimationSession([1.0, 1.0, 1.0], scheme="pps")
+    sample = session.sample(dataset, seeds=PAPER_SEEDS)
     rows: List[OutcomeRow] = []
     for item in sorted(PAPER_SEEDS):
         tup = dataset.tuple_for(item)

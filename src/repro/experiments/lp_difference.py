@@ -26,8 +26,7 @@ import numpy as np
 
 from ..aggregates.coordinated import CoordinatedPPSSampler
 from ..aggregates.dataset import MultiInstanceDataset
-from ..aggregates.queries import lpp_difference
-from ..aggregates.sum_estimator import estimate_lpp
+from ..api.session import EstimationSession
 from ..datasets.synthetic import ip_flow_pairs, surname_pairs
 from ..estimators.lstar import LStarOneSidedRangePPS
 from ..estimators.ustar import UStarOneSidedRangePPS
@@ -80,7 +79,9 @@ def _evaluate(
     rng: np.random.Generator,
 ) -> List[WorkloadResult]:
     sampler = _scaled_sampler(dataset, sampling_rate)
-    true_value = lpp_difference(dataset, p, (0, 1))
+    true_value = EstimationSession().query(
+        "lpp", dataset, p=p, instances=(0, 1)
+    ).value
     estimators = {
         "L*": LStarOneSidedRangePPS(p=p),
         "U*": UStarOneSidedRangePPS(p=p),

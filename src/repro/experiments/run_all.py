@@ -10,6 +10,12 @@ Usage::
     python -m repro.experiments.run_all            # quick pass
     python -m repro.experiments.run_all --full     # benchmark-scale pass
     python -m repro.experiments.run_all --only E6 E7
+    python -m repro.experiments.run_all --backend vectorized
+
+``--backend`` installs a process-wide
+:class:`~repro.api.backend.BackendPolicy` through the facade, so every
+estimation loop in every experiment follows one dispatch rule instead of
+per-module defaults.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Dict, List
 
+from ..api.backend import BACKEND_MODES, set_default_backend
 from . import (
     ablation,
     dominance,
@@ -129,8 +136,18 @@ def main(argv: List[str] = None) -> int:
                         help="run at benchmark scale instead of the quick scale")
     parser.add_argument("--only", nargs="*", default=None,
                         help="experiment ids to run (default: all)")
+    parser.add_argument("--backend", choices=BACKEND_MODES, default=None,
+                        help="process-wide backend policy for every "
+                             "estimation loop (default: auto)")
     args = parser.parse_args(argv)
-    print(run_many(args.only, full=args.full))
+    if args.backend is None:
+        print(run_many(args.only, full=args.full))
+        return 0
+    previous = set_default_backend(args.backend)
+    try:
+        print(run_many(args.only, full=args.full))
+    finally:
+        set_default_backend(previous)
     return 0
 
 

@@ -1,0 +1,98 @@
+"""The legacy query helpers must warn and delegate to the facade.
+
+Acceptance bar for the api redesign: every legacy helper in
+``repro.aggregates.queries`` emits a ``DeprecationWarning`` and returns
+exactly what the session facade (and hence the exact implementation in
+``repro.aggregates.exact``) computes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregates import exact, queries
+from repro.aggregates.dataset import MultiInstanceDataset, example1_dataset
+from repro.core.functions import AbsoluteCombination, OneSidedRange
+
+#: helper name -> (args, kwargs) beyond the dataset.  The sum_aggregate
+#: item function follows the dual contract: per-tuple on the scalar path,
+#: per-row over the dense matrix on the vectorized path.
+SHIM_CASES = {
+    "sum_aggregate": ((), {
+        "item_function": lambda t: np.asarray(t, dtype=float).sum(axis=-1)
+    }),
+    "lp_difference": ((2.0, (0, 1)), {}),
+    "lpp_difference": ((1.0, (0, 1)), {}),
+    "lpp_plus": ((1.0, (0, 1)), {"selection": ["b", "c", "e"]}),
+    "distinct_count": ((), {"instances": (0, 1)}),
+    "jaccard_similarity": (((0, 1),), {}),
+    "weighted_jaccard": (((0, 1),), {}),
+    "custom_query": ((AbsoluteCombination([1.0, -2.0, 1.0], p=2.0),),
+                     {"instances": (0, 1, 2)}),
+}
+
+
+class TestEveryLegacyHelperIsAShim:
+    @pytest.mark.parametrize("helper", sorted(SHIM_CASES))
+    def test_warns_and_matches_exact_value(self, helper):
+        dataset = example1_dataset()
+        args, kwargs = SHIM_CASES[helper]
+        shim = getattr(queries, helper)
+        reference = getattr(exact, helper)
+        with pytest.warns(DeprecationWarning, match=helper):
+            value = shim(dataset, *args, **kwargs)
+        assert value == pytest.approx(
+            reference(dataset, *args, **kwargs), rel=1e-12
+        )
+
+    @pytest.mark.parametrize("helper", sorted(SHIM_CASES))
+    def test_explicit_backends_still_work(self, helper):
+        dataset = example1_dataset()
+        args, kwargs = SHIM_CASES[helper]
+        shim = getattr(queries, helper)
+        with pytest.warns(DeprecationWarning):
+            scalar = shim(dataset, *args, backend="scalar", **kwargs)
+        with pytest.warns(DeprecationWarning):
+            vectorized = shim(dataset, *args, backend="vectorized", **kwargs)
+        assert vectorized == pytest.approx(scalar, rel=1e-9)
+
+    def test_invalid_backend_raises(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="backend"):
+                queries.lpp_difference(
+                    example1_dataset(), 1.0, backend="numpy"
+                )
+
+    def test_shims_cover_every_public_query_helper(self):
+        """New helpers must be added to the shim test grid."""
+        public = set(queries.__all__) - {"target_values_batch"}
+        assert public == set(SHIM_CASES)
+
+    def test_sum_aggregate_never_auto_switches_contracts(self):
+        """The scalar and vectorized paths hand item_function different
+        inputs, so the auto policy must stay scalar for 'sum' no matter
+        how large the dataset is (regression: a per-tuple function on a
+        600-item dataset used to hit the matrix contract and crash)."""
+        rng = np.random.default_rng(8)
+        big = MultiInstanceDataset(
+            ["a", "b"], {f"k{i}": tuple(rng.random(2)) for i in range(600)}
+        )
+        per_tuple = lambda tup: max(tup) - min(tup)  # noqa: E731
+        with pytest.warns(DeprecationWarning):
+            value = queries.sum_aggregate(big, per_tuple)
+        assert value == pytest.approx(
+            exact.sum_aggregate(big, per_tuple, backend="scalar"), rel=1e-12
+        )
+        # An explicit vectorized request still opts into the matrix
+        # contract.
+        per_row = lambda m: np.abs(m[:, 0] - m[:, 1])  # noqa: E731
+        with pytest.warns(DeprecationWarning):
+            vectorized = queries.sum_aggregate(
+                big, per_row, backend="vectorized"
+            )
+        assert vectorized == pytest.approx(value, rel=1e-9)
+
+    def test_target_values_batch_reexported_from_exact(self):
+        assert queries.target_values_batch is exact.target_values_batch
+        matrix = np.array([[0.6, 0.2], [0.1, 0.4]])
+        values = queries.target_values_batch(OneSidedRange(p=1.0), matrix)
+        np.testing.assert_allclose(values, [0.4, 0.0])

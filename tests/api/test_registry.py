@@ -1,0 +1,151 @@
+"""Tests for the repro.api plugin registries."""
+
+import pytest
+
+from repro.api import (
+    ESTIMATORS,
+    QUERIES,
+    SCHEMES,
+    TARGETS,
+    Registry,
+    register_target,
+)
+
+
+class TestRegistryMechanics:
+    def test_register_get_roundtrip(self):
+        reg = Registry("widget")
+        reg.register("foo", 42)
+        assert reg.get("foo") == 42
+        assert "foo" in reg
+        assert reg.names() == ("foo",)
+        assert len(reg) == 1
+
+    def test_keys_are_normalised(self):
+        reg = Registry("widget")
+        reg.register("One-Sided-Range", 1)
+        assert reg.get("one_sided_range") == 1
+        assert reg.get("ONE-SIDED-RANGE") == 1
+        assert "one_sided_range" in reg
+
+    def test_unknown_key_error_lists_known_keys(self):
+        reg = Registry("widget")
+        reg.register("alpha", 1)
+        reg.register("beta", 2)
+        with pytest.raises(KeyError, match="unknown widget 'gamma'.*alpha.*beta"):
+            reg.get("gamma")
+
+    def test_double_registration_raises(self):
+        reg = Registry("widget")
+        reg.register("foo", 1)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("foo", 2)
+        # The failed registration must not have clobbered the original.
+        assert reg.get("foo") == 1
+
+    def test_overwrite_replaces(self):
+        reg = Registry("widget")
+        reg.register("foo", 1)
+        reg.register("foo", 2, overwrite=True)
+        assert reg.get("foo") == 2
+
+    def test_decorator_form(self):
+        reg = Registry("widget")
+
+        @reg.register("fn")
+        def factory():
+            return "made"
+
+        assert reg.get("fn") is factory
+        assert factory() == "made"
+
+    def test_unregister_is_idempotent(self):
+        reg = Registry("widget")
+        reg.register("foo", 1)
+        reg.unregister("foo")
+        assert "foo" not in reg
+        reg.unregister("foo")  # absent: no error
+
+    def test_invalid_keys_rejected(self):
+        reg = Registry("widget")
+        with pytest.raises(TypeError):
+            reg.register("", 1)
+        with pytest.raises(TypeError):
+            reg.register(3, 1)
+
+
+class TestBuiltinRegistrations:
+    """The library's own layers must have self-registered at import time."""
+
+    def test_targets_registered(self):
+        for name in ("one_sided_range", "rg_plus", "range", "rg",
+                     "abs_combination", "distinct_or", "max_power",
+                     "min_power", "weighted_sum", "generic"):
+            assert name in TARGETS, name
+
+    def test_estimators_registered(self):
+        for name in ("lstar", "lstar_closed", "ustar", "ustar_numeric",
+                     "ht", "horvitz_thompson", "dyadic", "order_optimal"):
+            assert name in ESTIMATORS, name
+
+    def test_queries_registered(self):
+        for name in ("sum", "lp", "lpp", "lpp_plus", "distinct",
+                     "jaccard", "weighted_jaccard", "custom"):
+            assert name in QUERIES, name
+
+    def test_schemes_registered(self):
+        for name in ("pps", "step"):
+            assert name in SCHEMES, name
+
+    def test_target_factories_build_targets(self):
+        from repro.core.functions import ExponentiatedRange, OneSidedRange
+
+        assert TARGETS.get("one_sided_range")(p=2.0) == OneSidedRange(p=2.0)
+        assert TARGETS.get("range")(p=0.5) == ExponentiatedRange(p=0.5)
+
+    def test_estimator_factories_take_target_first(self):
+        from repro.core.functions import OneSidedRange
+        from repro.estimators.lstar import LStarEstimator
+        from repro.estimators.ustar import UStarOneSidedRangePPS
+
+        target = OneSidedRange(p=1.0)
+        assert isinstance(ESTIMATORS.get("lstar")(target), LStarEstimator)
+        ustar = ESTIMATORS.get("ustar")(target)
+        assert isinstance(ustar, UStarOneSidedRangePPS)
+        assert ustar.p == 1.0
+
+    def test_closed_form_factories_reject_wrong_target(self):
+        from repro.core.functions import ExponentiatedRange
+
+        with pytest.raises(TypeError, match="closed form"):
+            ESTIMATORS.get("ustar")(ExponentiatedRange(p=1.0))
+        with pytest.raises(TypeError, match="closed form"):
+            ESTIMATORS.get("lstar_closed")(ExponentiatedRange(p=1.0))
+
+    def test_order_optimal_factory_requires_problem(self):
+        from repro.core.functions import OneSidedRange
+
+        with pytest.raises(ValueError, match="DiscreteProblem"):
+            ESTIMATORS.get("order_optimal")(OneSidedRange(p=1.0))
+
+
+class TestUserPlugins:
+    def test_register_target_decorator_and_session_use(self):
+        from repro.api import EstimationSession
+        from repro.core.functions import GenericTarget
+
+        @register_target("test_clipped_range")
+        def _clipped(p=1.0, cap=1.0):
+            return GenericTarget(
+                lambda v: min(cap, abs(v[0] - v[1]) ** p), 2
+            )
+
+        try:
+            session = EstimationSession([1.0, 1.0]).target(
+                "test_clipped_range", p=1.0, cap=0.25
+            )
+            result = session.estimate((0.9, 0.2), seed=0.1)
+            assert result.value >= 0.0
+        finally:
+            TARGETS.unregister("test_clipped_range")
+        assert "test_clipped_range" not in TARGETS

@@ -1,0 +1,218 @@
+"""Scalar-parity tests for the two-sided range (RG_p) kernels.
+
+The ROADMAP's "vectorize the ExponentiatedRange closed forms" item: the
+L* kernel must reproduce the generic quadrature-based
+``LStarEstimator(ExponentiatedRange(p))`` and the HT kernel the generic
+bisection-based ``HorvitzThompsonEstimator`` to within the engine-wide
+1e-9 parity tolerance, boundary outcomes and weights above the unit
+range included.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.functions import ExponentiatedRange
+from repro.core.schemes import pps_scheme
+from repro.engine import (
+    BatchOutcome,
+    HTRangePPSKernel,
+    LStarRangePPSKernel,
+    resolve_kernel,
+)
+from repro.estimators.horvitz_thompson import HorvitzThompsonEstimator
+from repro.estimators.lstar import LStarEstimator
+
+PARITY_TOL = 1e-9
+
+
+def range_outcome_grid(num_random: int, rng: np.random.Generator):
+    """Random outcomes plus every boundary shape the RG_p forms branch on.
+
+    The deterministic head covers: the empty outcome, seeds exactly on an
+    entry's threshold, ties, a zero entry (range hidden forever — HT must
+    estimate 0), entries above the unit range (always sampled; the L*
+    tail integral clips at 1), and the least informative seed 1.0.
+    """
+    scheme = pps_scheme([1.0, 1.0])
+    boundary_vectors = np.array(
+        [
+            [0.0, 0.0],    # empty outcome
+            [0.5, 0.2],    # seed == larger entry's threshold
+            [0.8, 0.3],    # seed == smaller entry's threshold
+            [0.4, 0.4],    # tie: range 0 with both sampled
+            [0.6, 0.0],    # zero entry: range never fully revealed
+            [0.2, 0.7],    # larger entry second (order must not matter)
+            [0.9, 0.05],   # seed 1.0 leaves nothing sampled
+            [1.0, 0.25],   # weight at the top of the unit interval
+            [1.3, 0.4],    # weight above 1: always sampled
+            [1.2, 1.1],    # both above 1: deterministic outcome
+        ]
+    )
+    boundary_seeds = np.array(
+        [0.37, 0.5, 0.3, 0.2, 0.45, 0.15, 1.0, 0.6, 0.33, 0.9]
+    )
+    vectors = np.vstack(
+        [
+            boundary_vectors,
+            rng.random((num_random, 2)),
+            1.5 * rng.random((num_random // 4, 2)),  # off-unit weights
+        ]
+    )
+    seeds = np.concatenate(
+        [boundary_seeds, 1.0 - rng.random(len(vectors) - len(boundary_seeds))]
+    )
+    batch = BatchOutcome.sample_vectors(scheme, vectors, seeds)
+    return scheme, batch, list(batch.to_outcomes())
+
+
+def assert_range_parity(scheme, batch, outcomes, estimator):
+    kernel = resolve_kernel(estimator, scheme)
+    assert kernel is not None, f"no kernel resolved for {estimator!r}"
+    assert kernel.name == estimator.name
+    vectorized = kernel.estimate_batch(batch)
+    scalar = np.array([estimator.estimate(o) for o in outcomes])
+    worst = float(np.max(np.abs(vectorized - scalar)))
+    assert worst <= PARITY_TOL, (
+        f"{estimator.name}: max |vectorized - scalar| = {worst:.3e}"
+    )
+
+
+class TestRangeKernelParity:
+    @pytest.mark.parametrize("p", [0.5, 1.0, 2.0])
+    def test_lstar_and_ht_match_scalar(self, p):
+        scheme, batch, outcomes = range_outcome_grid(
+            300, np.random.default_rng(41)
+        )
+        assert_range_parity(
+            scheme, batch, outcomes, LStarEstimator(ExponentiatedRange(p))
+        )
+        assert_range_parity(
+            scheme, batch, outcomes,
+            HorvitzThompsonEstimator(ExponentiatedRange(p)),
+        )
+
+    def test_resolution(self):
+        scheme = pps_scheme([1.0, 1.0])
+        lstar = resolve_kernel(LStarEstimator(ExponentiatedRange(1.0)), scheme)
+        ht = resolve_kernel(
+            HorvitzThompsonEstimator(ExponentiatedRange(1.0)), scheme
+        )
+        assert isinstance(lstar, LStarRangePPSKernel)
+        assert isinstance(ht, HTRangePPSKernel)
+        # No closed form off the canonical unit-PPS two-entry setting.
+        assert resolve_kernel(
+            LStarEstimator(ExponentiatedRange(1.0)), pps_scheme([2.0, 1.0])
+        ) is None
+        assert resolve_kernel(
+            LStarEstimator(ExponentiatedRange(1.0)), pps_scheme([1.0] * 3)
+        ) is None
+
+    def test_zero_outcomes_estimate_zero(self):
+        scheme = pps_scheme([1.0, 1.0])
+        batch = BatchOutcome.sample_vectors(
+            scheme, np.zeros((4, 2)), np.array([0.1, 0.4, 0.9, 1.0])
+        )
+        for kernel in (LStarRangePPSKernel(1.0), HTRangePPSKernel(1.0)):
+            assert np.all(kernel.estimate_batch(batch) == 0.0)
+
+    def test_invalid_exponent_rejected(self):
+        with pytest.raises(ValueError, match="p must be positive"):
+            LStarRangePPSKernel(0.0)
+        with pytest.raises(ValueError, match="p must be positive"):
+            HTRangePPSKernel(-1.0)
+
+    def test_symmetry_in_the_two_entries(self):
+        """RG_p is symmetric; swapping the columns must not change anything."""
+        scheme = pps_scheme([1.0, 1.0])
+        rng = np.random.default_rng(7)
+        vectors = rng.random((200, 2))
+        seeds = 1.0 - rng.random(200)
+        batch = BatchOutcome.sample_vectors(scheme, vectors, seeds)
+        swapped = BatchOutcome.sample_vectors(scheme, vectors[:, ::-1], seeds)
+        for kernel in (LStarRangePPSKernel(1.5), HTRangePPSKernel(1.5)):
+            np.testing.assert_allclose(
+                kernel.estimate_batch(batch),
+                kernel.estimate_batch(swapped),
+                atol=1e-12,
+            )
+
+    def test_sum_aggregation_through_the_facade(self):
+        """The registered 'range' target rides the kernel end to end."""
+        from repro.api import BackendPolicy, EstimationSession
+        from repro.aggregates.dataset import MultiInstanceDataset
+
+        rng = np.random.default_rng(12)
+        dataset = MultiInstanceDataset(
+            ["a", "b"], {f"k{i}": tuple(rng.random(2)) for i in range(80)}
+        )
+        scalar = (
+            EstimationSession([1.0, 1.0], backend="scalar")
+            .target("range", p=1.0)
+            .estimate(dataset, rng=33)
+        )
+        vectorized = (
+            EstimationSession([1.0, 1.0], backend="vectorized")
+            .target("range", p=1.0)
+            .estimate(dataset, rng=33)
+        )
+        assert vectorized.value == pytest.approx(scalar.value, abs=1e-9)
+
+
+class TestGeneralExponentTinyAnchors:
+    """SciPy's 2F1 drifts near z = 1 for non-integer p in (1, 2); rows
+    with anchor ratios below the stability cutoff must take the scalar
+    fallback, not silently clamp to zero."""
+
+    @pytest.mark.parametrize("p", [1.3, 1.7])
+    def test_one_sided_kernel_tiny_seeds(self, p):
+        from repro.core.functions import OneSidedRange
+        from repro.engine import LStarOneSidedPPSKernel
+
+        scheme = pps_scheme([1.0, 1.0])
+        # The review's failing case plus a sweep of tiny anchors: entry 2
+        # is zero, so the anchor is the (tiny) seed itself.
+        vectors = np.array([[0.1983, 0.0]] + [[0.5, 0.0]] * 6)
+        seeds = np.array([2.48e-4, 1e-5, 1e-4, 1e-3, 4e-3, 9e-3, 2e-2])
+        batch = BatchOutcome.sample_vectors(scheme, vectors, seeds)
+        kernel = LStarOneSidedPPSKernel(p)
+        scalar = LStarEstimator(OneSidedRange(p))
+        vectorized = kernel.estimate_batch(batch)
+        reference = np.array(
+            [scalar.estimate(o) for o in batch.to_outcomes()]
+        )
+        np.testing.assert_allclose(vectorized, reference, rtol=1e-7, atol=1e-9)
+        assert vectorized[0] > 1.0  # the clamp-to-zero regression
+
+    @pytest.mark.parametrize("p", [1.3, 1.7])
+    def test_range_kernel_tiny_seeds(self, p):
+        scheme = pps_scheme([1.0, 1.0])
+        vectors = np.array(
+            [[0.1983, 0.0], [0.5, 1e-5], [0.9, 0.0], [1.4, 0.0]]
+        )
+        seeds = np.array([2.48e-4, 1e-4, 1e-3, 5e-3])
+        batch = BatchOutcome.sample_vectors(scheme, vectors, seeds)
+        kernel = LStarRangePPSKernel(p)
+        scalar = LStarEstimator(ExponentiatedRange(p))
+        vectorized = kernel.estimate_batch(batch)
+        reference = np.array(
+            [scalar.estimate(o) for o in batch.to_outcomes()]
+        )
+        np.testing.assert_allclose(vectorized, reference, rtol=1e-7, atol=1e-9)
+        assert (vectorized > 0).all()
+
+
+@pytest.mark.slow
+class TestExhaustiveRangeParityGrid:
+    @pytest.mark.parametrize("grid_seed", [1, 2, 3])
+    @pytest.mark.parametrize("p", [0.5, 1.0, 1.5, 2.0, 3.0])
+    def test_full_grid(self, p, grid_seed):
+        scheme, batch, outcomes = range_outcome_grid(
+            2000, np.random.default_rng(grid_seed)
+        )
+        assert_range_parity(
+            scheme, batch, outcomes, LStarEstimator(ExponentiatedRange(p))
+        )
+        assert_range_parity(
+            scheme, batch, outcomes,
+            HorvitzThompsonEstimator(ExponentiatedRange(p)),
+        )
