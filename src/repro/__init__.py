@@ -114,6 +114,8 @@ from .api import (
     BackendPolicy,
     EstimateResult,
     EstimationSession,
+    ExperimentRunner,
+    ExperimentSpec,
     Session,
     register_estimator,
     register_query,
@@ -170,6 +172,8 @@ __all__ = [
     "BackendPolicy",
     "EstimateResult",
     "EstimationSession",
+    "ExperimentRunner",
+    "ExperimentSpec",
     "Session",
     "register_estimator",
     "register_query",

@@ -75,6 +75,7 @@ def simulate_sum_estimate(
     replications: int = 200,
     rng: Optional[np.random.Generator] = None,
     backend: BackendSpec = None,
+    seeds: Optional[np.ndarray] = None,
 ) -> EstimateSummary:
     """Repeatedly estimate ``sum_k f(v^(k))`` from coordinated samples.
 
@@ -84,6 +85,14 @@ def simulate_sum_estimate(
     unbiased, and independence across items makes its variance the sum of
     the per-item variances — both facts are checked by the tests.
 
+    ``seeds`` (shape ``(replications, len(tuples))``, values in (0, 1])
+    supplies every replication's per-item seeds explicitly instead of
+    drawing them from ``rng`` — callers that need replication-addressable
+    randomness (e.g. the experiment runner's shard-invariant seeding)
+    precompute one row per replication and batch them through a single
+    call.  Both backends consume the same given seeds, so the estimates
+    still agree across backends.
+
     ``backend`` is ``None`` (process-wide
     :class:`~repro.api.backend.BackendPolicy`, auto-dispatching on the
     replication × item grid size), a mode string, or a policy.
@@ -91,16 +100,28 @@ def simulate_sum_estimate(
     ``estimator`` (raising when none exists); ``"auto"`` falls back to
     the scalar loop instead of raising.  The vectorized path consumes the
     generator stream in the same order as the scalar loop, so both
-    backends see identical seeds.
+    backends see identical seeds.  Kernel coverage includes coordinated
+    PPS schemes with a shared non-unit rate (resolved to the rescaled
+    unit kernels), which is how the E9 experiment's scaled samplers batch
+    through here.
     """
     policy = BackendPolicy.coerce(backend)
     rng = rng if rng is not None else np.random.default_rng()
     vectors = [tuple(float(x) for x in t) for t in tuples]
     true_value = sum(target(v) for v in vectors)
+    if seeds is not None:
+        seeds = np.asarray(seeds, dtype=float)
+        if seeds.shape != (replications, len(vectors)):
+            raise ValueError(
+                f"seeds must have shape ({replications}, {len(vectors)}), "
+                f"got {seeds.shape}"
+            )
     totals = np.empty(replications)
     resolved = policy.resolve(replications * len(vectors))
     if resolved != "scalar" and vectors:
-        batched = _simulate_batched(estimator, scheme, vectors, replications, rng)
+        batched = _simulate_batched(
+            estimator, scheme, vectors, replications, rng, seeds=seeds
+        )
         if batched is not None:
             return EstimateSummary(
                 estimator=estimator.name, true_value=true_value, estimates=batched
@@ -112,8 +133,10 @@ def simulate_sum_estimate(
             )
     for rep in range(replications):
         total = 0.0
-        seeds = 1.0 - rng.random(len(vectors))
-        for vector, seed in zip(vectors, seeds):
+        rep_seeds = (
+            seeds[rep] if seeds is not None else 1.0 - rng.random(len(vectors))
+        )
+        for vector, seed in zip(vectors, rep_seeds):
             total += estimator.estimate_for(scheme, vector, float(seed))
         totals[rep] = total
     return EstimateSummary(
@@ -127,6 +150,7 @@ def _simulate_batched(
     vectors: Sequence[Sequence[float]],
     replications: int,
     rng: np.random.Generator,
+    seeds: Optional[np.ndarray] = None,
     max_block_items: int = 1 << 20,
 ) -> Optional[np.ndarray]:
     """Replications × items through the engine kernel, or ``None``.
@@ -150,10 +174,13 @@ def _simulate_batched(
     totals = np.empty(replications)
     for start in range(0, replications, block):
         reps = min(block, replications - start)
-        seeds = 1.0 - rng.random((reps, n))
+        if seeds is not None:
+            block_seeds = seeds[start : start + reps]
+        else:
+            block_seeds = 1.0 - rng.random((reps, n))
         tiled = np.broadcast_to(matrix, (reps, n, matrix.shape[1]))
         batch = BatchOutcome.sample_vectors(
-            scheme, tiled.reshape(reps * n, -1), seeds.reshape(-1)
+            scheme, tiled.reshape(reps * n, -1), block_seeds.reshape(-1)
         )
         estimates = kernel.estimate_batch(batch).reshape(reps, n)
         totals[start : start + reps] = estimates.sum(axis=1)

@@ -54,6 +54,13 @@ __all__ = [
     "EstimateResult",
     "EstimationSession",
     "Session",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ReplicationPlan",
+    "EstimationPlan",
+    "EXPERIMENT_SPECS",
+    "register_experiment",
 ]
 
 #: Lazily-loaded attributes: they import the estimation layers, which in
@@ -62,6 +69,13 @@ _LAZY = {
     "EstimationSession": "session",
     "Session": "session",
     "EstimateResult": "results",
+    "ExperimentSpec": "experiments",
+    "ExperimentResult": "experiments",
+    "ExperimentRunner": "experiments",
+    "ReplicationPlan": "experiments",
+    "EstimationPlan": "experiments",
+    "EXPERIMENT_SPECS": "experiments",
+    "register_experiment": "experiments",
 }
 
 

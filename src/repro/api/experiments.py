@@ -1,0 +1,599 @@
+"""Declarative experiment specs and the sharded, cached experiment runner.
+
+The paper's empirical claims (E1–E11) used to live in ad-hoc scripts that
+hand-rolled replication loops and returned pre-formatted strings.  This
+module turns each experiment into *data*:
+
+* :class:`ExperimentSpec` — a declarative description: which task
+  computes the records, the parameter sets per scale (``smoke`` /
+  ``quick`` / ``full``), an optional :class:`ReplicationPlan` (Monte
+  Carlo experiments), and an optional :class:`EstimationPlan` naming the
+  scheme/target/estimators through the PR 2 registries so the estimation
+  pipeline is resolved by the facade, not hard-wired in the script;
+* :class:`ExperimentRunner` — executes specs, shards replications across
+  processes (``ProcessPoolExecutor``), and memoizes completed runs in an
+  on-disk JSON cache keyed by a content hash of the spec;
+* :class:`ExperimentResult` — structured records plus metadata; rendering
+  lives in :mod:`repro.experiments.report`, not here.
+
+Determinism
+-----------
+Replicated experiments draw their randomness from
+``numpy.random.SeedSequence(plan.seed).spawn(replications)`` — one child
+sequence *per replication*, independent of how replications are grouped
+into shards.  Shard ``[lo, hi)`` consumes children ``lo..hi-1`` and the
+runner merges shard outputs in index order, so the records are
+bit-identical for any ``--jobs`` value (and for a cache replay).
+
+Caching
+-------
+A run is cached under ``<cache_dir>/<key>-<digest>.json`` where
+``digest`` is the SHA-256 of the canonical JSON of the run's identity:
+the cache format version, the spec's key and task/finalize hooks
+(including their *source text*, so editing a task invalidates its
+entries), the fully merged parameters, the replication plan, the
+estimation plan, the scale name and the *effective* backend policy
+(mode and auto-threshold, whether it came from the runner's ``backend=``
+argument, ``set_default_backend`` or the environment).  Changing any of
+them produces a new digest (old entries are simply never read again);
+deleting the directory clears the cache.  Changes in library code the
+hooks call are *not* hashed — bump ``CACHE_VERSION`` (or delete the
+directory) after such changes.  No ``cache_dir`` means no caching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .backend import BackendPolicy, BackendSpec, default_backend, set_default_backend
+from .registry import Registry
+
+__all__ = [
+    "SCALES",
+    "ReplicationPlan",
+    "EstimationPlan",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "EXPERIMENT_SPECS",
+    "register_experiment",
+    "spec_digest",
+]
+
+#: Recognised parameter scales, smallest first.
+SCALES = ("smoke", "quick", "full")
+
+#: Bumping this invalidates every existing cache entry (schema changes).
+CACHE_VERSION = 1
+
+#: Environment variable supplying a default cache directory.
+ENV_CACHE_DIR = "REPRO_EXPERIMENT_CACHE"
+
+
+@dataclass(frozen=True)
+class ReplicationPlan:
+    """Monte-Carlo replication: how many independent runs, from which seed.
+
+    ``replications`` is the default count; a spec's per-scale parameters
+    may override it with a ``"replications"`` entry.  ``seed`` feeds the
+    root :class:`numpy.random.SeedSequence` from which every
+    replication's child sequence is spawned.
+    """
+
+    seed: int = 0
+    replications: int = 1
+
+    def __post_init__(self) -> None:
+        if self.replications < 1:
+            raise ValueError("replications must be at least 1")
+
+
+@dataclass(frozen=True)
+class EstimationPlan:
+    """Registry-resolved estimation pipeline used by a spec's task.
+
+    Names refer to the :mod:`repro.api.registry` registries, so the same
+    keys work in :class:`~repro.api.session.EstimationSession`; the task
+    receives the plan through its parameters (key ``"estimation"``) and
+    builds sessions from it instead of importing estimator classes.
+    ``estimators`` maps report labels (``"L*"``) to estimator registry
+    keys (``"lstar_symmetric"``).
+    """
+
+    scheme: str = "pps"
+    target: str = "one_sided_range"
+    estimators: Mapping[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "target": self.target,
+            "estimators": dict(self.estimators),
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment of the paper, as data.
+
+    Attributes
+    ----------
+    key:
+        Canonical id (``"E9"``).
+    title:
+        Human-readable title used by the reports.
+    task:
+        ``"module.path:function"`` computing the records.  Plain specs
+        use ``task(params) -> (records, metadata)``; replicated specs use
+        ``task(params, children, start) -> records`` where ``children``
+        are the replication :class:`~numpy.random.SeedSequence` objects
+        of the shard and ``start`` the index of the first one.
+    finalize:
+        For replicated specs: ``"module.path:function"`` reducing the
+        merged per-replication records, ``finalize(params, records) ->
+        (records, metadata)``.
+    params:
+        Base parameters common to every scale.
+    scales:
+        Scale name -> parameter overrides (merged over ``params``).
+    replication:
+        Present exactly when the task is sharded Monte Carlo.
+    estimation:
+        Optional registry-resolved pipeline description, passed to the
+        task as ``params["estimation"]``.
+    aliases:
+        Additional registry names (``"lp_difference"`` for ``"E9"``).
+    """
+
+    key: str
+    title: str
+    task: str
+    finalize: Optional[str] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+    scales: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    replication: Optional[ReplicationPlan] = None
+    estimation: Optional[EstimationPlan] = None
+    aliases: Tuple[str, ...] = ()
+
+    def merged_params(self, scale: str = "quick") -> Dict[str, Any]:
+        """Base params overlaid with the scale's overrides (and the
+        estimation plan, when one is declared)."""
+        if scale not in SCALES:
+            raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+        params = dict(self.params)
+        params.update(self.scales.get(scale, {}))
+        if self.estimation is not None:
+            params.setdefault("estimation", self.estimation.as_dict())
+        return params
+
+    def replications_for(self, params: Mapping[str, Any]) -> int:
+        if self.replication is None:
+            return 0
+        return int(params.get("replications", self.replication.replications))
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Structured output of one experiment run.
+
+    ``records`` is a tuple of flat JSON-serialisable mappings (one table
+    row each); ``metadata`` carries experiment-level extras — check
+    outcomes, winner summaries, ``notes`` (plain lines for the text
+    report), and the runner's provenance block.
+    """
+
+    key: str
+    title: str
+    scale: str
+    records: Tuple[Mapping[str, Any], ...]
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "title": self.title,
+            "scale": self.scale,
+            "records": [dict(r) for r in self.records],
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentResult":
+        return cls(
+            key=payload["key"],
+            title=payload["title"],
+            scale=payload["scale"],
+            records=tuple(dict(r) for r in payload["records"]),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+    def with_metadata(self, **extra: Any) -> "ExperimentResult":
+        merged = dict(self.metadata)
+        merged.update(extra)
+        return replace(self, metadata=merged)
+
+
+#: The experiment-spec registry; the canonical specs self-register from
+#: :mod:`repro.experiments.specs` on first lookup.
+EXPERIMENT_SPECS = Registry("experiment")
+
+
+def register_experiment(spec: ExperimentSpec, *, overwrite: bool = False) -> ExperimentSpec:
+    """Register ``spec`` under its key and every alias."""
+    EXPERIMENT_SPECS.register(spec.key, spec, overwrite=overwrite)
+    for alias in spec.aliases:
+        EXPERIMENT_SPECS.register(alias, spec, overwrite=overwrite)
+    return spec
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a parameter structure to canonical JSON-able form."""
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _hook_source(path: Optional[str]) -> Optional[str]:
+    """Source text of a task hook, for the cache digest.
+
+    Hashing the hook's source (not just its dotted path) means editing a
+    task function invalidates its cached results automatically.  Changes
+    in code the hook *calls* are not captured — that is what the manual
+    ``CACHE_VERSION`` bump (or deleting the cache directory) is for.
+    """
+    if path is None:
+        return None
+    import inspect
+
+    try:
+        return inspect.getsource(_resolve_hook(path))
+    except (OSError, TypeError):  # pragma: no cover - builtins/C hooks
+        return None
+
+
+def spec_digest(
+    spec: ExperimentSpec,
+    params: Mapping[str, Any],
+    scale: str,
+    backend: Optional[str] = None,
+) -> str:
+    """Content hash identifying a run for the cache.
+
+    Covers everything in the spec that can change the records — the
+    task/finalize hooks (by source text), the merged parameters, the
+    replication and estimation plans, the scale and the backend mode —
+    plus the cache format version; see the module docstring for the
+    invalidation rule.
+    """
+    payload = {
+        "version": CACHE_VERSION,
+        "key": spec.key,
+        "task": spec.task,
+        "task_source": _hook_source(spec.task),
+        "finalize": spec.finalize,
+        "finalize_source": _hook_source(spec.finalize),
+        "scale": scale,
+        "params": _canonical(params),
+        "replication": None
+        if spec.replication is None
+        else {
+            "seed": spec.replication.seed,
+            "replications": spec.replications_for(params),
+        },
+        "estimation": None if spec.estimation is None
+        else _canonical(spec.estimation.as_dict()),
+        "backend": backend,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _resolve_hook(path: str):
+    """Import ``"module.path:function"`` (tasks must be module-level so
+    shards can resolve them in worker processes)."""
+    from importlib import import_module
+
+    module_name, _, func_name = path.partition(":")
+    if not func_name:
+        raise ValueError(
+            f"task path {path!r} must look like 'package.module:function'"
+        )
+    return getattr(import_module(module_name), func_name)
+
+
+def _run_shard(
+    task_path: str,
+    params: Mapping[str, Any],
+    seed: int,
+    total: int,
+    lo: int,
+    hi: int,
+    backend: Tuple[str, int],
+) -> List[Mapping[str, Any]]:
+    """Execute replications ``[lo, hi)`` of a replicated task.
+
+    Runs in a worker process (or inline for ``jobs=1`` — same code path,
+    so the two are bit-identical).  ``backend`` is the parent's
+    *effective* policy (mode, auto_threshold): installing it explicitly
+    keeps workers on the parent's dispatch rule even under spawn-style
+    start methods, where an in-process ``set_default_backend`` override
+    would otherwise not be inherited.  The full child-sequence list is
+    spawned and sliced, which is what makes the result independent of the
+    shard boundaries.
+    """
+    set_default_backend(BackendPolicy(mode=backend[0], auto_threshold=backend[1]))
+    task = _resolve_hook(task_path)
+    children = np.random.SeedSequence(seed).spawn(total)[lo:hi]
+    return task(dict(params), children, lo)
+
+
+class ResultCache:
+    """On-disk JSON store of completed :class:`ExperimentResult` runs."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self._root = Path(root)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def path_for(self, key: str, digest: str) -> Path:
+        return self._root / f"{key}-{digest}.json"
+
+    def load(self, key: str, digest: str) -> Optional[ExperimentResult]:
+        path = self.path_for(key, digest)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("digest") != digest:
+            return None
+        return ExperimentResult.from_dict(payload["result"])
+
+    def store(self, key: str, digest: str, result: ExperimentResult) -> Path:
+        self._root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key, digest)
+        # Per-writer tmp name: concurrent runs storing the same digest
+        # must not consume each other's tmp file mid-replace.
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(
+            {"digest": digest, "result": result.to_dict()}, sort_keys=True
+        ))
+        tmp.replace(path)
+        return path
+
+
+class ExperimentRunner:
+    """Executes :class:`ExperimentSpec` runs with sharding and caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for replicated specs.  ``1`` runs everything
+        inline; any value yields bit-identical records (see module
+        docstring).
+    cache_dir:
+        Directory for the result cache; ``None`` consults the
+        ``REPRO_EXPERIMENT_CACHE`` environment variable and, when that is
+        unset too, disables caching.
+    backend:
+        Backend policy installed (process-wide, restored afterwards) for
+        the duration of each run; shards install it in their workers.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Union[None, str, os.PathLike] = None,
+        backend: BackendSpec = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self._jobs = int(jobs)
+        if cache_dir is None:
+            cache_dir = os.environ.get(ENV_CACHE_DIR, "").strip() or None
+        self._cache = None if cache_dir is None else ResultCache(cache_dir)
+        self._backend_mode = (
+            None if backend is None else BackendPolicy.coerce(backend).mode
+        )
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self._cache
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _effective_policy(self) -> BackendPolicy:
+        """The dispatch policy this run actually uses: the runner's own
+        ``backend=`` argument, else the ambient process default (which
+        reflects ``set_default_backend`` and the environment)."""
+        if self._backend_mode is not None:
+            return BackendPolicy.coerce(self._backend_mode)
+        return default_backend()
+
+    def run(
+        self,
+        spec: Union[str, ExperimentSpec],
+        scale: str = "quick",
+    ) -> ExperimentResult:
+        """Run one experiment (cache-aware) and return its result."""
+        spec = resolve_spec(spec)
+        params = spec.merged_params(scale)
+        policy = self._effective_policy()
+        # The digest keys on the *effective* policy, so runs under
+        # different REPRO_BACKEND / set_default_backend settings never
+        # share cache entries (the two paths agree only to 1e-9, not
+        # bit for bit).
+        digest = spec_digest(
+            spec, params, scale, f"{policy.mode}@{policy.auto_threshold}"
+        )
+        if self._cache is not None:
+            cached = self._cache.load(spec.key, digest)
+            if cached is not None:
+                # Re-stamp the provenance: jobs/backend/elapsed describe
+                # *this* invocation, not the run that filled the cache
+                # (whose wall-clock moves into the cache block).
+                return cached.with_metadata(
+                    jobs=self._jobs,
+                    backend=policy.mode,
+                    elapsed_s=0.0,
+                    cache={
+                        "digest": digest,
+                        "hit": True,
+                        "path": str(self._cache.path_for(spec.key, digest)),
+                        "stored_elapsed_s": cached.metadata.get("elapsed_s"),
+                    },
+                )
+        started = time.perf_counter()
+        previous = set_default_backend(policy)
+        try:
+            if spec.replication is not None:
+                records, metadata = self._run_replicated(spec, params, policy)
+            else:
+                records, metadata = _normalise_task_output(
+                    _resolve_hook(spec.task)(dict(params))
+                )
+        finally:
+            set_default_backend(previous)
+        elapsed = time.perf_counter() - started
+        metadata = dict(metadata)
+        metadata.update(
+            scale=scale,
+            jobs=self._jobs,
+            backend=policy.mode,
+            elapsed_s=round(elapsed, 6),
+        )
+        result = ExperimentResult(
+            key=spec.key,
+            title=spec.title,
+            scale=scale,
+            records=tuple(dict(r) for r in records),
+            metadata=metadata,
+        )
+        if self._cache is not None:
+            path = self._cache.store(spec.key, digest, result)
+            result = result.with_metadata(
+                cache={"digest": digest, "hit": False, "path": str(path)}
+            )
+        return result
+
+    def run_many(
+        self,
+        specs: Optional[Sequence[Union[str, ExperimentSpec]]] = None,
+        scale: str = "quick",
+    ) -> List[ExperimentResult]:
+        """Run several experiments (all canonical ones by default)."""
+        chosen = specs if specs is not None else canonical_keys()
+        return [self.run(spec, scale=scale) for spec in chosen]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _run_replicated(
+        self, spec: ExperimentSpec, params: Mapping[str, Any],
+        policy: BackendPolicy,
+    ) -> Tuple[List[Mapping[str, Any]], Dict[str, Any]]:
+        replications = spec.replications_for(params)
+        seed = spec.replication.seed
+        # Tasks may need the *total* replication count (e.g. for a
+        # shard-invariant dispatch decision) — guarantee it is present
+        # even when the spec relies on the plan's default.
+        params = dict(params, replications=replications)
+        backend = (policy.mode, policy.auto_threshold)
+        shards = self._shard_bounds(replications)
+        if len(shards) == 1:
+            lo, hi = shards[0]
+            records = _run_shard(
+                spec.task, params, seed, replications, lo, hi, backend,
+            )
+        else:
+            records = []
+            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+                futures = [
+                    pool.submit(
+                        _run_shard, spec.task, params, seed, replications,
+                        lo, hi, backend,
+                    )
+                    for lo, hi in shards
+                ]
+                for future in futures:  # submission order == index order
+                    records.extend(future.result())
+        metadata: Dict[str, Any] = {
+            "replications": replications,
+            "seed": seed,
+            "shards": [list(b) for b in shards],
+        }
+        if spec.finalize is not None:
+            records, extra = _normalise_task_output(
+                _resolve_hook(spec.finalize)(dict(params), list(records))
+            )
+            metadata.update(extra)
+        return list(records), metadata
+
+    def _shard_bounds(self, replications: int) -> List[Tuple[int, int]]:
+        shards = max(1, min(self._jobs, replications))
+        edges = np.linspace(0, replications, shards + 1).astype(int)
+        return [
+            (int(lo), int(hi))
+            for lo, hi in zip(edges[:-1], edges[1:])
+            if hi > lo
+        ]
+
+
+def _normalise_task_output(output: Any) -> Tuple[List[Mapping[str, Any]], Dict[str, Any]]:
+    """Accept ``records`` or ``(records, metadata)`` from task hooks."""
+    if (
+        isinstance(output, tuple)
+        and len(output) == 2
+        and isinstance(output[1], Mapping)
+    ):
+        return list(output[0]), dict(output[1])
+    return list(output), {}
+
+
+def resolve_spec(spec: Union[str, ExperimentSpec]) -> ExperimentSpec:
+    """A spec object, or a registry lookup (loading the canonical specs
+    on first use)."""
+    if isinstance(spec, ExperimentSpec):
+        return spec
+    _ensure_canonical_specs()
+    return EXPERIMENT_SPECS.get(str(spec))
+
+
+def canonical_keys() -> List[str]:
+    """The canonical experiment ids E1..E11, in paper order."""
+    _ensure_canonical_specs()
+    seen: Dict[str, ExperimentSpec] = {}
+    for name in EXPERIMENT_SPECS:
+        spec = EXPERIMENT_SPECS.get(name)
+        seen.setdefault(spec.key, spec)
+    def _order(key: str) -> Tuple[int, str]:
+        if key.upper().startswith("E") and key[1:].isdigit():
+            return (int(key[1:]), key)
+        return (10 ** 6, key)
+    return sorted(seen, key=_order)
+
+
+def _ensure_canonical_specs() -> None:
+    from importlib import import_module
+
+    if "e1" not in EXPERIMENT_SPECS:
+        import_module("repro.experiments.specs")

@@ -264,13 +264,18 @@ class EstimationSession:
         tuples: Sequence[Sequence[float]],
         replications: int = 200,
         rng: Any = None,
+        *,
+        seeds: Any = None,
     ) -> EstimateResult:
         """Monte-Carlo sum-aggregate estimation over many replications.
 
         Wraps :func:`repro.analysis.simulation.simulate_sum_estimate`
         with the session's scheme, target, estimator and backend policy;
         the result carries the empirical mean, variance and error
-        statistics.
+        statistics.  ``seeds`` (shape ``(replications, len(tuples))``)
+        supplies every replication's per-item seeds explicitly instead of
+        drawing from ``rng`` — the hook the experiment runner uses for
+        shard-invariant, replication-addressable randomness.
         """
         from ..analysis.simulation import simulate_sum_estimate
 
@@ -283,6 +288,7 @@ class EstimationSession:
             replications=replications,
             rng=_as_rng(rng, None),
             backend=self._policy,
+            seeds=seeds,
         )
         return EstimateResult(
             value=summary.mean,

@@ -37,6 +37,7 @@ __all__ = [
     "BatchOutcome",
     "linear_rates",
     "is_unit_pps",
+    "uniform_pps_rate",
 ]
 
 
@@ -56,6 +57,27 @@ def is_unit_pps(scheme: CoordinatedScheme, dimension: Optional[int] = None) -> b
         return False
     rates = linear_rates(scheme)
     return rates is not None and bool(np.all(np.abs(rates - 1.0) <= 1e-12))
+
+
+def uniform_pps_rate(
+    scheme: CoordinatedScheme, dimension: Optional[int] = None
+) -> Optional[float]:
+    """The shared PPS rate ``tau*`` when every entry uses the same linear
+    threshold, else ``None``.
+
+    A uniform non-unit rate is an exact reparametrisation of the unit
+    problem (``w >= u * tau`` equals ``w / tau >= u``), which is what lets
+    the unit-rate closed-form kernels cover scaled samplers by rescaling.
+    """
+    if dimension is not None and scheme.dimension != dimension:
+        return None
+    rates = linear_rates(scheme)
+    if rates is None or rates.size == 0:
+        return None
+    tau = float(rates[0])
+    if not np.all(np.abs(rates - tau) <= 1e-12 * max(1.0, abs(tau))):
+        return None
+    return tau
 
 
 @dataclass(frozen=True)

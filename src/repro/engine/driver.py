@@ -53,7 +53,9 @@ class BatchSumEngine:
     ----------
     estimator:
         The scalar per-item estimator defining *what* is estimated.  A
-        vectorized kernel is resolved for it; when none exists the engine
+        vectorized kernel is resolved for it — including under shared
+        non-unit PPS rates, where the unit-rate kernels apply through the
+        exact rescaling wrapper; when none exists the engine
         transparently falls back to calling the scalar estimator on each
         outcome of a batch (still chunked, so memory stays bounded).
     rates:

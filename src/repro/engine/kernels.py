@@ -31,13 +31,14 @@ from typing import Optional
 import numpy as np
 
 from ..core.functions import ExponentiatedRange, OneSidedRange
-from ..core.schemes import CoordinatedScheme
+from ..core.schemes import CoordinatedScheme, LinearThreshold
 from ..estimators.base import Estimator
 from ..estimators.horvitz_thompson import HorvitzThompsonEstimator
 from ..estimators.lstar import LStarEstimator, LStarOneSidedRangePPS
 from ..estimators.order_optimal import OrderOptimalEstimator
+from ..estimators.symmetrized import SymmetrizedRangeEstimator
 from ..estimators.ustar import UStarOneSidedRangePPS
-from .batch_outcome import BatchOutcome, is_unit_pps
+from .batch_outcome import BatchOutcome, uniform_pps_rate
 
 __all__ = [
     "BatchKernel",
@@ -47,6 +48,8 @@ __all__ = [
     "HTOneSidedPPSKernel",
     "HTRangePPSKernel",
     "OrderOptimalTableKernel",
+    "RescaledPPSKernel",
+    "SymmetrizedKernel",
     "resolve_kernel",
 ]
 
@@ -103,6 +106,25 @@ def _lstar_tail_general(v1: np.ndarray, a: np.ndarray, p: float) -> np.ndarray:
     return v1 ** (p - 1.0) * z ** p * (1.0 / c - hyp2f1(p, 1.0, p + 1.0, z))
 
 
+def _lstar_estimate_general(v1: np.ndarray, a: np.ndarray, p: float) -> np.ndarray:
+    """The one-sided L* estimate ``(v1-a)^p / a - ∫_a^{v1} (v1-x)^p/x^2 dx``.
+
+    The head and tail both grow like ``1/a``; their difference collapses
+    analytically (the same integration by parts as the scalar estimator's
+    quadrature form) to the cancellation-free expression
+
+        v1^(p-1) * (1-c)^p * 2F1(p, 1; p+1; 1-c),   c = a / v1,
+
+    which is what is evaluated here.  The 2F1 accuracy caveat of
+    :func:`_lstar_tail_general` near ``z = 1`` applies the same way.
+    """
+    from scipy.special import hyp2f1
+
+    c = a / v1
+    z = 1.0 - c
+    return v1 ** (p - 1.0) * z ** p * hyp2f1(p, 1.0, p + 1.0, z)
+
+
 class LStarOneSidedPPSKernel(BatchKernel):
     """Vectorized L* for ``RG_p+`` under coordinated PPS with ``tau* = 1``.
 
@@ -143,9 +165,9 @@ class LStarOneSidedPPSKernel(BatchKernel):
         else:
             stable = a >= _TAIL_STABLE_RATIO * x1
             if stable.any():
-                head = (x1[stable] - a[stable]) ** p / a[stable]
-                tail = _lstar_tail_general(x1[stable], a[stable], p)
-                estimates[idx[stable]] = np.maximum(0.0, head - tail)
+                estimates[idx[stable]] = np.maximum(
+                    0.0, _lstar_estimate_general(x1[stable], a[stable], p)
+                )
             if not stable.all():
                 scalar = self._scalar_fallback()
                 for k in idx[~stable]:
@@ -510,28 +532,73 @@ class OrderOptimalTableKernel(BatchKernel):
         return estimates
 
 
-def resolve_kernel(
-    estimator: Estimator, scheme: CoordinatedScheme
-) -> Optional[BatchKernel]:
-    """The vectorized kernel equivalent to ``estimator`` under ``scheme``.
+class RescaledPPSKernel(BatchKernel):
+    """A unit-rate kernel lifted to a shared non-unit PPS rate ``tau``.
 
-    Returns ``None`` when no kernel applies (the callers then fall back to
-    the scalar path).  The generic :class:`LStarEstimator` resolves to the
-    closed-form L* kernel when its target is ``RG_p+`` and the scheme is
-    unit-rate PPS — the same situation in which the scalar closed form is
-    valid, and the pairing the scalar test-suite already validates.
+    The inclusion event ``w >= u * tau`` equals ``w / tau >= u`` and the
+    targets the closed-form kernels cover are homogeneous of degree ``p``,
+    so a batch under the scaled scheme is estimated by rescaling its
+    values into the unit problem, applying the unit kernel, and scaling
+    the estimates back by ``tau^p`` — an exact reparametrisation (the
+    same one the scalar closed forms apply per outcome), not an
+    approximation.
     """
-    if not isinstance(scheme, CoordinatedScheme):
-        return None
-    if isinstance(estimator, OrderOptimalEstimator):
-        if estimator.problem.scheme is scheme or (
-            isinstance(estimator.problem.scheme, CoordinatedScheme)
-            and estimator.problem.scheme.thresholds == scheme.thresholds
-        ):
-            return OrderOptimalTableKernel(estimator)
-        return None
-    if not is_unit_pps(scheme, dimension=2):
-        return None
+
+    def __init__(
+        self, inner: BatchKernel, rate: float, degree: float,
+        name: Optional[str] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self._inner = inner
+        self._rate = float(rate)
+        self._scale = float(rate) ** float(degree)
+        self.name = name if name is not None else inner.name
+
+    @property
+    def inner(self) -> BatchKernel:
+        return self._inner
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
+        unit_scheme = CoordinatedScheme(
+            [LinearThreshold(1.0)] * batch.dimension
+        )
+        scaled = BatchOutcome(
+            seeds=batch.seeds,
+            values=batch.values / self._rate,
+            scheme=unit_scheme,
+        )
+        return self._scale * self._inner.estimate_batch(scaled)
+
+
+class SymmetrizedKernel(BatchKernel):
+    """Vectorized counterpart of
+    :class:`~repro.estimators.symmetrized.SymmetrizedRangeEstimator`:
+    the inner one-sided kernel applied to the batch and to the batch with
+    its two value columns swapped, summed — ``RG_p`` as forward plus
+    backward ``RG_p+`` under one shared seed."""
+
+    def __init__(self, inner: BatchKernel, name: Optional[str] = None) -> None:
+        self._inner = inner
+        self.name = name if name is not None else f"sym({inner.name})"
+
+    @property
+    def inner(self) -> BatchKernel:
+        return self._inner
+
+    def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
+        forward = self._inner.estimate_batch(batch)
+        return forward + self._inner.estimate_batch(
+            batch.select_instances((1, 0))
+        )
+
+
+def _unit_pps_kernel(estimator: Estimator) -> Optional[BatchKernel]:
+    """The unit-rate two-entry PPS kernel matching a scalar estimator."""
     if isinstance(estimator, LStarOneSidedRangePPS):
         return LStarOneSidedPPSKernel(estimator.p, name=estimator.name)
     if isinstance(estimator, UStarOneSidedRangePPS):
@@ -557,3 +624,54 @@ def resolve_kernel(
             estimator.target.p, tolerance=estimator.tolerance, name=estimator.name
         )
     return None
+
+
+def _kernel_degree(kernel: BatchKernel) -> float:
+    """Homogeneity degree of the target behind a closed-form kernel."""
+    return float(kernel.p)
+
+
+def resolve_kernel(
+    estimator: Estimator, scheme: CoordinatedScheme
+) -> Optional[BatchKernel]:
+    """The vectorized kernel equivalent to ``estimator`` under ``scheme``.
+
+    Returns ``None`` when no kernel applies (the callers then fall back to
+    the scalar path).  The generic :class:`LStarEstimator` resolves to the
+    closed-form L* kernel when its target is ``RG_p+`` and the scheme is
+    unit-rate PPS — the same situation in which the scalar closed form is
+    valid, and the pairing the scalar test-suite already validates.
+
+    Coordinated PPS schemes whose entries share one *non-unit* rate
+    ``tau`` resolve to the matching unit kernel wrapped in
+    :class:`RescaledPPSKernel`; symmetrized range estimators resolve to
+    their one-sided kernel wrapped in :class:`SymmetrizedKernel`.
+    Per-entry rates that differ stay on the scalar path.
+    """
+    if not isinstance(scheme, CoordinatedScheme):
+        return None
+    if isinstance(estimator, OrderOptimalEstimator):
+        if estimator.problem.scheme is scheme or (
+            isinstance(estimator.problem.scheme, CoordinatedScheme)
+            and estimator.problem.scheme.thresholds == scheme.thresholds
+        ):
+            return OrderOptimalTableKernel(estimator)
+        return None
+    if isinstance(estimator, SymmetrizedRangeEstimator):
+        if scheme.dimension != 2:
+            return None
+        inner = resolve_kernel(estimator.inner, scheme)
+        if inner is None:
+            return None
+        return SymmetrizedKernel(inner, name=estimator.name)
+    rate = uniform_pps_rate(scheme, dimension=2)
+    if rate is None:
+        return None
+    kernel = _unit_pps_kernel(estimator)
+    if kernel is None:
+        return None
+    if abs(rate - 1.0) <= 1e-12:
+        return kernel
+    return RescaledPPSKernel(
+        kernel, rate=rate, degree=_kernel_degree(kernel), name=kernel.name
+    )

@@ -24,10 +24,12 @@ from .order_optimal import (
     order_by_target_ascending,
     order_by_target_descending,
 )
+from .symmetrized import SymmetrizedRangeEstimator
 from .ustar import UStarNumeric, UStarOneSidedRangePPS
 from .vopt import VOptimalOracle
 
 __all__ = [
+    "SymmetrizedRangeEstimator",
     "Estimator",
     "DyadicEstimator",
     "HorvitzThompsonEstimator",
@@ -54,7 +56,7 @@ __all__ = [
 # the contract EstimationSession.estimator("name", **params) relies on —
 # and the closed forms validate that the target matches their setting.
 # ----------------------------------------------------------------------
-from ..core.functions import EstimationTarget, OneSidedRange
+from ..core.functions import EstimationTarget, ExponentiatedRange, OneSidedRange
 from ..api.registry import register_estimator
 
 
@@ -63,6 +65,15 @@ def _require_one_sided(target: EstimationTarget, name: str) -> OneSidedRange:
         raise TypeError(
             f"estimator {name!r} is the closed form for the one-sided range "
             "RG_p+ under unit PPS; use the generic variant for other targets"
+        )
+    return target
+
+
+def _require_range(target: EstimationTarget, name: str) -> ExponentiatedRange:
+    if not isinstance(target, ExponentiatedRange):
+        raise TypeError(
+            f"estimator {name!r} symmetrizes the one-sided closed form over "
+            "the two-sided range RG_p; set the target to 'range' (RG_p)"
         )
     return target
 
@@ -95,6 +106,20 @@ def _dyadic(target: EstimationTarget, **params) -> Estimator:
     return DyadicEstimator(target, **params)
 
 
+def _lstar_symmetric(target: EstimationTarget, **params) -> Estimator:
+    p = _require_range(target, "lstar_symmetric").p
+    return SymmetrizedRangeEstimator(
+        LStarOneSidedRangePPS(p=p, **params), name="L* (symmetrized, RG_p)"
+    )
+
+
+def _ustar_symmetric(target: EstimationTarget, **params) -> Estimator:
+    p = _require_range(target, "ustar_symmetric").p
+    return SymmetrizedRangeEstimator(
+        UStarOneSidedRangePPS(p=p, **params), name="U* (symmetrized, RG_p)"
+    )
+
+
 def _order_optimal(target: EstimationTarget, problem=None, **params) -> Estimator:
     if problem is None:
         raise ValueError(
@@ -106,7 +131,9 @@ def _order_optimal(target: EstimationTarget, problem=None, **params) -> Estimato
 
 register_estimator("lstar", _lstar)
 register_estimator("lstar_closed", _lstar_closed)
+register_estimator("lstar_symmetric", _lstar_symmetric)
 register_estimator("ustar", _ustar)
+register_estimator("ustar_symmetric", _ustar_symmetric)
 register_estimator("ustar_numeric", _ustar_numeric)
 register_estimator("ht", _ht)
 register_estimator("horvitz_thompson", _ht)

@@ -85,11 +85,12 @@ class LStarEstimator(Estimator):
 
 
 class LStarOneSidedRangePPS(Estimator):
-    """Closed-form L* estimator for ``RG_p+`` under coordinated PPS, tau*=1.
+    """Closed-form L* estimator for ``RG_p+`` under coordinated PPS.
 
     For an outcome with seed ``u`` in which entry 1 is sampled with value
     ``v1`` (and writing ``a`` for the sampled value ``v2`` when entry 2 is
-    sampled, or ``u`` otherwise), Example 4 of the paper gives
+    sampled, or ``u`` otherwise), Example 4 of the paper gives, for the
+    canonical rate ``tau* = 1``,
 
         est = (v1 - a)^p / a  -  ∫_a^{v1} (v1 - x)^p / x^2 dx        (a < v1)
 
@@ -97,6 +98,14 @@ class LStarOneSidedRangePPS(Estimator):
     integral collapses to ``log(v1 / a)`` and for ``p = 2`` to
     ``2 v1 log(v1 / a) - 2 (v1 - a)``; other exponents use quadrature on
     the one-dimensional integral.
+
+    A shared non-unit rate ``tau`` (both entries using the same PPS
+    threshold ``u * tau``) is an exact reparametrisation of the unit
+    problem: the inclusion event ``w >= u * tau`` equals ``w / tau >= u``
+    and ``RG_p+`` is homogeneous of degree ``p``, so the estimate is
+    ``tau^p`` times the unit-rate estimate of the rescaled outcome.
+    Distinct per-entry rates are rejected — they change the outcome
+    geometry, not just its scale.
     """
 
     name = "L* (closed form, RG_p+)"
@@ -117,11 +126,12 @@ class LStarOneSidedRangePPS(Estimator):
         return self._target
 
     def estimate(self, outcome: Outcome) -> float:
-        _require_unit_pps(outcome, dimension=2)
+        tau = _uniform_pps_rate(outcome, dimension=2)
         v1, v2 = outcome.values
         if v1 is None:
             return 0.0
-        a = v2 if v2 is not None else outcome.seed
+        v1 = v1 / tau
+        a = v2 / tau if v2 is not None else outcome.seed
         if a >= v1:
             return 0.0
         p = self._p
@@ -131,18 +141,32 @@ class LStarOneSidedRangePPS(Estimator):
                 "value cannot occur under PPS with positive seed"
             )
         if p == 1.0:
-            return math.log(v1 / a)
+            return tau ** p * math.log(v1 / a)
         if p == 2.0:
-            return 2.0 * v1 * math.log(v1 / a) - 2.0 * (v1 - a)
-        head = (v1 - a) ** p / a
-        tail, _ = integrate.quad(
-            lambda x: (v1 - x) ** p / (x * x), a, v1, epsrel=self._rtol
+            return tau ** p * (2.0 * v1 * math.log(v1 / a) - 2.0 * (v1 - a))
+        # Integration by parts of eq. (31): the head (v1-a)^p / a and the
+        # tail integral both grow like 1/a, so subtracting them loses all
+        # precision for tiny anchors (a sampled v2 near zero); the
+        # by-parts form p * ∫_a^{v1} (v1-x)^(p-1) / x dx is the same
+        # value with no cancellation.  Substituting t = v1 - x exposes the
+        # t^(p-1) endpoint singularity to quad's algebraic weight, which
+        # integrates it exactly instead of subdividing toward it.
+        value, _ = integrate.quad(
+            lambda t: 1.0 / (v1 - t), 0.0, v1 - a,
+            weight="alg", wvar=(p - 1.0, 0.0), epsrel=self._rtol,
         )
-        return max(0.0, head - tail)
+        return tau ** p * max(0.0, p * value)
 
 
-def _require_unit_pps(outcome: Outcome, dimension: int) -> None:
-    """Validate that the outcome came from the canonical tau*=1 PPS scheme."""
+def _uniform_pps_rate(outcome: Outcome, dimension: int) -> float:
+    """The shared PPS rate ``tau*`` of the outcome's scheme.
+
+    The closed-form estimators are exact for coordinated PPS schemes in
+    which every entry shares one linear threshold rate (the canonical
+    ``tau* = 1`` setting of the paper's examples, or any uniform rescaling
+    of it).  Anything else — non-linear thresholds, or per-entry rates
+    that differ — raises, directing callers to the generic estimators.
+    """
     scheme = outcome.scheme
     if outcome.dimension != dimension:
         raise ValueError(
@@ -150,11 +174,18 @@ def _require_unit_pps(outcome: Outcome, dimension: int) -> None:
         )
     if not isinstance(scheme, CoordinatedScheme):
         raise TypeError("closed-form estimators require a CoordinatedScheme")
+    rates = []
     for threshold in scheme.thresholds:
-        if not isinstance(threshold, LinearThreshold) or not math.isclose(
-            threshold.tau_star, 1.0
-        ):
+        if not isinstance(threshold, LinearThreshold):
             raise ValueError(
-                "closed-form estimators require PPS thresholds with tau*=1; "
+                "closed-form estimators require PPS (linear) thresholds; "
                 "use the generic estimator for other schemes"
             )
+        rates.append(threshold.tau_star)
+    tau = rates[0]
+    if any(not math.isclose(r, tau, rel_tol=1e-12) for r in rates[1:]):
+        raise ValueError(
+            "closed-form estimators require one shared PPS rate tau* for "
+            "every entry; use the generic estimator for per-entry rates"
+        )
+    return tau

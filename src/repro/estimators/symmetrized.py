@@ -1,0 +1,63 @@
+"""Symmetrized one-sided estimators for the two-sided range ``RG_p``.
+
+The two-sided exponentiated range decomposes as
+
+    |v1 - v2|^p  =  RG_p+(v1, v2) + RG_p+(v2, v1),
+
+so applying a one-sided estimator to an outcome *and* to the outcome with
+its entries swapped — the same seed, hence the same coordinated sample —
+and summing gives an estimator of ``RG_p`` that inherits unbiasedness and
+nonnegativity from its one-sided building block.  This is exactly the
+forward-plus-backward loop the ``L_p``-difference experiment (E9) used to
+hand-roll: estimating ``sum_k |v1_k - v2_k|^p`` with per-direction L* or
+U* customisation.  Expressed as a single :class:`Estimator` it plugs into
+:meth:`repro.api.session.EstimationSession.simulate` and resolves to a
+vectorized kernel (see :class:`repro.engine.kernels.SymmetrizedKernel`).
+
+Note this is *not* the same estimator as the generic L* applied to the
+two-sided target (:class:`~repro.estimators.lstar.LStarEstimator` over
+``ExponentiatedRange``): both are unbiased for ``RG_p``, but they commit
+different estimates outcome by outcome.
+"""
+
+from __future__ import annotations
+
+from ..core.outcome import Outcome
+from ..core.schemes import CoordinatedScheme
+from .base import Estimator
+
+__all__ = ["SymmetrizedRangeEstimator"]
+
+
+class SymmetrizedRangeEstimator(Estimator):
+    """``inner(outcome) + inner(swapped outcome)`` over two-entry tuples."""
+
+    def __init__(self, inner: Estimator, name: str = "") -> None:
+        self._inner = inner
+        self.name = name or f"sym({inner.name})"
+
+    @property
+    def inner(self) -> Estimator:
+        """The one-sided per-direction estimator being symmetrized."""
+        return self._inner
+
+    def estimate(self, outcome: Outcome) -> float:
+        if outcome.dimension != 2:
+            raise ValueError(
+                "the symmetrized estimator handles two-entry outcomes only"
+            )
+        return self._inner.estimate(outcome) + self._inner.estimate(
+            _swap(outcome)
+        )
+
+
+def _swap(outcome: Outcome) -> Outcome:
+    """The same sampled outcome with its two entries (and thresholds) swapped."""
+    scheme = outcome.scheme
+    if isinstance(scheme, CoordinatedScheme):
+        scheme = CoordinatedScheme([scheme.thresholds[1], scheme.thresholds[0]])
+    return Outcome(
+        seed=outcome.seed,
+        values=(outcome.values[1], outcome.values[0]),
+        scheme=scheme,
+    )

@@ -33,14 +33,19 @@ from ..core.functions import EstimationTarget, OneSidedRange
 from ..core.lower_bound import VectorLowerBound
 from ..core.outcome import Outcome
 from .base import Estimator
-from .lstar import _require_unit_pps
+from .lstar import _uniform_pps_rate
 from .optimal_range import candidate_vectors
 
 __all__ = ["UStarOneSidedRangePPS", "UStarNumeric"]
 
 
 class UStarOneSidedRangePPS(Estimator):
-    """Closed-form U* estimator for ``RG_p+`` under coordinated PPS, tau*=1."""
+    """Closed-form U* estimator for ``RG_p+`` under coordinated PPS.
+
+    Exact for any shared rate ``tau*`` via the same reparametrisation as
+    :class:`~repro.estimators.lstar.LStarOneSidedRangePPS`: the estimate
+    is ``tau^p`` times the unit-rate estimate of the rescaled outcome.
+    """
 
     name = "U* (closed form, RG_p+)"
 
@@ -59,7 +64,7 @@ class UStarOneSidedRangePPS(Estimator):
         return self._target
 
     def estimate(self, outcome: Outcome) -> float:
-        _require_unit_pps(outcome, dimension=2)
+        tau = _uniform_pps_rate(outcome, dimension=2)
         u = outcome.seed
         v1, v2 = outcome.values
         if v1 is None:
@@ -67,19 +72,21 @@ class UStarOneSidedRangePPS(Estimator):
             # lower and upper range boundaries are 0 here.
             return 0.0
         p = self._p
+        v1 = v1 / tau
         if v2 is None:
-            # u in (v2, v1]: entry 2 hidden below the threshold u.
+            # u in (v2, v1]: entry 2 hidden below the threshold u * tau.
             if u > v1:
                 return 0.0
             if p >= 1.0:
-                return p * (v1 - u) ** (p - 1.0)
-            return v1 ** (p - 1.0)
-        # Both entries sampled: u <= v2 (and u <= v1).
+                return tau ** p * (p * (v1 - u) ** (p - 1.0))
+            return tau ** p * v1 ** (p - 1.0)
+        # Both entries sampled: u <= v2 (and u <= v1), in scaled units.
+        v2 = v2 / tau
         if v2 >= v1:
             return 0.0
         if p >= 1.0:
             return 0.0
-        return ((v1 - v2) ** p - v1 ** (p - 1.0) * (v1 - v2)) / v2
+        return tau ** p * ((v1 - v2) ** p - v1 ** (p - 1.0) * (v1 - v2)) / v2
 
 
 class UStarNumeric(Estimator):

@@ -14,7 +14,28 @@
 | ``similarity``| Section 7: ADS-based closeness similarity (E10)             |
 | ``ablation``  | Customisation/competitiveness ablation (E11)                |
 
-Every module exposes ``run(...)`` returning structured results and
+Every experiment is registered as a declarative
+:class:`~repro.api.experiments.ExperimentSpec` (see :mod:`.specs`) and
+executed by :class:`~repro.api.experiments.ExperimentRunner`, which
+returns structured :class:`~repro.api.experiments.ExperimentResult`
+records, shards Monte-Carlo replications across processes
+(shard-count-invariant seeding via ``SeedSequence.spawn``), and caches
+completed runs on disk by a content hash of the spec.  Rendering lives in
+:mod:`.report` (:func:`~repro.experiments.report.render_result`).
+
+The command line is ``python -m repro.experiments.run_all`` with flags
+
+* ``--full`` / ``--smoke`` — parameter scale (default: quick);
+* ``--only E1 E9`` — subset selection (descriptive aliases such as
+  ``lp_difference`` also resolve);
+* ``--jobs N`` — worker processes for sharded replications (records are
+  bit-identical for any value);
+* ``--cache-dir DIR`` — enable the on-disk result cache (also via the
+  ``REPRO_EXPERIMENT_CACHE`` environment variable);
+* ``--backend scalar|vectorized|auto`` — process-wide backend policy;
+* ``--format text|json`` — rendered report or structured records.
+
+Each module still exposes ``run(...)`` returning structured results and
 ``format_report(...)`` rendering them as text; the benchmarks under
 ``benchmarks/`` call the same entry points.
 """
@@ -30,6 +51,7 @@ from . import (
     lp_difference,
     ratios,
     similarity,
+    specs,
     theorem41,
 )
 
@@ -44,5 +66,6 @@ __all__ = [
     "lp_difference",
     "ratios",
     "similarity",
+    "specs",
     "theorem41",
 ]

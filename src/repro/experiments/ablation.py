@@ -35,7 +35,7 @@ from ..estimators.lstar import LStarOneSidedRangePPS
 from ..estimators.ustar import UStarOneSidedRangePPS
 from .report import format_table
 
-__all__ = ["AblationRow", "run", "format_report"]
+__all__ = ["AblationRow", "run", "compute", "format_report"]
 
 
 @dataclass(frozen=True)
@@ -133,6 +133,44 @@ def worst_case_penalty(rows: List[AblationRow]) -> Dict[str, float]:
             ratio = value / best if best > 0 else 1.0
             penalties[name] = max(penalties.get(name, 1.0), ratio)
     return penalties
+
+
+def compute(params=None):
+    """Spec task: the estimator ablation across similarity regimes."""
+    params = params or {}
+    rows = run(
+        similarities=tuple(float(s) for s in params.get(
+            "similarities", (0.0, 0.25, 0.5, 0.75, 0.9, 0.99)
+        )),
+        num_items=int(params.get("num_items", 60)),
+        p=float(params.get("p", 1.0)),
+        seed=int(params.get("seed", 5)),
+    )
+    records = [
+        {
+            "similarity": r.similarity,
+            "estimator": r.estimator,
+            "total_mse": r.total_mse,
+            "normalised_mse": r.normalised_mse,
+        }
+        for r in rows
+    ]
+    won = winners_by_similarity(rows)
+    penalties = worst_case_penalty(rows)
+    notes = ["Winner by similarity:"]
+    notes.extend(f"  similarity={s}: {name}" for s, name in sorted(won.items()))
+    notes.append("Worst-case penalty vs the best estimator at each level:")
+    notes.extend(
+        f"  {name}: {penalty:.3g}x" for name, penalty in sorted(penalties.items())
+    )
+    metadata = {
+        "winners": {str(s): name for s, name in sorted(won.items())},
+        "worst_case_penalty": {
+            name: penalties[name] for name in sorted(penalties)
+        },
+        "notes": notes,
+    }
+    return records, metadata
 
 
 def format_report(rows: List[AblationRow] = None) -> str:

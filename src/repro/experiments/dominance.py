@@ -26,7 +26,7 @@ from ..estimators.horvitz_thompson import HorvitzThompsonEstimator
 from ..estimators.lstar import LStarOneSidedRangePPS
 from .report import format_table
 
-__all__ = ["DominanceRow", "run", "format_report"]
+__all__ = ["DominanceRow", "run", "compute", "format_report"]
 
 
 @dataclass(frozen=True)
@@ -94,6 +94,29 @@ def all_dominated(rows: List[DominanceRow] = None) -> bool:
     """Whether L* variance is at most HT variance on every applicable vector."""
     rows = rows if rows is not None else run()
     return all(row.lstar_dominates_ht for row in rows)
+
+
+def compute(params=None):
+    """Spec task: the exact-variance domination table."""
+    params = params or {}
+    vectors = params.get("vectors")
+    if vectors is not None:
+        vectors = [tuple(v) for v in vectors]
+    rows = run(p=float(params.get("p", 1.0)), vectors=vectors)
+    records = [
+        {
+            "vector": str(row.vector),
+            "f": row.true_value,
+            "var_lstar": row.lstar_variance,
+            "var_ht": row.ht_variance if row.ht_applicable else None,
+            "ht_over_lstar": row.ht_over_lstar if row.ht_applicable else None,
+            "var_dyadic": row.dyadic_variance,
+            "ht_applicable": row.ht_applicable,
+        }
+        for row in rows
+    ]
+    metadata = {"lstar_dominates_everywhere": all_dominated(rows)}
+    return records, metadata
 
 
 def format_report(rows: List[DominanceRow] = None) -> str:

@@ -22,7 +22,7 @@ from ..api.session import EstimationSession
 from ..core.functions import AbsoluteCombination
 from .report import format_table
 
-__all__ = ["QueryRow", "run", "format_report"]
+__all__ = ["QueryRow", "run", "compute", "format_report"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,28 @@ def run(dataset: MultiInstanceDataset = None) -> List[QueryRow]:
         ),
     ]
     return rows
+
+
+def compute(params=None):
+    """Spec task: the Example 1 query table as structured records."""
+    rows = run()
+    records = [
+        {
+            "query": row.query,
+            "items": "{" + ",".join(row.selection) + "}",
+            "computed": row.computed,
+            "paper": row.paper_value,
+            "agrees": row.matches_paper,
+        }
+        for row in rows
+    ]
+    notes = [
+        f"{row.query}: paper arithmetic slip (computed {row.computed:g} vs "
+        f"printed {row.paper_value:g})"
+        for row in rows
+        if not row.matches_paper
+    ]
+    return records, {"notes": notes}
 
 
 def format_report(rows: List[QueryRow] = None) -> str:

@@ -18,7 +18,10 @@ from ..aggregates.dataset import example1_dataset
 from ..api.session import EstimationSession
 from .report import format_table
 
-__all__ = ["PAPER_SEEDS", "PAPER_PATTERNS", "OutcomeRow", "run", "format_report"]
+__all__ = [
+    "PAPER_SEEDS", "PAPER_PATTERNS", "OutcomeRow", "run", "compute",
+    "format_report",
+]
 
 #: The per-item seeds fixed in Example 2 of the paper.
 PAPER_SEEDS: Dict[str, float] = {
@@ -99,6 +102,30 @@ def consistency_bounds(item: str) -> Dict[str, object]:
         else:
             description.append(("below", seed))
     return {"item": item, "seed": seed, "entries": description}
+
+
+def compute(params=None):
+    """Spec task: Example 2 outcome patterns as structured records."""
+    rows, sample = run()
+    records = [
+        {
+            "item": row.item,
+            "seed": row.seed,
+            "computed": _show(row.computed),
+            "paper": _show(row.paper),
+            "agrees": row.matches_paper,
+        }
+        for row in rows
+    ]
+    metadata = {
+        "sampled_items": sorted(sample.sampled_items()),
+        "storage_size": sample.storage_size(),
+    }
+    return records, metadata
+
+
+def _show(pattern: Tuple[Optional[float], ...]) -> str:
+    return "(" + ", ".join("*" if v is None else f"{v:g}" for v in pattern) + ")"
 
 
 def format_report(rows: List[OutcomeRow] = None) -> str:

@@ -27,7 +27,9 @@ from ..core.lower_hull import hull_of_curve
 from ..core.schemes import pps_scheme
 from .report import format_series
 
-__all__ = ["CurvePair", "run", "closed_form_lower_bound", "format_report"]
+__all__ = [
+    "CurvePair", "run", "compute", "closed_form_lower_bound", "format_report",
+]
 
 #: The configurations plotted in the paper's Example 3.
 PAPER_VECTORS: Tuple[Tuple[float, float], ...] = ((0.6, 0.2), (0.6, 0.0))
@@ -116,10 +118,10 @@ def structural_checks(pairs: List[CurvePair] = None) -> Dict[str, bool]:
     return checks
 
 
-def format_report(pairs: List[CurvePair] = None, points: int = 9) -> str:
-    """Compact text rendering of the figure series plus the caption checks."""
-    pairs = pairs if pairs is not None else run()
-    lines = ["E3 — Example 3 lower-bound functions and hulls (RG_p+, PPS tau*=1)"]
+def _series_lines(pairs: List[CurvePair], points: int) -> List[str]:
+    """The subsampled LB/CH series plus the caption-check lines —
+    shared by the legacy text report and the spec task's notes."""
+    lines = []
     for pair in pairs:
         idx = np.linspace(0, len(pair.seeds) - 1, points).astype(int)
         label = f"p={pair.p} v={pair.vector}"
@@ -128,4 +130,29 @@ def format_report(pairs: List[CurvePair] = None, points: int = 9) -> str:
     lines.append("")
     for name, passed in structural_checks(pairs).items():
         lines.append(f"[{'ok' if passed else 'FAIL'}] {name}")
+    return lines
+
+
+def compute(params=None):
+    """Spec task: per-configuration hull gaps, caption checks, and the
+    figure series (subsampled) as notes."""
+    params = params or {}
+    pairs = run(grid=int(params.get("grid", 200)))
+    records = [
+        {
+            "p": pair.p,
+            "vector": str(pair.vector),
+            "max_hull_gap": pair.max_hull_gap(),
+        }
+        for pair in pairs
+    ]
+    notes = _series_lines(pairs, int(params.get("points", 9)))
+    return records, {"checks": dict(structural_checks(pairs)), "notes": notes}
+
+
+def format_report(pairs: List[CurvePair] = None, points: int = 9) -> str:
+    """Compact text rendering of the figure series plus the caption checks."""
+    pairs = pairs if pairs is not None else run()
+    lines = ["E3 — Example 3 lower-bound functions and hulls (RG_p+, PPS tau*=1)"]
+    lines.extend(_series_lines(pairs, points))
     return "\n".join(lines)

@@ -29,7 +29,7 @@ from ..estimators.ustar import UStarOneSidedRangePPS
 from ..estimators.vopt import VOptimalOracle
 from .report import format_series
 
-__all__ = ["EstimateCurves", "run", "format_report"]
+__all__ = ["EstimateCurves", "run", "compute", "format_report"]
 
 PAPER_VECTORS: Tuple[Tuple[float, float], ...] = ((0.6, 0.2), (0.6, 0.0))
 PAPER_EXPONENTS: Tuple[float, ...] = (0.5, 1.0, 2.0)
@@ -117,9 +117,10 @@ def structural_checks(curves: List[EstimateCurves] = None) -> Dict[str, bool]:
     return checks
 
 
-def format_report(curves: List[EstimateCurves] = None, points: int = 9) -> str:
-    curves = curves if curves is not None else run()
-    lines = ["E4 — Example 4 estimate curves (L*, U*, v-optimal; RG_p+, PPS tau*=1)"]
+def _series_lines(curves: List[EstimateCurves], points: int) -> List[str]:
+    """The subsampled estimate series plus the caption-check lines —
+    shared by the legacy text report and the spec task's notes."""
+    lines = []
     for c in curves:
         idx = np.linspace(0, len(c.seeds) - 1, points).astype(int)
         label = f"p={c.p} v={c.vector}"
@@ -129,4 +130,28 @@ def format_report(curves: List[EstimateCurves] = None, points: int = 9) -> str:
     lines.append("")
     for name, passed in structural_checks(curves).items():
         lines.append(f"[{'ok' if passed else 'FAIL'}] {name}")
+    return lines
+
+
+def compute(params=None):
+    """Spec task: per-configuration closed-form gaps, caption checks, and
+    the estimate-curve series (subsampled) as notes."""
+    params = params or {}
+    curves = run(grid=int(params.get("grid", 120)))
+    records = [
+        {
+            "p": c.p,
+            "vector": str(c.vector),
+            "max_closed_form_gap": c.max_closed_form_gap(),
+        }
+        for c in curves
+    ]
+    notes = _series_lines(curves, int(params.get("points", 9)))
+    return records, {"checks": dict(structural_checks(curves)), "notes": notes}
+
+
+def format_report(curves: List[EstimateCurves] = None, points: int = 9) -> str:
+    curves = curves if curves is not None else run()
+    lines = ["E4 — Example 4 estimate curves (L*, U*, v-optimal; RG_p+, PPS tau*=1)"]
+    lines.extend(_series_lines(curves, points))
     return "\n".join(lines)

@@ -39,6 +39,7 @@ __all__ = [
     "build_problem",
     "paper_voptimal_tables",
     "run",
+    "compute",
     "format_report",
 ]
 
@@ -187,6 +188,47 @@ def custom_order_paper_values(
         (1.0 - (pi3 - pi2) * est_3_le2) / pi2,
     )
     return values
+
+
+def compute(params=None):
+    """Spec task: the three order-optimal tables plus the forced-value
+    comparisons against the paper's (corrected) expressions."""
+    params = params or {}
+    probabilities = tuple(params.get("probabilities", DEFAULT_PROBABILITIES))
+    result = run(probabilities)
+    problem = result.problem
+    intervals = problem.intervals
+    estimators = {
+        "lstar_order": result.lstar_order,
+        "ustar_order": result.ustar_order,
+        "custom_order": result.custom_order,
+    }
+    records = []
+    positive = [v for v in problem.vectors if problem.value(v) > 0]
+    for v in sorted(positive, key=lambda t: (problem.value(t), t)):
+        record = {"vector": str(v)}
+        for column, estimator in estimators.items():
+            record[column] = " / ".join(
+                f"{estimator.estimate_for_vector(v, iv.midpoint):.4g}"
+                for iv in intervals
+            )
+        records.append(record)
+    forced = custom_order_paper_values(result, probabilities)
+    notes = ["Unbiasedness-forced estimates of the custom order vs paper:"]
+    all_agree = True
+    for name, (ours, paper) in forced.items():
+        agree = abs(ours - paper) <= 1e-9
+        all_agree = all_agree and agree
+        notes.append(
+            f"[{'ok' if agree else 'FAIL'}] {name}: library={ours:.6g} "
+            f"paper={paper:.6g}"
+        )
+    metadata = {
+        "probabilities": list(probabilities),
+        "forced_values_agree": all_agree,
+        "notes": notes,
+    }
+    return records, metadata
 
 
 def format_report(

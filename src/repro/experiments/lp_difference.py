@@ -15,24 +15,51 @@ loses by much (it is 4-competitive), while U* can lose badly on the
 "wrong" data.  This experiment reproduces the comparison on synthetic
 stand-ins with the same similarity structure (see
 :mod:`repro.datasets.synthetic`), across a sweep of sampling rates.
+
+Each replication runs through
+:meth:`repro.api.session.EstimationSession.simulate` under a shared
+non-unit PPS rate ``tau`` (chosen per sampling rate), with the
+symmetrized one-sided estimators resolved from the registry
+(``lstar_symmetric`` / ``ustar_symmetric``) — the forward-plus-backward
+rescaling loop this module used to hand-roll in scalar Python now lives
+in the estimator/kernel layer, so a vectorized backend batch-dispatches
+it.  Replication seeds come from per-replication
+:class:`numpy.random.SeedSequence` children, which is what lets the
+experiment runner shard replications across processes without changing
+the records (both estimators of a configuration replay the same child
+seed, so the comparison stays paired).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-from ..aggregates.coordinated import CoordinatedPPSSampler
 from ..aggregates.dataset import MultiInstanceDataset
 from ..api.session import EstimationSession
 from ..datasets.synthetic import ip_flow_pairs, surname_pairs
-from ..estimators.lstar import LStarOneSidedRangePPS
-from ..estimators.ustar import UStarOneSidedRangePPS
 from .report import format_table
 
-__all__ = ["WorkloadResult", "run", "format_report"]
+__all__ = [
+    "WorkloadResult",
+    "DEFAULT_ESTIMATION",
+    "run",
+    "replicate",
+    "finalize",
+    "winners",
+    "format_report",
+]
+
+#: Registry-resolved estimation pipeline (the spec's EstimationPlan
+#: mirrors this): the two-sided range target with the symmetrized
+#: one-sided closed forms, labelled as in the paper's study.
+DEFAULT_ESTIMATION: Dict[str, Any] = {
+    "scheme": "pps",
+    "target": "range",
+    "estimators": {"L*": "lstar_symmetric", "U*": "ustar_symmetric"},
+}
 
 
 @dataclass(frozen=True)
@@ -49,15 +76,13 @@ class WorkloadResult:
     rmse: float
 
 
-def _scaled_sampler(
-    dataset: MultiInstanceDataset, sampling_rate: float
-) -> CoordinatedPPSSampler:
-    """PPS sampler targeting ``sampling_rate * items`` per instance.
+def shared_rate(dataset: MultiInstanceDataset, sampling_rate: float) -> float:
+    """The shared PPS rate ``tau*`` targeting ``sampling_rate * items``.
 
-    A single rate ``tau*`` is shared by both instances (the closed-form
-    per-item estimators assume the two entries see the same threshold),
-    and it is floored at the maximum weight so every rescaled weight lies
-    in ``[0, 1]`` — the canonical domain of the paper's examples.
+    A single rate is shared by both instances (the closed-form per-item
+    estimators assume the two entries see the same threshold), and it is
+    floored at the maximum weight so every rescaled weight lies in
+    ``[0, 1]`` — the canonical domain of the paper's examples.
     """
     expected = max(1.0, sampling_rate * len(dataset))
     totals = [
@@ -66,93 +91,210 @@ def _scaled_sampler(
     max_weight = max(
         (max(tup) for _, tup in dataset.iter_items()), default=1.0
     )
-    tau = max(max(totals) / expected, max_weight, 1e-12)
-    return CoordinatedPPSSampler([tau] * dataset.num_instances)
+    return max(max(totals) / expected, max_weight, 1e-12)
 
 
-def _evaluate(
-    dataset: MultiInstanceDataset,
-    workload: str,
-    p: float,
-    sampling_rate: float,
-    replications: int,
-    rng: np.random.Generator,
-) -> List[WorkloadResult]:
-    sampler = _scaled_sampler(dataset, sampling_rate)
-    true_value = EstimationSession().query(
-        "lpp", dataset, p=p, instances=(0, 1)
-    ).value
-    estimators = {
-        "L*": LStarOneSidedRangePPS(p=p),
-        "U*": UStarOneSidedRangePPS(p=p),
+def _build_workloads(
+    num_items: int, dataset_seed: int
+) -> Dict[str, MultiInstanceDataset]:
+    """The two synthetic workloads, rebuilt identically in every shard."""
+    rng = np.random.default_rng(dataset_seed)
+    return {
+        "ip-flows (dissimilar)": ip_flow_pairs(num_items, rng=rng),
+        "surnames (similar)": surname_pairs(num_items, rng=rng),
     }
-    estimates: Dict[str, List[float]] = {name: [] for name in estimators}
-    for _ in range(replications):
-        sample = sampler.sample(dataset, rng=rng)
-        for name, per_item in estimators.items():
-            # The closed-form estimators require tau*=1; rescale weights and
-            # the result instead when the sampler uses another rate.
-            estimates[name].append(
-                _estimate_with_rescaling(sample, sampler, dataset, p, per_item)
-            )
-    results = []
-    for name, values in estimates.items():
-        arr = np.array(values)
-        results.append(
-            WorkloadResult(
-                workload=workload,
-                estimator=name,
-                p=p,
-                sampling_rate=sampling_rate,
-                true_value=true_value,
-                mean_estimate=float(arr.mean()),
-                mean_relative_error=float(
-                    np.mean(np.abs(arr - true_value)) / max(true_value, 1e-12)
-                ),
-                rmse=float(np.sqrt(np.mean((arr - true_value) ** 2))),
-            )
-        )
-    return results
 
 
-def _estimate_with_rescaling(sample, sampler, dataset, p, per_item_estimator):
-    """Estimate ``L_p^p`` using the generic pipeline with the closed-form
-    per-item estimators.
+def _configurations(
+    params: Mapping[str, Any]
+) -> List[Tuple[str, MultiInstanceDataset, float, float]]:
+    """The (workload, dataset, p, rate) sweep in a fixed, shard-stable order."""
+    workloads = _build_workloads(
+        int(params["num_items"]), int(params["dataset_seed"])
+    )
+    return [
+        (name, dataset, float(p), float(rate))
+        for name, dataset in workloads.items()
+        for p in params["exponents"]
+        for rate in params["sampling_rates"]
+    ]
 
-    The closed forms assume the canonical ``tau* = 1`` scheme, i.e. weights
-    in ``[0, 1]`` sampled with probability equal to their value.  Weights
-    here are arbitrary, so each item tuple is rescaled by its instance's
-    ``tau*`` before estimation and the estimate is scaled back by
-    ``tau*^p`` — an exact reparametrisation, not an approximation, because
-    the PPS inclusion event ``w >= u * tau*`` equals ``w / tau* >= u``.
+
+def _session_for(
+    estimation: Mapping[str, Any], tau: float, p: float, estimator_key: str,
+    backend: Any = None,
+) -> EstimationSession:
+    return (
+        EstimationSession([tau, tau], scheme=estimation["scheme"],
+                          backend=backend)
+        .target(estimation["target"], p=p)
+        .estimator(estimator_key)
+    )
+
+
+def _shard_invariant_policy(total_replications: int, num_items: int):
+    """A backend policy whose dispatch ignores the shard size.
+
+    The process-default policy decides by input size; a shard sees only
+    its own slice of the replications, so under ``auto`` a small shard
+    could resolve to the scalar path while the whole run resolves to the
+    kernels — and the two differ in floating-point summation order,
+    breaking the bit-identical-for-any-``jobs`` guarantee.  Deciding once
+    on the *total* replication × item grid and pinning the result keeps
+    every shard on the same path.
     """
-    from ..core.schemes import pps_scheme
-    from ..core.outcome import Outcome
+    from ..api.backend import BackendPolicy, default_backend
 
-    rates = sampler.tau_star
-    if abs(rates[0] - rates[1]) > 1e-9 * max(rates):
-        raise ValueError(
-            "the closed-form rescaling path assumes equal tau* for the two "
-            "instances being compared"
+    decision = default_backend().resolve(total_replications * num_items)
+    if decision == "auto":
+        # Above the threshold: use a kernel whenever one exists,
+        # regardless of how small an individual shard is.
+        return BackendPolicy(mode="auto", auto_threshold=0)
+    return BackendPolicy(mode=decision)
+
+
+def replicate(
+    params: Mapping[str, Any],
+    children: Sequence[np.random.SeedSequence],
+    start: int,
+) -> List[Dict[str, Any]]:
+    """One record per (replication, configuration, estimator).
+
+    ``children`` are the replication seed sequences of this shard.  Per
+    configuration, every replication's per-item seeds are derived from
+    that replication's spawned child alone (shard-invariant) and stacked
+    into one matrix, so the whole shard runs as a *single*
+    ``session.simulate`` call per estimator — which is what lets the
+    backend policy batch the replication × item grid through the
+    non-unit-rate engine kernels.  Both estimators of a configuration
+    share the seed matrix, so the comparison is paired exactly as in the
+    original study.
+    """
+    estimation = dict(params.get("estimation") or DEFAULT_ESTIMATION)
+    configurations = _configurations(params)
+    # Everything replication-independent — the shared rate, the tuple
+    # list, the sessions — is prepared once per configuration; the
+    # replication loop only derives seeds.
+    total_replications = int(params.get("replications", len(children)))
+    tuples_by_workload: Dict[str, List[Tuple[float, ...]]] = {}
+    prepared = []
+    for workload, dataset, p, rate in configurations:
+        if workload not in tuples_by_workload:
+            tuples_by_workload[workload] = [
+                dataset.tuple_for(key) for key in dataset.items
+            ]
+        tau = shared_rate(dataset, rate)
+        policy = _shard_invariant_policy(total_replications, len(dataset))
+        sessions = {
+            label: _session_for(estimation, tau, p, estimator_key, policy)
+            for label, estimator_key in estimation["estimators"].items()
+        }
+        prepared.append(
+            (workload, p, rate, tuples_by_workload[workload], sessions)
         )
-    scale = rates[0]
-    unit_scheme = pps_scheme([1.0, 1.0])
-    total = 0.0
-    for key in sample.sampled_items():
-        outcome = sample.outcome_for(key, instances=(0, 1))
-        scaled = Outcome(
-            seed=outcome.seed,
-            values=tuple(
-                None if v is None else v / scale for v in outcome.values
-            ),
-            scheme=unit_scheme,
+    config_seeds = [child.spawn(len(prepared)) for child in children]
+    records: List[Dict[str, Any]] = []
+    for index, (workload, p, rate, tuples, sessions) in enumerate(prepared):
+        seed_matrix = np.stack(
+            [
+                1.0 - np.random.default_rng(per_config[index]).random(len(tuples))
+                for per_config in config_seeds
+            ]
         )
-        forward = per_item_estimator.estimate(scaled)
-        backward = per_item_estimator.estimate(
-            Outcome(seed=scaled.seed, values=scaled.values[::-1], scheme=unit_scheme)
+        for label, session in sessions.items():
+            summary = session.simulate(
+                tuples, replications=len(children), seeds=seed_matrix
+            ).metadata["summary"]
+            for offset, estimate in enumerate(summary.estimates):
+                records.append(
+                    {
+                        "replication": start + offset,
+                        "workload": workload,
+                        "p": p,
+                        "rate": rate,
+                        "estimator": label,
+                        "estimate": float(estimate),
+                    }
+                )
+    return records
+
+
+def finalize(
+    params: Mapping[str, Any], records: List[Mapping[str, Any]]
+) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+    """Reduce per-replication estimates to the E9 error table."""
+    configurations = _configurations(params)
+    truth: Dict[Tuple[str, float], float] = {}
+    session = EstimationSession()
+    for workload, dataset, p, _rate in configurations:
+        if (workload, p) not in truth:
+            truth[(workload, p)] = session.query(
+                "lpp", dataset, p=p, instances=(0, 1)
+            ).value
+    grouped: Dict[Tuple[str, float, float, str], List[Mapping[str, Any]]] = {}
+    for record in records:
+        key = (
+            record["workload"], record["p"], record["rate"],
+            record["estimator"],
         )
-        total += (forward + backward) * scale ** p
-    return total
+        grouped.setdefault(key, []).append(record)
+    estimation = dict(params.get("estimation") or DEFAULT_ESTIMATION)
+    labels = list(estimation["estimators"])
+    final: List[Dict[str, Any]] = []
+    for workload, _dataset, p, rate in configurations:
+        for label in labels:
+            group = sorted(
+                grouped.get((workload, p, rate, label), ()),
+                key=lambda r: r["replication"],
+            )
+            estimates = np.array([r["estimate"] for r in group])
+            true_value = truth[(workload, p)]
+            final.append(
+                {
+                    "workload": workload,
+                    "p": p,
+                    "rate": rate,
+                    "estimator": label,
+                    "true_value": true_value,
+                    "mean_estimate": float(estimates.mean()),
+                    "mean_relative_error": float(
+                        np.mean(np.abs(estimates - true_value))
+                        / max(true_value, 1e-12)
+                    ),
+                    "rmse": float(
+                        np.sqrt(np.mean((estimates - true_value) ** 2))
+                    ),
+                }
+            )
+    results = _as_results(final)
+    who_won = winners(results)
+    notes = ["Lower-RMSE estimator per configuration:"]
+    for (workload, p, rate), name in sorted(who_won.items()):
+        notes.append(f"  {workload} p={p} rate={rate}: {name}")
+    metadata = {
+        "winners": {
+            f"{workload} p={p} rate={rate}": name
+            for (workload, p, rate), name in sorted(who_won.items())
+        },
+        "notes": notes,
+    }
+    return final, metadata
+
+
+def _as_results(records: Sequence[Mapping[str, Any]]) -> List[WorkloadResult]:
+    return [
+        WorkloadResult(
+            workload=r["workload"],
+            estimator=r["estimator"],
+            p=r["p"],
+            sampling_rate=r["rate"],
+            true_value=r["true_value"],
+            mean_estimate=r["mean_estimate"],
+            mean_relative_error=r["mean_relative_error"],
+            rmse=r["rmse"],
+        )
+        for r in records
+    ]
 
 
 def run(
@@ -162,20 +304,25 @@ def run(
     replications: int = 40,
     seed: int = 7,
 ) -> List[WorkloadResult]:
-    """Run the full comparison on the two synthetic workloads."""
-    rng = np.random.default_rng(seed)
-    workloads = {
-        "ip-flows (dissimilar)": ip_flow_pairs(num_items, rng=rng),
-        "surnames (similar)": surname_pairs(num_items, rng=rng),
+    """Run the full comparison on the two synthetic workloads.
+
+    ``seed`` roots both the dataset generation and the per-replication
+    :class:`~numpy.random.SeedSequence` spawn, so the output is a pure
+    function of the arguments (and matches the registered E9 spec run at
+    the same parameters, shard count notwithstanding).
+    """
+    params = {
+        "num_items": int(num_items),
+        "sampling_rates": [float(r) for r in sampling_rates],
+        "exponents": [float(p) for p in exponents],
+        "replications": int(replications),
+        "dataset_seed": int(seed),
+        "estimation": DEFAULT_ESTIMATION,
     }
-    results: List[WorkloadResult] = []
-    for workload_name, dataset in workloads.items():
-        for p in exponents:
-            for rate in sampling_rates:
-                results.extend(
-                    _evaluate(dataset, workload_name, p, rate, replications, rng)
-                )
-    return results
+    children = np.random.SeedSequence(seed).spawn(int(replications))
+    records = replicate(params, children, 0)
+    final, _metadata = finalize(params, records)
+    return _as_results(final)
 
 
 def winners(results: List[WorkloadResult]) -> Dict[Tuple[str, float, float], str]:

@@ -26,7 +26,7 @@ from ..estimators.lstar import LStarOneSidedRangePPS
 from ..estimators.ustar import UStarOneSidedRangePPS
 from .report import format_table
 
-__all__ = ["SweepResult", "default_vector_grid", "run", "format_report"]
+__all__ = ["SweepResult", "default_vector_grid", "run", "compute", "format_report"]
 
 
 @dataclass(frozen=True)
@@ -94,6 +94,28 @@ def summary(results: List[SweepResult] = None) -> Dict[str, float]:
     """Supremum ratio per (estimator, exponent)."""
     results = results if results is not None else run()
     return {f"{r.estimator} p={r.p}": r.supremum for r in results}
+
+
+def compute(params=None):
+    """Spec task: supremum competitive ratios over the vector sweep."""
+    params = params or {}
+    grid = default_vector_grid(int(params.get("grid_points", 7)))
+    results = run(
+        exponents=tuple(params.get("exponents", (1.0, 2.0))),
+        vectors=grid,
+        include_baselines=bool(params.get("include_baselines", True)),
+    )
+    records = [
+        {
+            "estimator": r.estimator,
+            "p": r.p,
+            "sup_ratio": r.supremum,
+            "worst_vector": str(r.worst_vector),
+            "n_vectors": len(r.reports),
+        }
+        for r in results
+    ]
+    return records, {}
 
 
 def format_report(results: List[SweepResult] = None) -> str:

@@ -5,13 +5,19 @@ rows) *and* can render itself as an aligned text table, so the same code
 path serves the benchmarks, the EXPERIMENTS.md records, and interactive
 use.  No plotting dependency is required: "figures" are emitted as the
 numeric series behind them.
+
+:func:`render_result` is the rendering seam of the declarative pipeline:
+an :class:`~repro.api.experiments.ExperimentResult` — records plus
+metadata, whatever experiment produced it — becomes the text section the
+``run_all`` CLI prints, so the experiment tasks themselves never format
+anything.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Mapping, Sequence
 
-__all__ = ["format_table", "format_series", "format_mapping"]
+__all__ = ["format_table", "format_series", "format_mapping", "render_result"]
 
 
 def _fmt(value, precision: int = 6) -> str:
@@ -56,3 +62,42 @@ def format_series(
 def format_mapping(mapping: Mapping[str, object], precision: int = 6) -> str:
     """Render a flat mapping as ``key = value`` lines."""
     return "\n".join(f"{key} = {_fmt(value, precision)}" for key, value in mapping.items())
+
+
+def render_result(result, precision: int = 6) -> str:
+    """Text section for one :class:`~repro.api.experiments.ExperimentResult`.
+
+    Layout: a title line (``E9 — <title>``), the record table, any
+    ``notes`` lines the experiment attached to its metadata, and one
+    provenance line (scale, backend, jobs, wall-clock, cache state).
+    """
+    lines: List[str] = [f"{result.key} — {result.title}"]
+    records = list(result.records)
+    if records:
+        headers = list(records[0].keys())
+        rows = [[record.get(h) for h in headers] for record in records]
+        lines.append(format_table(headers, rows, precision=precision))
+    notes = result.metadata.get("notes") or ()
+    if notes:
+        lines.append("")
+        lines.extend(str(note) for note in notes)
+    lines.append("")
+    lines.append(_provenance_line(result))
+    return "\n".join(lines)
+
+
+def _provenance_line(result) -> str:
+    metadata = result.metadata
+    bits = [f"scale={result.scale}"]
+    if metadata.get("backend"):
+        bits.append(f"backend={metadata['backend']}")
+    if metadata.get("replications"):
+        bits.append(f"replications={metadata['replications']}")
+    if metadata.get("jobs"):
+        bits.append(f"jobs={metadata['jobs']}")
+    if metadata.get("elapsed_s") is not None:
+        bits.append(f"elapsed={metadata['elapsed_s']:.3g}s")
+    cache = metadata.get("cache")
+    if cache:
+        bits.append("cache=hit" if cache.get("hit") else "cache=stored")
+    return "[" + " ".join(bits) + "]"

@@ -1,154 +1,149 @@
-"""Run every experiment (E1–E11) and emit a single consolidated report.
+"""Run every experiment (E1–E11) through the declarative runner.
 
-This is the command-line face of the reproduction: it executes each
-experiment module at a configurable scale ("quick" for a smoke pass,
-"full" for the parameters the benchmarks use) and concatenates their text
-reports — the same content EXPERIMENTS.md summarises.
+This is the command-line face of the reproduction: each experiment is a
+registered :class:`~repro.api.experiments.ExperimentSpec` executed by an
+:class:`~repro.api.experiments.ExperimentRunner`, which shards
+Monte-Carlo replications across processes and memoizes completed runs in
+an on-disk cache (see the :mod:`repro.api.experiments` docstring for the
+determinism and cache-invalidation rules).
 
 Usage::
 
-    python -m repro.experiments.run_all            # quick pass
-    python -m repro.experiments.run_all --full     # benchmark-scale pass
+    python -m repro.experiments.run_all                    # quick pass
+    python -m repro.experiments.run_all --full             # benchmark scale
+    python -m repro.experiments.run_all --smoke --jobs 2   # CI smoke pass
     python -m repro.experiments.run_all --only E6 E7
     python -m repro.experiments.run_all --backend vectorized
+    python -m repro.experiments.run_all --cache-dir .repro-cache
+    python -m repro.experiments.run_all --format json > results.json
 
-``--backend`` installs a process-wide
-:class:`~repro.api.backend.BackendPolicy` through the facade, so every
-estimation loop in every experiment follows one dispatch rule instead of
-per-module defaults.
+``--jobs`` shards replicated experiments (E9) across worker processes —
+records are bit-identical for any value.  ``--backend`` installs a
+process-wide :class:`~repro.api.backend.BackendPolicy` so every
+estimation loop follows one dispatch rule; ``--cache-dir`` enables the
+result cache (also settable via ``REPRO_EXPERIMENT_CACHE``).  A failing
+experiment is reported on stderr and turns the exit code nonzero instead
+of escaping as a traceback; the remaining experiments still run.
+
+``run_experiment`` / ``run_many`` remain as deprecation shims over the
+runner for callers of the pre-spec API.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Callable, Dict, List
+import json
+import sys
+import warnings
+from typing import Dict, List, Optional
 
-from ..api.backend import BACKEND_MODES, set_default_backend
-from . import (
-    ablation,
-    dominance,
-    example1,
-    example2,
-    example3,
-    example4,
-    example5,
-    lp_difference,
-    ratios,
-    similarity,
-    theorem41,
+from ..api.backend import BACKEND_MODES
+from ..api.experiments import (
+    ExperimentRunner,
+    ExperimentSpec,
+    canonical_keys,
+    resolve_spec,
 )
+from .report import render_result
 
 __all__ = ["EXPERIMENTS", "run_experiment", "run_many", "main"]
 
 
-def _e1(full: bool) -> str:
-    return example1.format_report()
+def _specs() -> Dict[str, ExperimentSpec]:
+    return {key: resolve_spec(key) for key in canonical_keys()}
 
 
-def _e2(full: bool) -> str:
-    rows, _ = example2.run()
-    return example2.format_report(rows)
-
-
-def _e3(full: bool) -> str:
-    return example3.format_report(example3.run(grid=200 if full else 80))
-
-
-def _e4(full: bool) -> str:
-    return example4.format_report(example4.run(grid=80 if full else 30))
-
-
-def _e5(full: bool) -> str:
-    return example5.format_report()
-
-
-def _e6(full: bool) -> str:
-    exponents = theorem41.DEFAULT_EXPONENTS if full else (0.1, 0.3, 0.45)
-    return theorem41.format_report(theorem41.run(exponents))
-
-
-def _e7(full: bool) -> str:
-    grid = ratios.default_vector_grid(4 if full else 2)
-    results = ratios.run(exponents=(1.0, 2.0), vectors=grid,
-                         include_baselines=full)
-    return ratios.format_report(results)
-
-
-def _e8(full: bool) -> str:
-    vectors = None if full else [(0.6, 0.2), (0.6, 0.0), (0.9, 0.45)]
-    return dominance.format_report(dominance.run(vectors=vectors))
-
-
-def _e9(full: bool) -> str:
-    results = lp_difference.run(
-        num_items=250 if full else 80,
-        sampling_rates=(0.1, 0.2) if full else (0.1,),
-        exponents=(1.0, 2.0) if full else (1.0,),
-        replications=25 if full else 8,
-    )
-    return lp_difference.format_report(results)
-
-
-def _e10(full: bool) -> str:
-    rows = similarity.run(
-        ks=(4, 8, 16) if full else (4, 12),
-        num_pairs=8 if full else 4,
-    )
-    return similarity.format_report(rows)
-
-
-def _e11(full: bool) -> str:
-    rows = ablation.run(
-        similarities=(0.0, 0.25, 0.5, 0.75, 0.95) if full else (0.0, 0.95),
-        num_items=40 if full else 15,
-    )
-    return ablation.format_report(rows)
-
-
-#: Experiment id -> callable(full) -> report text.
-EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
-    "E1": _e1, "E2": _e2, "E3": _e3, "E4": _e4, "E5": _e5, "E6": _e6,
-    "E7": _e7, "E8": _e8, "E9": _e9, "E10": _e10, "E11": _e11,
-}
+#: Experiment id -> registered spec (kept as a mapping for discovery and
+#: backwards compatibility with ``set(run_all.EXPERIMENTS)``).
+EXPERIMENTS: Dict[str, ExperimentSpec] = _specs()
 
 
 def run_experiment(identifier: str, full: bool = False) -> str:
-    """Run one experiment by id ('E1' ... 'E11') and return its report."""
-    key = identifier.upper()
-    if key not in EXPERIMENTS:
-        raise KeyError(f"unknown experiment {identifier!r}; known: {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[key](full)
+    """Deprecated: run one experiment and return its report text.
+
+    Use ``ExperimentRunner().run(identifier, scale=...)`` with
+    :func:`repro.experiments.report.render_result` instead.
+    """
+    warnings.warn(
+        "repro.experiments.run_all.run_experiment is deprecated; use "
+        "repro.api.ExperimentRunner().run(key, scale=...) and "
+        "repro.experiments.report.render_result instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    spec = resolve_spec(identifier)  # KeyError on unknown ids, as before
+    result = ExperimentRunner().run(spec, scale="full" if full else "quick")
+    return render_result(result)
 
 
-def run_many(identifiers: List[str] = None, full: bool = False) -> str:
-    """Run several experiments (all by default) and concatenate reports."""
-    chosen = identifiers if identifiers else list(EXPERIMENTS)
+def run_many(identifiers: Optional[List[str]] = None, full: bool = False) -> str:
+    """Deprecated: run several experiments and concatenate their reports.
+
+    Use ``ExperimentRunner().run_many(...)`` instead.
+    """
+    warnings.warn(
+        "repro.experiments.run_all.run_many is deprecated; use "
+        "repro.api.ExperimentRunner().run_many(keys, scale=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    runner = ExperimentRunner()
+    scale = "full" if full else "quick"
     sections = []
-    for identifier in chosen:
-        report = run_experiment(identifier, full=full)
-        sections.append(f"### {identifier.upper()}\n{report}")
+    for identifier in identifiers if identifiers else canonical_keys():
+        result = runner.run(identifier, scale=scale)
+        sections.append(f"### {result.key}\n{render_result(result)}")
     return "\n\n".join(sections)
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--full", action="store_true",
-                        help="run at benchmark scale instead of the quick scale")
+    scale_group = parser.add_mutually_exclusive_group()
+    scale_group.add_argument(
+        "--full", action="store_true",
+        help="run at benchmark scale instead of the quick scale")
+    scale_group.add_argument(
+        "--smoke", action="store_true",
+        help="run the minimal smoke-scale parameters (CI)")
     parser.add_argument("--only", nargs="*", default=None,
                         help="experiment ids to run (default: all)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for sharded replications "
+                             "(records are identical for any value)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the on-disk result cache "
+                             "(default: $REPRO_EXPERIMENT_CACHE, else off)")
     parser.add_argument("--backend", choices=BACKEND_MODES, default=None,
                         help="process-wide backend policy for every "
                              "estimation loop (default: auto)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (json emits the structured "
+                             "records and metadata)")
     args = parser.parse_args(argv)
-    if args.backend is None:
-        print(run_many(args.only, full=args.full))
-        return 0
-    previous = set_default_backend(args.backend)
-    try:
-        print(run_many(args.only, full=args.full))
-    finally:
-        set_default_backend(previous)
-    return 0
+
+    scale = "full" if args.full else ("smoke" if args.smoke else "quick")
+    runner = ExperimentRunner(
+        jobs=args.jobs, cache_dir=args.cache_dir, backend=args.backend
+    )
+    keys = args.only if args.only else canonical_keys()
+
+    results = []
+    failures = []
+    for key in keys:
+        try:
+            results.append(runner.run(key, scale=scale))
+        except Exception as exc:  # noqa: BLE001 - CLI boundary
+            failures.append((key, exc))
+            print(f"error: experiment {key} failed: {exc}", file=sys.stderr)
+
+    if args.format == "json":
+        print(json.dumps([r.to_dict() for r in results], indent=2,
+                         sort_keys=True))
+    else:
+        print("\n\n".join(
+            f"### {r.key}\n{render_result(r)}" for r in results
+        ))
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main()

@@ -28,7 +28,7 @@ from ..graphs.similarity import (
 from ..sketches.ads import build_all_ads, node_ranks
 from .report import format_table
 
-__all__ = ["SimilarityRow", "run", "format_report"]
+__all__ = ["SimilarityRow", "run", "compute", "format_report"]
 
 
 @dataclass(frozen=True)
@@ -100,6 +100,34 @@ def mean_error_by_k(rows: List[SimilarityRow]) -> Dict[int, float]:
     for row in rows:
         grouped.setdefault(row.k, []).append(row.absolute_error)
     return {k: float(np.mean(errors)) for k, errors in grouped.items()}
+
+
+def compute(params=None):
+    """Spec task: ADS similarity-estimation errors by sketch size."""
+    params = params or {}
+    rows = run(
+        ks=tuple(int(k) for k in params.get("ks", (4, 8, 16, 32))),
+        num_pairs=int(params.get("num_pairs", 12)),
+        seed=int(params.get("seed", 3)),
+    )
+    records = [
+        {
+            "pair": str(row.pair),
+            "k": row.k,
+            "exact": row.exact,
+            "estimated": row.estimated,
+            "abs_error": row.absolute_error,
+        }
+        for row in rows
+    ]
+    errors = mean_error_by_k(rows)
+    metadata = {
+        "mean_error_by_k": {str(k): errors[k] for k in sorted(errors)},
+        "notes": [
+            f"mean |error| at k={k}: {errors[k]:.6g}" for k in sorted(errors)
+        ],
+    }
+    return records, metadata
 
 
 def format_report(rows: List[SimilarityRow] = None) -> str:

@@ -24,7 +24,7 @@ from ..analysis.competitiveness import (
 )
 from .report import format_table
 
-__all__ = ["RatioPoint", "DEFAULT_EXPONENTS", "run", "format_report"]
+__all__ = ["RatioPoint", "DEFAULT_EXPONENTS", "run", "compute", "format_report"]
 
 DEFAULT_EXPONENTS: Sequence[float] = (0.05, 0.1, 0.2, 0.3, 0.4, 0.45, 0.49)
 
@@ -54,6 +54,24 @@ def run(exponents: Sequence[float] = DEFAULT_EXPONENTS) -> List[RatioPoint]:
             )
         )
     return points
+
+
+def compute(params=None):
+    """Spec task: measured vs theoretical ratios of the tight family."""
+    params = params or {}
+    exponents = tuple(params.get("exponents", DEFAULT_EXPONENTS))
+    points = run(exponents)
+    records = [
+        {
+            "p": pt.p,
+            "measured": pt.measured,
+            "theoretical": pt.theoretical,
+            "relative_error": pt.relative_error,
+            "upper_bound": 4.0,
+        }
+        for pt in points
+    ]
+    return records, {}
 
 
 def format_report(points: List[RatioPoint] = None) -> str:

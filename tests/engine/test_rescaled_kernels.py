@@ -1,0 +1,208 @@
+"""Non-unit-rate PPS support: rescaled closed forms, kernels, and parity.
+
+A shared rate ``tau != 1`` is an exact reparametrisation of the unit
+problem (``w >= u * tau`` iff ``w / tau >= u``; the range targets are
+homogeneous of degree ``p``), so:
+
+* the closed-form scalar estimators must agree with the generic
+  (quadrature / numeric) estimators under scaled schemes;
+* the engine kernels must agree with the scalar estimators outcome by
+  outcome (``RescaledPPSKernel`` wraps the unit kernels);
+* the symmetrized range estimator and its kernel must agree, and both
+  paths of ``simulate`` must see identical seeds;
+* an exhaustive scalar-vs-engine grid (marked ``slow``) pins the whole
+  surface down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.simulation import simulate_sum_estimate
+from repro.analysis.variance import moments
+from repro.api.session import EstimationSession
+from repro.core.functions import ExponentiatedRange, OneSidedRange
+from repro.core.schemes import pps_scheme
+from repro.engine.batch_outcome import BatchOutcome, uniform_pps_rate
+from repro.engine.driver import BatchSumEngine
+from repro.engine.kernels import (
+    RescaledPPSKernel,
+    SymmetrizedKernel,
+    resolve_kernel,
+)
+from repro.estimators.horvitz_thompson import HorvitzThompsonEstimator
+from repro.estimators.lstar import LStarEstimator, LStarOneSidedRangePPS
+from repro.estimators.symmetrized import SymmetrizedRangeEstimator
+from repro.estimators.ustar import UStarOneSidedRangePPS
+
+
+def _scaled_batch(tau, n, rng, low=0.0):
+    """Random two-entry weights in (low, tau] with fresh seeds, sampled."""
+    scheme = pps_scheme([tau, tau])
+    vectors = rng.uniform(low, tau, (n, 2))
+    seeds = 1.0 - rng.random(n)
+    return scheme, BatchOutcome.sample_vectors(scheme, vectors, seeds)
+
+
+class TestUniformPPSRate:
+    def test_uniform_rate_detected(self):
+        assert uniform_pps_rate(pps_scheme([2.5, 2.5])) == pytest.approx(2.5)
+        assert uniform_pps_rate(pps_scheme([1.0, 1.0])) == pytest.approx(1.0)
+
+    def test_unequal_rates_rejected(self):
+        assert uniform_pps_rate(pps_scheme([1.0, 2.0])) is None
+        assert resolve_kernel(
+            LStarOneSidedRangePPS(p=1.0), pps_scheme([1.0, 2.0])
+        ) is None
+
+    def test_scaled_scheme_resolves_to_rescaled_kernel(self):
+        kernel = resolve_kernel(LStarOneSidedRangePPS(p=1.0),
+                                pps_scheme([3.0, 3.0]))
+        assert isinstance(kernel, RescaledPPSKernel)
+        assert kernel.rate == pytest.approx(3.0)
+
+    def test_symmetrized_resolves_to_symmetrized_kernel(self):
+        estimator = SymmetrizedRangeEstimator(LStarOneSidedRangePPS(p=1.0))
+        kernel = resolve_kernel(estimator, pps_scheme([2.0, 2.0]))
+        assert isinstance(kernel, SymmetrizedKernel)
+        assert isinstance(kernel.inner, RescaledPPSKernel)
+
+
+class TestRescaledClosedForms:
+    @pytest.mark.parametrize("tau", [0.5, 2.0, 7.5])
+    def test_lstar_matches_generic_quadrature(self, tau):
+        scheme = pps_scheme([tau, tau])
+        closed = LStarOneSidedRangePPS(p=1.0)
+        generic = LStarEstimator(OneSidedRange(p=1.0))
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            vector = np.sort(rng.uniform(0.0, tau, 2))[::-1]
+            seed = 1.0 - rng.random()
+            assert closed.estimate_for(scheme, vector, float(seed)) == \
+                pytest.approx(
+                    generic.estimate_for(scheme, vector, float(seed)),
+                    rel=1e-8, abs=1e-10,
+                )
+
+    @pytest.mark.parametrize("tau", [0.5, 2.0, 7.5])
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    def test_rescaled_closed_forms_stay_unbiased(self, tau, p):
+        """E[est] over the seed equals f(v) — quadrature check."""
+        scheme = pps_scheme([tau, tau])
+        target = OneSidedRange(p=p)
+        for estimator in (LStarOneSidedRangePPS(p=p),
+                          UStarOneSidedRangePPS(p=p)):
+            for vector in [(0.9 * tau, 0.3 * tau), (0.7 * tau, 0.0)]:
+                report = moments(estimator, scheme, target, vector)
+                assert report.mean == pytest.approx(
+                    target(vector), rel=1e-6, abs=1e-9
+                )
+
+    def test_symmetrized_estimator_unbiased_for_two_sided_range(self):
+        tau = 2.0
+        scheme = pps_scheme([tau, tau])
+        target = ExponentiatedRange(p=1.0)
+        estimator = SymmetrizedRangeEstimator(LStarOneSidedRangePPS(p=1.0))
+        for vector in [(0.3, 1.7), (1.7, 0.3), (1.1, 1.1)]:
+            report = moments(estimator, scheme, target, vector)
+            assert report.mean == pytest.approx(
+                target(vector), rel=1e-6, abs=1e-9
+            )
+
+
+class TestKernelScalarParity:
+    @pytest.mark.parametrize("tau", [0.5, 2.5])
+    def test_kernels_match_scalar_estimators(self, tau):
+        rng = np.random.default_rng(7)
+        estimators = [
+            LStarOneSidedRangePPS(p=1.0),
+            LStarOneSidedRangePPS(p=2.0),
+            UStarOneSidedRangePPS(p=1.0),
+            HorvitzThompsonEstimator(OneSidedRange(p=1.0)),
+            SymmetrizedRangeEstimator(LStarOneSidedRangePPS(p=1.0)),
+            SymmetrizedRangeEstimator(UStarOneSidedRangePPS(p=1.0)),
+        ]
+        scheme, batch = _scaled_batch(tau, 400, rng)
+        for estimator in estimators:
+            kernel = resolve_kernel(estimator, scheme)
+            assert kernel is not None
+            vectorized = kernel.estimate_batch(batch)
+            scalar = np.array(
+                [estimator.estimate(o) for o in batch.to_outcomes()]
+            )
+            np.testing.assert_allclose(vectorized, scalar, atol=1e-9)
+
+    def test_engine_dataset_estimate_matches_scalar_backend(self):
+        tau = 3.0
+        rng = np.random.default_rng(3)
+        data = {k: tuple(rng.uniform(0.0, tau, 2)) for k in range(300)}
+        session = (
+            EstimationSession([tau, tau], scheme="pps")
+            .target("one_sided_range", p=1.0)
+            .estimator("lstar_closed")
+        )
+        scalar = session.backend("scalar").estimate(data, rng=5)
+        vectorized = session.backend("vectorized").estimate(data, rng=5)
+        assert vectorized.value == pytest.approx(scalar.value, abs=1e-9)
+        assert vectorized.backend == "vectorized"
+
+    def test_simulate_backends_agree_at_non_unit_rate(self):
+        tau = 2.0
+        scheme = pps_scheme([tau, tau])
+        target = ExponentiatedRange(p=1.0)
+        estimator = SymmetrizedRangeEstimator(LStarOneSidedRangePPS(p=1.0))
+        tuples = np.random.default_rng(1).uniform(0.0, tau, (40, 2))
+        scalar = simulate_sum_estimate(
+            estimator, scheme, target, tuples, replications=5,
+            rng=np.random.default_rng(9), backend="scalar",
+        )
+        vectorized = simulate_sum_estimate(
+            estimator, scheme, target, tuples, replications=5,
+            rng=np.random.default_rng(9), backend="vectorized",
+        )
+        np.testing.assert_allclose(
+            vectorized.estimates, scalar.estimates, atol=1e-9
+        )
+
+
+@pytest.mark.slow
+class TestRescaledParityGrid:
+    """Exhaustive scalar-vs-engine grid over rates and exponents."""
+
+    @pytest.mark.parametrize("tau", [0.25, 0.5, 2.0, 7.5, 40.0])
+    @pytest.mark.parametrize("p", [0.5, 1.0, 1.5, 2.0])
+    def test_grid(self, tau, p):
+        rng = np.random.default_rng(int(tau * 100 + p * 10))
+        estimators = [
+            LStarOneSidedRangePPS(p=p),
+            UStarOneSidedRangePPS(p=p),
+            HorvitzThompsonEstimator(OneSidedRange(p=p)),
+            HorvitzThompsonEstimator(ExponentiatedRange(p=p)),
+            SymmetrizedRangeEstimator(LStarOneSidedRangePPS(p=p)),
+        ]
+        scheme, batch = _scaled_batch(tau, 2000, rng)
+        for estimator in estimators:
+            kernel = resolve_kernel(estimator, scheme)
+            assert kernel is not None
+            vectorized = kernel.estimate_batch(batch)
+            scalar = np.array(
+                [estimator.estimate(o) for o in batch.to_outcomes()]
+            )
+            np.testing.assert_allclose(
+                vectorized, scalar, atol=1e-8,
+                err_msg=f"tau={tau} p={p} {estimator.name}",
+            )
+
+    @pytest.mark.parametrize("tau", [0.5, 2.0, 7.5])
+    def test_engine_arrays_match_scalar_loop(self, tau):
+        rng = np.random.default_rng(21)
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        engine = BatchSumEngine(estimator, rates=[tau, tau], chunk_size=256)
+        weights = rng.uniform(0.0, tau, (1500, 2))
+        seeds = 1.0 - rng.random(1500)
+        result = engine.estimate_arrays(weights, seeds)
+        scheme = pps_scheme([tau, tau])
+        expected = sum(
+            estimator.estimate_for(scheme, w, float(s))
+            for w, s in zip(weights, seeds)
+        )
+        assert result.value == pytest.approx(expected, abs=1e-8)

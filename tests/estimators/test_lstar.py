@@ -62,8 +62,22 @@ class TestClosedFormAgainstPaper:
             generic.estimate(outcome), rel=1e-6
         )
 
-    def test_rejects_non_unit_pps(self):
+    def test_uniform_non_unit_rate_matches_generic(self):
+        """A shared tau != 1 is an exact reparametrisation: the closed
+        form agrees with the generic quadrature estimator under the
+        scaled scheme."""
         scheme2 = pps_scheme([2.0, 2.0])
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        generic = LStarEstimator(OneSidedRange(p=1.0))
+        for vector, seed in [((1.2, 0.4), 0.1), ((1.2, 0.4), 0.45),
+                             ((1.9, 0.0), 0.3)]:
+            outcome = scheme2.sample(vector, seed)
+            assert estimator.estimate(outcome) == pytest.approx(
+                generic.estimate(outcome), rel=1e-9, abs=1e-12
+            )
+
+    def test_rejects_unequal_pps_rates(self):
+        scheme2 = pps_scheme([1.0, 2.0])
         estimator = LStarOneSidedRangePPS(p=1.0)
         with pytest.raises(ValueError):
             estimator.estimate(scheme2.sample((0.6, 0.2), 0.1))
