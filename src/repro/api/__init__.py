@@ -57,10 +57,17 @@ __all__ = [
     "ExperimentSpec",
     "ExperimentResult",
     "ExperimentRunner",
+    "WorkPlan",
     "ReplicationPlan",
+    "SweepPlan",
+    "WorkUnit",
+    "BatchResult",
     "EstimationPlan",
     "EXPERIMENT_SPECS",
     "register_experiment",
+    "RecordStore",
+    "StoredRun",
+    "read_run",
 ]
 
 #: Lazily-loaded attributes: they import the estimation layers, which in
@@ -72,10 +79,17 @@ _LAZY = {
     "ExperimentSpec": "experiments",
     "ExperimentResult": "experiments",
     "ExperimentRunner": "experiments",
+    "WorkPlan": "experiments",
     "ReplicationPlan": "experiments",
+    "SweepPlan": "experiments",
+    "WorkUnit": "experiments",
+    "BatchResult": "experiments",
     "EstimationPlan": "experiments",
     "EXPERIMENT_SPECS": "experiments",
     "register_experiment": "experiments",
+    "RecordStore": "records",
+    "StoredRun": "records",
+    "read_run": "records",
 }
 
 

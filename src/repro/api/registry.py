@@ -55,6 +55,7 @@ class Registry:
 
     @property
     def kind(self) -> str:
+        """What the registry holds (``"estimator"``, ``"query"``, ...)."""
         return self._kind
 
     @staticmethod

@@ -96,7 +96,28 @@ class EstimationSession:
     # Fluent configuration
     # ------------------------------------------------------------------
     def target(self, target: Union[str, EstimationTarget], **params: Any) -> "EstimationSession":
-        """Set the per-item target function (registry name or instance)."""
+        """Set the per-item target function (registry name or instance).
+
+        Parameters
+        ----------
+        target:
+            A target registry key (``"one_sided_range"``) or a ready
+            :class:`~repro.core.functions.EstimationTarget`.
+        **params:
+            Factory parameters for registry-name targets (``p=2.0``).
+
+        Returns
+        -------
+        EstimationSession
+            ``self``, for fluent chaining.
+
+        Raises
+        ------
+        TypeError
+            If ``params`` are passed alongside a target instance.
+        KeyError
+            If the name is not registered.
+        """
         if isinstance(target, str):
             self._target = TARGETS.get(target)(**params)
         else:
@@ -106,18 +127,32 @@ class EstimationSession:
         return self
 
     def estimator(self, estimator: Any = "lstar", **params: Any) -> "EstimationSession":
-        """Set the per-item estimator (registry name or instance)."""
+        """Set the per-item estimator (registry name, factory, or instance).
+
+        ``params`` are forwarded to the factory when ``estimator`` is a
+        registry name or callable.  Returns ``self`` for chaining;
+        resolution (and therefore unknown-name ``KeyError``) happens at
+        the first estimating call.
+        """
         self._estimator_spec = estimator
         self._estimator_params = dict(params)
         return self
 
     def backend(self, spec: BackendSpec) -> "EstimationSession":
-        """Replace the backend policy."""
+        """Replace the backend policy (``None`` / mode string / policy).
+
+        Returns ``self`` for chaining; raises :class:`TypeError` or
+        :class:`ValueError` on an unrecognised spec.
+        """
         self._policy = BackendPolicy.coerce(spec)
         return self
 
     def instances(self, instances: Optional[Sequence[int]]) -> "EstimationSession":
-        """Select (and order) the instances forming each item tuple."""
+        """Select (and order) the instances forming each item tuple.
+
+        ``None`` restores the default (all instances, scheme order).
+        Returns ``self`` for chaining.
+        """
         self._instances = None if instances is None else tuple(instances)
         return self
 
@@ -140,6 +175,14 @@ class EstimationSession:
     # ------------------------------------------------------------------
     @property
     def scheme(self) -> MonotoneSamplingScheme:
+        """The session's sampling scheme, constructed on first access.
+
+        Raises
+        ------
+        ValueError
+            If the session was built without weights and no ready-made
+            scheme object was supplied.
+        """
         if self._scheme_obj is None:
             if self._weights is None:
                 raise ValueError(
@@ -152,6 +195,7 @@ class EstimationSession:
 
     @property
     def policy(self) -> BackendPolicy:
+        """The backend policy governing this session's dispatch."""
         return self._policy
 
     def describe(self) -> Mapping[str, Any]:

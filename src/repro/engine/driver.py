@@ -98,6 +98,7 @@ class BatchSumEngine:
 
     @property
     def scheme(self) -> CoordinatedScheme:
+        """The full coordinated sampling scheme (all instances)."""
         return self._scheme
 
     @property
@@ -107,6 +108,7 @@ class BatchSumEngine:
 
     @property
     def chunk_size(self) -> int:
+        """Items sampled and estimated per streamed chunk."""
         return self._chunk_size
 
     # ------------------------------------------------------------------

@@ -144,9 +144,11 @@ class LStarOneSidedPPSKernel(BatchKernel):
 
     @property
     def p(self) -> float:
+        """The range exponent the kernel was built for."""
         return self._p
 
     def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
+        """Per-item estimates for ``batch``, shape ``(len(batch),)``."""
         u, v1, v2 = _split_two_entry(batch)
         estimates = np.zeros(len(batch))
         anchor = np.where(np.isnan(v2), u, v2)
@@ -215,9 +217,11 @@ class LStarRangePPSKernel(BatchKernel):
 
     @property
     def p(self) -> float:
+        """The range exponent the kernel was built for."""
         return self._p
 
     def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
+        """Per-item estimates for ``batch``, shape ``(len(batch),)``."""
         u, v1, v2 = _split_two_entry(batch)
         estimates = np.zeros(len(batch))
         with np.errstate(invalid="ignore"):
@@ -286,9 +290,11 @@ class UStarOneSidedPPSKernel(BatchKernel):
 
     @property
     def p(self) -> float:
+        """The range exponent the kernel was built for."""
         return self._p
 
     def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
+        """Per-item estimates for ``batch``, shape ``(len(batch),)``."""
         u, v1, v2 = _split_two_entry(batch)
         estimates = np.zeros(len(batch))
         p = self._p
@@ -353,9 +359,11 @@ class HTOneSidedPPSKernel(BatchKernel):
 
     @property
     def p(self) -> float:
+        """The range exponent the kernel was built for."""
         return self._p
 
     def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
+        """Per-item estimates for ``batch``, shape ``(len(batch),)``."""
         u, v1, v2 = _split_two_entry(batch)
         estimates = np.zeros(len(batch))
         p = self._p
@@ -423,9 +431,11 @@ class HTRangePPSKernel(BatchKernel):
 
     @property
     def p(self) -> float:
+        """The range exponent the kernel was built for."""
         return self._p
 
     def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
+        """Per-item estimates for ``batch``, shape ``(len(batch),)``."""
         u, v1, v2 = _split_two_entry(batch)
         estimates = np.zeros(len(batch))
         p = self._p
@@ -498,6 +508,15 @@ class OrderOptimalTableKernel(BatchKernel):
         return tuple(codes)
 
     def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
+        """Table-gathered estimates for ``batch``, shape ``(len(batch),)``.
+
+        Raises
+        ------
+        ValueError
+            If the batch dimension differs from the table's.
+        KeyError
+            If an outcome falls off the declared finite domain grid.
+        """
         if batch.dimension != self._dimension:
             raise ValueError(
                 f"batch has dimension {batch.dimension}, table expects "
@@ -557,13 +576,16 @@ class RescaledPPSKernel(BatchKernel):
 
     @property
     def inner(self) -> BatchKernel:
+        """The wrapped unit-rate kernel."""
         return self._inner
 
     @property
     def rate(self) -> float:
+        """The shared PPS rate ``tau`` the kernel rescales by."""
         return self._rate
 
     def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
+        """Rescaled estimates for ``batch``, shape ``(len(batch),)``."""
         unit_scheme = CoordinatedScheme(
             [LinearThreshold(1.0)] * batch.dimension
         )
@@ -588,9 +610,11 @@ class SymmetrizedKernel(BatchKernel):
 
     @property
     def inner(self) -> BatchKernel:
+        """The wrapped one-sided kernel."""
         return self._inner
 
     def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
+        """Forward-plus-backward estimates, shape ``(len(batch),)``."""
         forward = self._inner.estimate_batch(batch)
         return forward + self._inner.estimate_batch(
             batch.select_instances((1, 0))

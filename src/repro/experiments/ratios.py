@@ -26,7 +26,16 @@ from ..estimators.lstar import LStarOneSidedRangePPS
 from ..estimators.ustar import UStarOneSidedRangePPS
 from .report import format_table
 
-__all__ = ["SweepResult", "default_vector_grid", "run", "compute", "format_report"]
+__all__ = [
+    "SweepResult",
+    "default_vector_grid",
+    "run",
+    "compute",
+    "sweep_points",
+    "sweep",
+    "finalize",
+    "format_report",
+]
 
 
 @dataclass(frozen=True)
@@ -72,11 +81,7 @@ def run(
     results: List[SweepResult] = []
     for p in exponents:
         target = OneSidedRange(p=p)
-        estimators: List[Estimator] = [LStarOneSidedRangePPS(p=p)]
-        if include_baselines:
-            estimators.append(UStarOneSidedRangePPS(p=p))
-            estimators.append(HorvitzThompsonEstimator(target))
-        for estimator in estimators:
+        for estimator in _estimators_for(p, include_baselines):
             if isinstance(estimator, HorvitzThompsonEstimator):
                 # HT is undefined (zero revelation probability) when v2 = 0;
                 # restrict its sweep to the vectors where it applies.
@@ -116,6 +121,86 @@ def compute(params=None):
         for r in results
     ]
     return records, {}
+
+
+def _estimators_for(p: float, include_baselines: bool) -> List[Estimator]:
+    """The estimator panel at exponent ``p`` (L*, plus U*/HT as baselines)."""
+    estimators: List[Estimator] = [LStarOneSidedRangePPS(p=p)]
+    if include_baselines:
+        estimators.append(UStarOneSidedRangePPS(p=p))
+        estimators.append(HorvitzThompsonEstimator(OneSidedRange(p=p)))
+    return estimators
+
+
+def sweep_points(params=None) -> List[List[float]]:
+    """SweepPlan hook: the (exponent, v1, v2) grid, one unit per point.
+
+    A pure function of the parameters (grid points and exponents), so the
+    scheduler and every resumed run enumerate the identical list.
+    """
+    params = params or {}
+    grid = default_vector_grid(int(params.get("grid_points", 7)))
+    return [
+        [float(p), float(v1), float(v2)]
+        for p in params.get("exponents", (1.0, 2.0))
+        for (v1, v2) in grid
+    ]
+
+
+def sweep(params, points, start) -> List[dict]:
+    """Sweep-shard task: per-vector competitive ratios for ``points``.
+
+    Each point yields one record per applicable estimator (HT is skipped
+    on the ``v2 = 0`` boundary, where its revelation probability is
+    zero).  The computation is deterministic per point, so records are
+    independent of the shard boundaries.
+    """
+    include_baselines = bool(params.get("include_baselines", True))
+    scheme = pps_scheme([1.0, 1.0])
+    records: List[dict] = []
+    for p, v1, v2 in points:
+        target = OneSidedRange(p=float(p))
+        for estimator in _estimators_for(float(p), include_baselines):
+            if isinstance(estimator, HorvitzThompsonEstimator) and v2 <= 0.0:
+                continue
+            report = ratio_sweep(
+                estimator, scheme, target, [(float(v1), float(v2))], grid=4096
+            )[0]
+            records.append(
+                {
+                    "estimator": estimator.name,
+                    "p": float(p),
+                    "v1": float(v1),
+                    "v2": float(v2),
+                    "ratio": float(report.ratio),
+                }
+            )
+    return records
+
+
+def finalize(params, records):
+    """Reduce per-vector ratio records to the E7 supremum table."""
+    sup: dict = {}
+    for record in records:
+        key = (record["estimator"], record["p"])
+        entry = sup.setdefault(
+            key, {"ratio": float("-inf"), "vector": None, "count": 0}
+        )
+        entry["count"] += 1
+        if record["ratio"] > entry["ratio"]:
+            entry["ratio"] = record["ratio"]
+            entry["vector"] = (record["v1"], record["v2"])
+    rows = [
+        {
+            "estimator": estimator,
+            "p": p,
+            "sup_ratio": entry["ratio"],
+            "worst_vector": str(entry["vector"]),
+            "n_vectors": entry["count"],
+        }
+        for (estimator, p), entry in sup.items()
+    ]
+    return rows, {}
 
 
 def format_report(results: List[SweepResult] = None) -> str:

@@ -67,10 +67,16 @@ def format_mapping(mapping: Mapping[str, object], precision: int = 6) -> str:
 def render_result(result, precision: int = 6) -> str:
     """Text section for one :class:`~repro.api.experiments.ExperimentResult`.
 
+    Also accepts a finalized :class:`~repro.api.records.StoredRun` (the
+    record-store reader's view), so a run can be rendered straight from
+    its on-disk stream.
+
     Layout: a title line (``E9 — <title>``), the record table, any
     ``notes`` lines the experiment attached to its metadata, and one
     provenance line (scale, backend, jobs, wall-clock, cache state).
     """
+    if hasattr(result, "to_experiment_result"):
+        result = result.to_experiment_result()
     lines: List[str] = [f"{result.key} — {result.title}"]
     records = list(result.records)
     if records:
@@ -100,4 +106,14 @@ def _provenance_line(result) -> str:
     cache = metadata.get("cache")
     if cache:
         bits.append("cache=hit" if cache.get("hit") else "cache=stored")
+    records = metadata.get("records")
+    if records:
+        if records.get("hit"):
+            bits.append("records=replayed")
+        elif records.get("resumed_shards"):
+            bits.append(
+                f"records=streamed(resumed {len(records['resumed_shards'])})"
+            )
+        else:
+            bits.append("records=streamed")
     return "[" + " ".join(bits) + "]"

@@ -1,11 +1,14 @@
-"""Run every experiment (E1–E11) through the declarative runner.
+"""Run every experiment (E1–E11) through the cross-experiment scheduler.
 
 This is the command-line face of the reproduction: each experiment is a
 registered :class:`~repro.api.experiments.ExperimentSpec` executed by an
-:class:`~repro.api.experiments.ExperimentRunner`, which shards
-Monte-Carlo replications across processes and memoizes completed runs in
-an on-disk cache (see the :mod:`repro.api.experiments` docstring for the
-determinism and cache-invalidation rules).
+:class:`~repro.api.experiments.ExperimentRunner`, which flattens every
+selected experiment's shards into one global largest-work-first queue,
+drains it with a shared process pool, streams completed shard records to
+an on-disk :class:`~repro.api.records.RecordStore`, and memoizes
+completed runs in a content-hash cache (see the
+:mod:`repro.api.experiments` docstring for the determinism, resume, and
+cache-invalidation rules — or the docs site under ``docs/``).
 
 Usage::
 
@@ -15,15 +18,23 @@ Usage::
     python -m repro.experiments.run_all --only E6 E7
     python -m repro.experiments.run_all --backend vectorized
     python -m repro.experiments.run_all --cache-dir .repro-cache
+    python -m repro.experiments.run_all --records-dir .repro-records
+    python -m repro.experiments.run_all --records-dir .repro-records --resume
     python -m repro.experiments.run_all --format json > results.json
 
-``--jobs`` shards replicated experiments (E9) across worker processes —
-records are bit-identical for any value.  ``--backend`` installs a
-process-wide :class:`~repro.api.backend.BackendPolicy` so every
-estimation loop follows one dispatch rule; ``--cache-dir`` enables the
-result cache (also settable via ``REPRO_EXPERIMENT_CACHE``).  A failing
-experiment is reported on stderr and turns the exit code nonzero instead
-of escaping as a traceback; the remaining experiments still run.
+``--jobs`` sets the worker count for the global shard queue — shards of
+*different* experiments run concurrently, and records are bit-identical
+for any value.  ``--records-dir`` streams per-replication /
+per-sweep-point records to append-only JSONL files (one per experiment
+run, finalized atomically); ``--resume`` re-opens an interrupted store,
+skips every completed shard, and reproduces the exact records of an
+uninterrupted run.  ``--backend`` installs a process-wide
+:class:`~repro.api.backend.BackendPolicy` so every estimation loop
+follows one dispatch rule; ``--cache-dir`` enables the result cache
+(also settable via ``REPRO_EXPERIMENT_CACHE``), whose entries point into
+the record store when one is active.  A failing experiment is reported
+on stderr and turns the exit code nonzero instead of escaping as a
+traceback; the remaining experiments still run.
 
 ``run_experiment`` / ``run_many`` remain as deprecation shims over the
 runner for callers of the pre-spec API.
@@ -44,6 +55,7 @@ from ..api.experiments import (
     canonical_keys,
     resolve_spec,
 )
+from ..api.records import ENV_RECORDS_DIR
 from .report import render_result
 
 __all__ = ["EXPERIMENTS", "run_experiment", "run_many", "main"]
@@ -64,6 +76,8 @@ def run_experiment(identifier: str, full: bool = False) -> str:
     Use ``ExperimentRunner().run(identifier, scale=...)`` with
     :func:`repro.experiments.report.render_result` instead.
     """
+    # stacklevel=2 blames the caller of this shim, not the shim module
+    # (asserted by tests/experiments/test_shim_stacklevel.py).
     warnings.warn(
         "repro.experiments.run_all.run_experiment is deprecated; use "
         "repro.api.ExperimentRunner().run(key, scale=...) and "
@@ -97,6 +111,7 @@ def run_many(identifiers: Optional[List[str]] = None, full: bool = False) -> str
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
     scale_group = parser.add_mutually_exclusive_group()
     scale_group.add_argument(
@@ -108,11 +123,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--only", nargs="*", default=None,
                         help="experiment ids to run (default: all)")
     parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for sharded replications "
-                             "(records are identical for any value)")
+                        help="worker processes draining the global shard "
+                             "queue (records are identical for any value)")
     parser.add_argument("--cache-dir", default=None,
                         help="directory for the on-disk result cache "
                              "(default: $REPRO_EXPERIMENT_CACHE, else off)")
+    parser.add_argument("--records-dir", default=None,
+                        help="directory for the streamed record store "
+                             f"(default: ${ENV_RECORDS_DIR}, else off)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the record store: skip completed "
+                             "shards of interrupted runs (needs a records "
+                             "directory)")
     parser.add_argument("--backend", choices=BACKEND_MODES, default=None,
                         help="process-wide backend policy for every "
                              "estimation loop (default: auto)")
@@ -122,19 +144,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     scale = "full" if args.full else ("smoke" if args.smoke else "quick")
-    runner = ExperimentRunner(
-        jobs=args.jobs, cache_dir=args.cache_dir, backend=args.backend
-    )
+    try:
+        runner = ExperimentRunner(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            backend=args.backend,
+            records_dir=args.records_dir,
+            resume=args.resume,
+        )
+    except ValueError as exc:  # e.g. --resume without a records directory
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     keys = args.only if args.only else canonical_keys()
 
-    results = []
-    failures = []
-    for key in keys:
-        try:
-            results.append(runner.run(key, scale=scale))
-        except Exception as exc:  # noqa: BLE001 - CLI boundary
-            failures.append((key, exc))
-            print(f"error: experiment {key} failed: {exc}", file=sys.stderr)
+    batch = runner.run_batch(keys, scale=scale)
+    for label, exc in batch.failures:
+        print(f"error: experiment {label} failed: {exc}", file=sys.stderr)
+    results = [r for r in batch.results if r is not None]
 
     if args.format == "json":
         print(json.dumps([r.to_dict() for r in results], indent=2,
@@ -143,7 +169,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("\n\n".join(
             f"### {r.key}\n{render_result(r)}" for r in results
         ))
-    return 1 if failures else 0
+    return 1 if batch.failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main()

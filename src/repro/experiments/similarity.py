@@ -28,7 +28,15 @@ from ..graphs.similarity import (
 from ..sketches.ads import build_all_ads, node_ranks
 from .report import format_table
 
-__all__ = ["SimilarityRow", "run", "compute", "format_report"]
+__all__ = [
+    "SimilarityRow",
+    "run",
+    "compute",
+    "sweep_points",
+    "sweep",
+    "finalize",
+    "format_report",
+]
 
 
 @dataclass(frozen=True)
@@ -61,17 +69,7 @@ def run(
     """Estimate similarities for random node pairs at several sketch sizes."""
     graph = graph if graph is not None else default_graph()
     alpha = alpha if alpha is not None else exponential_decay(2.0)
-    rng = np.random.default_rng(seed)
-    nodes = graph.nodes()
-    pairs = []
-    for _ in range(num_pairs):
-        a, b = rng.choice(len(nodes), size=2, replace=False)
-        pairs.append((nodes[int(a)], nodes[int(b)]))
-    # Add a few adjacent pairs, which have high similarity.
-    for node in nodes[:3]:
-        neighbours = list(graph.neighbors(node))
-        if neighbours:
-            pairs.append((node, neighbours[0]))
+    pairs = _select_pairs(graph, num_pairs, seed)
 
     exact_cache: Dict[Tuple[object, object], float] = {}
     rows: List[SimilarityRow] = []
@@ -100,6 +98,99 @@ def mean_error_by_k(rows: List[SimilarityRow]) -> Dict[int, float]:
     for row in rows:
         grouped.setdefault(row.k, []).append(row.absolute_error)
     return {k: float(np.mean(errors)) for k, errors in grouped.items()}
+
+
+def _select_pairs(
+    graph: Graph, num_pairs: int, seed: int
+) -> List[Tuple[object, object]]:
+    """The node-pair workload: random pairs plus a few adjacent ones.
+
+    Deterministic in ``(graph, num_pairs, seed)`` — the enumeration every
+    shard and every resumed run must agree on.
+    """
+    rng = np.random.default_rng(seed)
+    nodes = graph.nodes()
+    pairs: List[Tuple[object, object]] = []
+    for _ in range(num_pairs):
+        a, b = rng.choice(len(nodes), size=2, replace=False)
+        pairs.append((nodes[int(a)], nodes[int(b)]))
+    # Add a few adjacent pairs, which have high similarity.
+    for node in nodes[:3]:
+        neighbours = list(graph.neighbors(node))
+        if neighbours:
+            pairs.append((node, neighbours[0]))
+    return pairs
+
+
+def sweep_points(params=None) -> List[List[object]]:
+    """SweepPlan hook: the node-pair grid, one unit per pair.
+
+    Each unit covers every sketch size ``k`` for its pair, so a shard
+    builds each ADS family once and amortises it over its pairs.
+    """
+    params = params or {}
+    graph = default_graph()
+    pairs = _select_pairs(
+        graph,
+        num_pairs=int(params.get("num_pairs", 12)),
+        seed=int(params.get("seed", 3)),
+    )
+    return [[a, b] for a, b in pairs]
+
+
+def sweep(params, points, start) -> List[dict]:
+    """Sweep-shard task: exact vs estimated similarity for ``points``.
+
+    The graph, rank assignment and per-``k`` sketch families are rebuilt
+    identically in every shard (they are pure functions of the
+    parameters), so records depend only on the pair, never on the shard
+    boundaries.  The per-shard rebuild is a deliberate trade: it costs
+    each *worker* one graph + ADS construction (milliseconds at these
+    scales, overlapped across workers) in exchange for shards that need
+    no shared state at all.
+    """
+    ks = tuple(int(k) for k in params.get("ks", (4, 8, 16, 32)))
+    graph = default_graph()
+    alpha = exponential_decay(2.0)
+    ranks = node_ranks(graph, salt="similarity-experiment")
+    sketches_by_k = {
+        k: build_all_ads(graph, k=k, salt="similarity-experiment") for k in ks
+    }
+    records: List[dict] = []
+    for a, b in points:
+        exact = exact_closeness_similarity(graph, a, b, alpha)
+        for k in ks:
+            sketches = sketches_by_k[k]
+            estimate = estimate_closeness_similarity(
+                sketches[a], sketches[b], ranks, alpha
+            )
+            records.append(
+                {
+                    "pair": str((a, b)),
+                    "k": k,
+                    "exact": float(exact),
+                    "estimated": float(estimate.value),
+                    "abs_error": abs(float(exact) - float(estimate.value)),
+                }
+            )
+    return records
+
+
+def finalize(params, records):
+    """Attach the mean-error-by-``k`` summary to the per-pair records."""
+    grouped: Dict[int, List[float]] = {}
+    for record in records:
+        grouped.setdefault(int(record["k"]), []).append(
+            float(record["abs_error"])
+        )
+    errors = {k: float(np.mean(vals)) for k, vals in grouped.items()}
+    metadata = {
+        "mean_error_by_k": {str(k): errors[k] for k in sorted(errors)},
+        "notes": [
+            f"mean |error| at k={k}: {errors[k]:.6g}" for k in sorted(errors)
+        ],
+    }
+    return list(records), metadata
 
 
 def compute(params=None):

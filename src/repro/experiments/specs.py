@@ -3,11 +3,16 @@
 Each spec names its compute task (``module:function``), its parameter
 sets per scale (``smoke`` / ``quick`` / ``full`` — quick mirrors the
 pre-refactor ``run_all`` quick pass, full the benchmark-scale pass), and
-— for the Monte-Carlo experiment E9 — a replication plan plus the
-registry-resolved estimation pipeline.  Importing this module registers
-everything into :data:`repro.api.experiments.EXPERIMENT_SPECS`; the
-runner does that lazily on first lookup, so ``ExperimentRunner().run("E9")``
-works without any imports beyond :mod:`repro.api`.
+its work plan where the computation shards: the Monte-Carlo experiment
+E9 carries a :class:`~repro.api.experiments.ReplicationPlan` (plus the
+registry-resolved estimation pipeline), while the deterministic grid
+experiments E7 (unit-square vector sweep) and E10 (node-pair sweep)
+carry a :class:`~repro.api.experiments.SweepPlan` so their points shard
+through the scheduler exactly like replications do.  Importing this
+module registers everything into
+:data:`repro.api.experiments.EXPERIMENT_SPECS`; the runner does that
+lazily on first lookup, so ``ExperimentRunner().run("E9")`` works
+without any imports beyond :mod:`repro.api`.
 
 The descriptive aliases (``lp_difference`` for ``E9`` and so on) resolve
 to the same spec objects.
@@ -19,6 +24,7 @@ from ..api.experiments import (
     EstimationPlan,
     ExperimentSpec,
     ReplicationPlan,
+    SweepPlan,
     register_experiment,
 )
 from .lp_difference import DEFAULT_ESTIMATION as _E9_ESTIMATION
@@ -75,7 +81,9 @@ ALL_SPECS = [
     ExperimentSpec(
         key="E7",
         title="Competitive ratios over the unit-square sweep (RG_p+, PPS tau*=1)",
-        task="repro.experiments.ratios:compute",
+        task="repro.experiments.ratios:sweep",
+        finalize="repro.experiments.ratios:finalize",
+        sweep=SweepPlan(points="repro.experiments.ratios:sweep_points"),
         scales={
             "smoke": {"grid_points": 2, "exponents": [1.0],
                       "include_baselines": False},
@@ -121,7 +129,9 @@ ALL_SPECS = [
     ExperimentSpec(
         key="E10",
         title="ADS closeness-similarity estimation error by sketch size",
-        task="repro.experiments.similarity:compute",
+        task="repro.experiments.similarity:sweep",
+        finalize="repro.experiments.similarity:finalize",
+        sweep=SweepPlan(points="repro.experiments.similarity:sweep_points"),
         params={"seed": 3},
         scales={
             "smoke": {"ks": [4], "num_pairs": 2},

@@ -1,0 +1,130 @@
+"""Docs-site integrity: the checks CI's doc-build job relies on.
+
+The mkdocs build itself runs in CI (``mkdocs build --strict`` fails on
+any warning — broken nav entries, unresolved mkdocstrings identifiers).
+These tests keep the site healthy from the tier-1 suite without needing
+mkdocs installed:
+
+* every nav entry points at an existing page, and every page is in nav;
+* every relative markdown link (and in-page anchor) resolves;
+* every ``::: module`` mkdocstrings directive names an importable module;
+* when mkdocs *is* installed locally, a strict build must pass.
+"""
+
+import importlib
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+import yaml
+
+REPO = Path(__file__).resolve().parents[2]
+DOCS = REPO / "docs"
+MKDOCS_YML = REPO / "mkdocs.yml"
+
+
+def _load_config():
+    # mkdocs.yml may use python-specific tags in general; ours is plain.
+    return yaml.safe_load(MKDOCS_YML.read_text())
+
+
+def _nav_files(nav):
+    for entry in nav:
+        if isinstance(entry, str):
+            yield entry
+        elif isinstance(entry, dict):
+            for value in entry.values():
+                if isinstance(value, str):
+                    yield value
+                else:
+                    yield from _nav_files(value)
+
+
+def _slugify(heading: str) -> str:
+    """The anchor id mkdocs' toc extension gives a heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"[\s]+", "-", text).strip("-")
+
+
+class TestNav:
+    def test_config_parses_and_is_strict(self):
+        config = _load_config()
+        assert config["strict"] is True
+        assert config["docs_dir"] == "docs"
+
+    def test_every_nav_entry_exists(self):
+        config = _load_config()
+        for rel in _nav_files(config["nav"]):
+            assert (DOCS / rel).is_file(), f"nav points at missing {rel}"
+
+    def test_every_page_is_reachable_from_nav(self):
+        config = _load_config()
+        in_nav = set(_nav_files(config["nav"]))
+        on_disk = {
+            str(p.relative_to(DOCS)) for p in DOCS.rglob("*.md")
+        }
+        assert on_disk == in_nav, (
+            f"pages not in nav: {on_disk - in_nav}; "
+            f"nav without pages: {in_nav - on_disk}"
+        )
+
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+
+
+class TestLinks:
+    def _pages(self):
+        return sorted(DOCS.rglob("*.md"))
+
+    def test_relative_links_resolve(self):
+        broken = []
+        for page in self._pages():
+            for match in LINK.finditer(page.read_text()):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                path_part, _, anchor = target.partition("#")
+                resolved = (
+                    page.parent / path_part if path_part else page
+                )
+                if path_part and not resolved.is_file():
+                    broken.append(f"{page.name}: {target}")
+                    continue
+                if anchor and resolved.suffix == ".md":
+                    headings = re.findall(
+                        r"^#+\s+(.*)$", resolved.read_text(), re.M
+                    )
+                    if _slugify(anchor) not in {
+                        _slugify(h) for h in headings
+                    }:
+                        broken.append(f"{page.name}: missing anchor {target}")
+        assert not broken, "broken docs links:\n  " + "\n  ".join(broken)
+
+    def test_mkdocstrings_targets_import(self):
+        directives = []
+        for page in self._pages():
+            directives.extend(
+                re.findall(r"^:::\s+([\w.]+)$", page.read_text(), re.M)
+            )
+        assert directives, "expected mkdocstrings directives in reference/"
+        for module_name in directives:
+            importlib.import_module(module_name)
+
+
+class TestStrictBuild:
+    @pytest.mark.skipif(
+        shutil.which("mkdocs") is None, reason="mkdocs not installed"
+    )
+    def test_mkdocs_build_strict(self, tmp_path):
+        proc = subprocess.run(
+            [shutil.which("mkdocs"), "build", "--strict",
+             "--site-dir", str(tmp_path / "site")],
+            cwd=REPO, capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO / "src"),
+                 "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

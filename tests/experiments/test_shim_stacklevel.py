@@ -1,0 +1,77 @@
+"""Deprecation shims must blame the *caller*, not the shim module.
+
+``warnings.warn(..., stacklevel=N)`` is fragile: an off-by-one points the
+warning at the shim's own file, which makes ``python -W error``
+diagnostics (and pytest's warning summaries) useless for finding the
+call site that needs migrating.  These tests pin the reported location
+of every deprecation shim — ``run_all.run_experiment`` / ``run_many``
+and the ``aggregates.queries`` helpers — to *this* file, the caller.
+"""
+
+import inspect
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.aggregates import queries
+from repro.aggregates.dataset import example1_dataset
+from repro.experiments import run_all
+
+
+def _sole_deprecation(caught):
+    messages = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert messages, "expected a DeprecationWarning"
+    return messages[0]
+
+
+class TestRunAllShims:
+    def test_run_experiment_blames_this_file(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            line = inspect.currentframe().f_lineno + 1
+            run_all.run_experiment("E1")
+        warning = _sole_deprecation(caught)
+        assert warning.filename == __file__
+        assert warning.lineno == line
+
+    def test_run_many_blames_this_file(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_all.run_many(["E1"])
+        warning = _sole_deprecation(caught)
+        assert warning.filename == __file__
+
+
+class TestQueryShims:
+    @pytest.mark.parametrize("helper,args,kwargs", [
+        ("lpp_difference", (1.0,), {}),
+        ("lp_difference", (2.0,), {}),
+        ("lpp_plus", (1.0,), {}),
+        ("distinct_count", (), {"instances": (0, 1)}),
+        ("jaccard_similarity", ((0, 1),), {}),
+        ("weighted_jaccard", ((0, 1),), {}),
+        ("sum_aggregate", (), {
+            "item_function": lambda t: float(np.sum(np.asarray(t))),
+        }),
+    ])
+    def test_query_helpers_blame_this_file(self, helper, args, kwargs):
+        dataset = example1_dataset()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            getattr(queries, helper)(dataset, *args, **kwargs)
+        warning = _sole_deprecation(caught)
+        assert warning.filename == __file__, (
+            f"{helper} blamed {warning.filename}, not its caller"
+        )
+
+    def test_package_reexport_blames_this_file_too(self):
+        """`repro.aggregates.lpp_difference` is the same function object —
+        the re-export must not add a frame to the blame chain."""
+        from repro import aggregates
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            aggregates.lpp_difference(example1_dataset(), 1.0)
+        warning = _sole_deprecation(caught)
+        assert warning.filename == __file__
