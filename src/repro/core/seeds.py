@@ -23,7 +23,7 @@ from typing import Dict, Hashable, Iterable, Optional
 
 import numpy as np
 
-__all__ = ["hash_to_unit", "SeedAssigner"]
+__all__ = ["hash_to_unit", "spawn_children", "SeedAssigner"]
 
 # 2**64; used to map a 64-bit digest into (0, 1].
 _TWO_64 = float(1 << 64)
@@ -52,6 +52,35 @@ def hash_to_unit(key: Hashable, salt: str = "") -> float:
     (value,) = struct.unpack(">Q", digest[:8])
     # Map {0, ..., 2^64 - 1} to (0, 1] via (value + 1) / 2^64.
     return (value + 1) / _TWO_64
+
+
+def spawn_children(
+    root: int, lo: int, hi: int
+) -> "list[np.random.SeedSequence]":
+    """Children ``lo..hi-1`` of ``SeedSequence(root)``, without the parent.
+
+    ``SeedSequence(root).spawn(total)[lo:hi]`` materialises *every* child
+    up to ``hi`` as a Python object just to slice a shard out of the
+    middle — O(total) allocations per shard, which is what the experiment
+    runner used to pay in every worker.  A spawned child is, by the
+    ``numpy`` spawning contract, nothing but
+    ``SeedSequence(root, spawn_key=(i,))``; constructing exactly the
+    shard's range is O(hi - lo) and yields children whose entropy,
+    spawn key, and generated state are identical to the sliced spawn
+    (asserted by ``tests/core/test_seeds.py``).
+
+    Parameters
+    ----------
+    root:
+        The root entropy (the experiment plan's ``seed``).
+    lo, hi:
+        The half-open child-index range ``[lo, hi)``.
+    """
+    if lo < 0 or hi < lo:
+        raise ValueError(f"need 0 <= lo <= hi, got [{lo}, {hi})")
+    return [
+        np.random.SeedSequence(root, spawn_key=(i,)) for i in range(lo, hi)
+    ]
 
 
 class SeedAssigner:

@@ -46,7 +46,11 @@ keywords, all of which default to the process-wide policy):
 * :func:`repro.analysis.simulation.simulate_sum_estimate` and
   :func:`repro.analysis.variance.monte_carlo_moments` accept
   ``backend="vectorized"`` to batch their per-seed integration loops
-  across replications.
+  across replications;
+* :func:`repro.engine.moments.batch_moments` evaluates the *exact*
+  per-vector moment integrals (the quantities behind the E8/E11
+  experiment sweeps) with a breakpoint-aware fixed quadrature whose node
+  evaluations run through one kernel call per batch.
 
 The scalar implementations remain the semantic source of truth; the
 engine only changes how fast the numbers are produced.
@@ -56,6 +60,7 @@ from .batch_outcome import BatchOutcome, is_unit_pps, linear_rates
 from .driver import BatchSumEngine, BatchSumResult
 from .kernels import (
     BatchKernel,
+    DyadicOneSidedPPSKernel,
     HTOneSidedPPSKernel,
     HTRangePPSKernel,
     LStarOneSidedPPSKernel,
@@ -64,18 +69,22 @@ from .kernels import (
     UStarOneSidedPPSKernel,
     resolve_kernel,
 )
+from .moments import batch_moments, batch_variances
 
 __all__ = [
     "BatchOutcome",
     "BatchSumEngine",
     "BatchSumResult",
     "BatchKernel",
+    "DyadicOneSidedPPSKernel",
     "HTOneSidedPPSKernel",
     "HTRangePPSKernel",
     "LStarOneSidedPPSKernel",
     "LStarRangePPSKernel",
     "OrderOptimalTableKernel",
     "UStarOneSidedPPSKernel",
+    "batch_moments",
+    "batch_variances",
     "is_unit_pps",
     "linear_rates",
     "resolve_kernel",

@@ -198,6 +198,55 @@ class BatchOutcome:
         values = np.where(vectors >= thresholds, vectors, np.nan)
         return cls(seeds=seeds, values=values, scheme=scheme)
 
+    @classmethod
+    def sample_vectors_sparse(
+        cls,
+        scheme: CoordinatedScheme,
+        vectors: np.ndarray,
+        seeds: np.ndarray,
+    ) -> Tuple["BatchOutcome", np.ndarray]:
+        """Like :meth:`sample_vectors`, but dropping empty outcomes first.
+
+        At low sampling rates most items are sampled in *no* instance and
+        every kernel maps them to 0; materialising the full ``(n, r)``
+        ``NaN`` matrix just to carry those rows wastes both the allocation
+        and the kernel arithmetic.  This constructor computes the
+        inclusion mask, keeps only the rows with at least one sampled
+        entry, and builds the ``NaN``-coded value matrix for the retained
+        rows alone.
+
+        Returns
+        -------
+        (batch, retained)
+            The batch of non-empty outcomes and the integer indices of
+            the retained rows in the input order (so callers can scatter
+            per-item estimates back into a zero-initialised array).  The
+            retained rows are byte-identical to the corresponding rows of
+            :meth:`sample_vectors`.
+        """
+        vectors = np.asarray(vectors, dtype=float)
+        seeds = np.asarray(seeds, dtype=float)
+        if vectors.ndim != 2 or vectors.shape[1] != scheme.dimension:
+            raise ValueError(
+                f"vectors must have shape (n, {scheme.dimension}), got {vectors.shape}"
+            )
+        rates = linear_rates(scheme)
+        if rates is not None:
+            included = vectors >= seeds[:, None] * rates[None, :]
+        else:
+            thresholds = np.empty_like(vectors)
+            for i in range(scheme.dimension):
+                tau = scheme.thresholds[i]
+                thresholds[:, i] = [tau(u) for u in seeds]
+            included = vectors >= thresholds
+        retained = np.flatnonzero(included.any(axis=1))
+        sub = vectors[retained]
+        values = np.where(included[retained], sub, np.nan)
+        return (
+            cls(seeds=seeds[retained], values=values, scheme=scheme),
+            retained,
+        )
+
     # ------------------------------------------------------------------
     # Conversion / slicing
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ import numpy as np
 from ..core.functions import ExponentiatedRange, OneSidedRange
 from ..core.schemes import CoordinatedScheme, LinearThreshold
 from ..estimators.base import Estimator
+from ..estimators.dyadic import DyadicEstimator
 from ..estimators.horvitz_thompson import HorvitzThompsonEstimator
 from ..estimators.lstar import LStarEstimator, LStarOneSidedRangePPS
 from ..estimators.order_optimal import OrderOptimalEstimator
@@ -47,6 +48,7 @@ __all__ = [
     "UStarOneSidedPPSKernel",
     "HTOneSidedPPSKernel",
     "HTRangePPSKernel",
+    "DyadicOneSidedPPSKernel",
     "OrderOptimalTableKernel",
     "RescaledPPSKernel",
     "SymmetrizedKernel",
@@ -63,6 +65,18 @@ class BatchKernel:
     def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
         """Per-item estimates, shape ``(len(batch),)``."""
         raise NotImplementedError
+
+    def integration_breakpoints(self, lower: float) -> tuple:
+        """Seeds in ``(lower, 1)`` where the *estimate*, as a function of
+        the seed, may jump for a fixed data vector.
+
+        Data-dependent breakpoints (the entries' inclusion probabilities)
+        come from the scheme; this hook reports the estimator-intrinsic
+        ones — e.g. the dyadic grid of the J-style estimator.  The batched
+        quadrature of :mod:`repro.engine.moments` splits its panels here
+        so every panel is smooth.
+        """
+        return ()
 
     def __call__(self, batch: BatchOutcome) -> np.ndarray:
         return self.estimate_batch(batch)
@@ -467,6 +481,109 @@ class HTRangePPSKernel(BatchKernel):
         return estimates
 
 
+class DyadicOneSidedPPSKernel(BatchKernel):
+    """Vectorized dyadic (J-style) estimator for ``RG_p+`` under unit PPS.
+
+    The scalar :class:`~repro.estimators.dyadic.DyadicEstimator` evaluates
+    the outcome lower-bound curve at three seeds — the right ends of the
+    outcome's dyadic interval ``I_l = (2^{-(l+1)}, 2^{-l}]``, of its
+    parent, and at 1 — and telescopes.  Under coordinated PPS with
+    ``tau* = 1`` over two-entry tuples the lower-bound curve is closed
+    form: at hypothetical seed ``x >= rho``,
+
+        lb(x) = max(0, v1 - a(x))^p   if entry 1 is sampled and v1 >= x,
+                0                      otherwise,
+
+    with ``a(x) = v2`` while the sampled ``v2`` stays at or above ``x``
+    and ``a(x) = x`` once the second entry is hidden (its strict upper
+    bound is the threshold, which equals the seed at unit rate).  The
+    kernel reproduces the scalar arithmetic branch for branch, including
+    the exact power-of-two level fix-ups, so parity is at machine
+    precision.
+
+    A shared non-unit rate is handled *natively* (thresholds ``x * tau``)
+    rather than through :class:`RescaledPPSKernel`: the dyadic gain is
+    divided by interval widths as small as the seed, so the rescaling
+    detour's last-ulp differences in ``v1 - a(x)`` would be amplified far
+    beyond the engine parity tolerance.  Evaluating the same expressions
+    the scalar estimator evaluates keeps the division exact.
+    """
+
+    def __init__(
+        self, p: float = 1.0, rate: float = 1.0, name: Optional[str] = None
+    ) -> None:
+        if p <= 0:
+            raise ValueError("p must be positive")
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self._p = float(p)
+        self._rate = float(rate)
+        self.name = name if name is not None else DyadicEstimator.name
+
+    @property
+    def p(self) -> float:
+        """The range exponent the kernel was built for."""
+        return self._p
+
+    @property
+    def rate(self) -> float:
+        """The shared PPS rate ``tau*`` of the scheme the kernel serves."""
+        return self._rate
+
+    def integration_breakpoints(self, lower: float) -> tuple:
+        """The dyadic grid ``2^{-k}`` down to ``lower`` — the seeds where
+        the estimate jumps between levels."""
+        points = []
+        k = 1
+        while True:
+            point = float(np.ldexp(1.0, -k))
+            if point <= lower:
+                break
+            points.append(point)
+            k += 1
+        return tuple(points)
+
+    @staticmethod
+    def _levels(seeds: np.ndarray) -> np.ndarray:
+        """Vectorized dyadic level with the scalar estimator's fix-ups."""
+        levels = np.floor(-np.log2(seeds)).astype(np.int64)
+        while True:
+            mask = np.ldexp(1.0, -(levels + 1)) >= seeds
+            if not mask.any():
+                break
+            levels[mask] += 1
+        while True:
+            mask = seeds > np.ldexp(1.0, -levels)
+            if not mask.any():
+                break
+            levels[mask] -= 1
+        return levels
+
+    def _lower_bound(
+        self, x: np.ndarray, v1: np.ndarray, v2: np.ndarray
+    ) -> np.ndarray:
+        """``lb(x)`` elementwise (``v1``/``v2`` NaN = entry unsampled)."""
+        threshold = x * self._rate if self._rate != 1.0 else x
+        with np.errstate(invalid="ignore"):
+            known1 = ~np.isnan(v1) & (v1 >= threshold)
+            anchor = np.where(~np.isnan(v2) & (v2 >= threshold), v2, threshold)
+            gap = np.where(known1, np.maximum(0.0, v1 - anchor), 0.0)
+        return gap ** self._p
+
+    def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
+        """Per-item estimates for ``batch``, shape ``(len(batch),)``."""
+        u, v1, v2 = _split_two_entry(batch)
+        levels = self._levels(u)
+        upper_of_level = np.ldexp(1.0, -levels)
+        coarser = np.minimum(1.0, np.ldexp(1.0, -(levels - 1)))
+        width = np.ldexp(1.0, -(levels + 1))
+        gain = self._lower_bound(upper_of_level, v1, v2) - self._lower_bound(
+            coarser, v1, v2
+        )
+        baseline = self._lower_bound(np.ones_like(u), v1, v2)
+        return np.maximum(0.0, gain / width + baseline)
+
+
 class OrderOptimalTableKernel(BatchKernel):
     """Vectorized lookup of an order-optimal estimator's finite table.
 
@@ -584,6 +701,10 @@ class RescaledPPSKernel(BatchKernel):
         """The shared PPS rate ``tau`` the kernel rescales by."""
         return self._rate
 
+    def integration_breakpoints(self, lower: float) -> tuple:
+        """Delegates to the unit kernel (the seed axis is not rescaled)."""
+        return self._inner.integration_breakpoints(lower)
+
     def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
         """Rescaled estimates for ``batch``, shape ``(len(batch),)``."""
         unit_scheme = CoordinatedScheme(
@@ -612,6 +733,10 @@ class SymmetrizedKernel(BatchKernel):
     def inner(self) -> BatchKernel:
         """The wrapped one-sided kernel."""
         return self._inner
+
+    def integration_breakpoints(self, lower: float) -> tuple:
+        """Delegates to the one-sided kernel (both passes share the seed)."""
+        return self._inner.integration_breakpoints(lower)
 
     def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
         """Forward-plus-backward estimates, shape ``(len(batch),)``."""
@@ -691,6 +816,14 @@ def resolve_kernel(
     rate = uniform_pps_rate(scheme, dimension=2)
     if rate is None:
         return None
+    if isinstance(estimator, DyadicEstimator) and isinstance(
+        estimator.target, OneSidedRange
+    ):
+        # Rates are handled natively (see the kernel docstring), so the
+        # dyadic kernel never goes through the rescaling wrapper.
+        return DyadicOneSidedPPSKernel(
+            estimator.target.p, rate=rate, name=estimator.name
+        )
     kernel = _unit_pps_kernel(estimator)
     if kernel is None:
         return None

@@ -22,8 +22,11 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..api.backend import BackendPolicy, BackendSpec
 from ..core.functions import OneSidedRange
 from ..core.schemes import pps_scheme
+from ..engine.batch_outcome import BatchOutcome
+from ..engine.kernels import resolve_kernel
 from ..estimators.lstar import LStarEstimator, LStarOneSidedRangePPS
 from ..estimators.ustar import UStarOneSidedRangePPS
 from ..estimators.vopt import VOptimalOracle
@@ -52,14 +55,47 @@ class EstimateCurves:
         return float(np.max(np.abs(self.lstar - self.lstar_closed_form)))
 
 
+def _trace(estimator, scheme, vector, seeds: np.ndarray, resolved: str) -> np.ndarray:
+    """Estimates at every seed of the grid, kernel-batched when allowed.
+
+    One :class:`~repro.engine.batch_outcome.BatchOutcome` over the whole
+    seed grid replaces the per-seed ``estimate_for`` loop whenever the
+    resolved backend permits it and a kernel covers the estimator; the
+    scalar loop remains the fallback (and the reference the parity tests
+    compare against).
+    """
+    if resolved != "scalar":
+        kernel = resolve_kernel(estimator, scheme)
+        if kernel is not None:
+            tiled = np.tile(np.asarray(vector, dtype=float), (len(seeds), 1))
+            batch = BatchOutcome.sample_vectors(scheme, tiled, seeds)
+            return kernel.estimate_batch(batch)
+    return np.array(
+        [estimator.estimate_for(scheme, vector, float(u)) for u in seeds]
+    )
+
+
 def run(
     exponents: Sequence[float] = PAPER_EXPONENTS,
     vectors: Sequence[Tuple[float, float]] = PAPER_VECTORS,
     grid: int = 120,
+    backend: BackendSpec = None,
 ) -> List[EstimateCurves]:
-    """Trace L*, U* and v-optimal estimates for every configuration."""
+    """Trace L*, U* and v-optimal estimates for every configuration.
+
+    The closed-form L* and U* curves batch through the engine kernels
+    and the v-optimal curve through the vectorized hull-slope lookup
+    (dispatch by ``backend``, sized on the whole experiment's seed
+    grid).  The *generic* L* curve always stays on the scalar quadrature
+    path: it is the reference the closed form is compared against, so
+    batching it through the same kernel would make the comparison
+    vacuous.
+    """
     scheme = pps_scheme([1.0, 1.0])
     seeds = np.linspace(0.01, 0.8, grid)
+    resolved = BackendPolicy.coerce(backend).resolve(
+        grid * len(exponents) * len(vectors)
+    )
     results: List[EstimateCurves] = []
     for p in exponents:
         target = OneSidedRange(p=p)
@@ -71,13 +107,14 @@ def run(
             l_vals = np.array(
                 [lstar.estimate_for(scheme, vector, float(u)) for u in seeds]
             )
-            l_cf_vals = np.array(
-                [lstar_cf.estimate_for(scheme, vector, float(u)) for u in seeds]
-            )
-            u_vals = np.array(
-                [ustar.estimate_for(scheme, vector, float(u)) for u in seeds]
-            )
-            v_vals = np.array([oracle.estimate_at_seed(float(u)) for u in seeds])
+            l_cf_vals = _trace(lstar_cf, scheme, vector, seeds, resolved)
+            u_vals = _trace(ustar, scheme, vector, seeds, resolved)
+            if resolved != "scalar":
+                v_vals = oracle.estimates_at_seeds(seeds)
+            else:
+                v_vals = np.array(
+                    [oracle.estimate_at_seed(float(u)) for u in seeds]
+                )
             results.append(
                 EstimateCurves(
                     p=p,

@@ -74,8 +74,13 @@ def run(
     exponents: Sequence[float] = (1.0, 2.0),
     vectors: Sequence[Tuple[float, float]] = None,
     include_baselines: bool = True,
+    backend=None,
 ) -> List[SweepResult]:
-    """Run the ratio sweep for every exponent and estimator."""
+    """Run the ratio sweep for every exponent and estimator.
+
+    ``backend`` governs whether the ratio numerators batch through the
+    engine quadrature (default: the process-wide policy).
+    """
     scheme = pps_scheme([1.0, 1.0])
     vectors = list(vectors) if vectors is not None else default_vector_grid()
     results: List[SweepResult] = []
@@ -88,7 +93,9 @@ def run(
                 usable = [v for v in vectors if v[1] > 0.0]
             else:
                 usable = vectors
-            reports = ratio_sweep(estimator, scheme, target, usable, grid=4096)
+            reports = ratio_sweep(
+                estimator, scheme, target, usable, grid=4096, backend=backend
+            )
             results.append(
                 SweepResult(estimator=estimator.name, p=p, reports=tuple(reports))
             )

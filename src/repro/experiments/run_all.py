@@ -20,11 +20,17 @@ Usage::
     python -m repro.experiments.run_all --cache-dir .repro-cache
     python -m repro.experiments.run_all --records-dir .repro-records
     python -m repro.experiments.run_all --records-dir .repro-records --resume
+    python -m repro.experiments.run_all --cost-model .repro-cost.json
     python -m repro.experiments.run_all --format json > results.json
 
 ``--jobs`` sets the worker count for the global shard queue — shards of
 *different* experiments run concurrently, and records are bit-identical
-for any value.  ``--records-dir`` streams per-replication /
+for any value.  ``--cost-model`` points at the measured per-experiment
+cost weights (see :mod:`repro.api.costmodel`): the first run measures
+each experiment's seconds-per-unit and stores them keyed by the spec
+digest; later runs size and order shards by predicted seconds instead of
+unit counts.  The model is a pure scheduling hint — records stay
+bit-identical with it on, off, or stale.  ``--records-dir`` streams per-replication /
 per-sweep-point records to append-only JSONL files (one per experiment
 run, finalized atomically); ``--resume`` re-opens an interrupted store,
 skips every completed shard, and reproduces the exact records of an
@@ -135,6 +141,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="resume from the record store: skip completed "
                              "shards of interrupted runs (needs a records "
                              "directory)")
+    parser.add_argument("--cost-model", default=None,
+                        help="path of the measured cost-model file used to "
+                             "size and order shards by predicted seconds "
+                             "(default: $REPRO_COST_MODEL, else unit counts)")
     parser.add_argument("--backend", choices=BACKEND_MODES, default=None,
                         help="process-wide backend policy for every "
                              "estimation loop (default: auto)")
@@ -151,6 +161,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             records_dir=args.records_dir,
             resume=args.resume,
+            cost_model=args.cost_model,
         )
     except ValueError as exc:  # e.g. --resume without a records directory
         print(f"error: {exc}", file=sys.stderr)

@@ -65,8 +65,14 @@ def run(
     num_pairs: int = 12,
     alpha: Optional[Callable[[float], float]] = None,
     seed: int = 3,
+    backend=None,
 ) -> List[SimilarityRow]:
-    """Estimate similarities for random node pairs at several sketch sizes."""
+    """Estimate similarities for random node pairs at several sketch sizes.
+
+    ``backend`` governs the per-pair estimation path (the closed-form
+    vectorized L* under the HIP step schemes vs the scalar per-outcome
+    loop); the default defers to the process-wide policy.
+    """
     graph = graph if graph is not None else default_graph()
     alpha = alpha if alpha is not None else exponential_decay(2.0)
     pairs = _select_pairs(graph, num_pairs, seed)
@@ -82,7 +88,8 @@ def run(
                     graph, pair[0], pair[1], alpha
                 )
             estimate = estimate_closeness_similarity(
-                sketches[pair[0]], sketches[pair[1]], ranks, alpha
+                sketches[pair[0]], sketches[pair[1]], ranks, alpha,
+                backend=backend,
             )
             rows.append(
                 SimilarityRow(

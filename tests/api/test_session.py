@@ -183,10 +183,13 @@ class TestSessionDatasetEstimation:
 
     def test_vectorized_without_kernel_raises(self):
         dataset = self._dataset(n=10)
+        # ustar_numeric (the grid-integration U*) is deliberately outside
+        # the kernel registry; dyadic, the previous example here, gained a
+        # kernel when the moments engine landed.
         session = (
             EstimationSession([1.0, 1.0], backend="vectorized")
             .target("rg_plus", p=1.0)
-            .estimator("dyadic")
+            .estimator("ustar_numeric")
         )
         with pytest.raises(ValueError, match="no vectorized kernel"):
             session.estimate(dataset, rng=1)

@@ -1,0 +1,130 @@
+"""The benchmark harness contract: schema-valid payloads, honest checks.
+
+CI's benchmark job gates on ``run_bench.py --check`` — malformed output
+must fail, timing noise must not.  These tests load the harness straight
+from ``benchmarks/run_bench.py`` (it is a script, not a package), run
+one cheap bench end to end, and exercise the validator on both sides.
+"""
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+BENCHMARKS = REPO / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def run_bench():
+    """The harness module, loaded from its script path."""
+    # conftest.py (the shared backend helpers) must be importable first.
+    sys.path.insert(0, str(BENCHMARKS))
+    try:
+        spec = importlib.util.spec_from_file_location(
+            "run_bench", BENCHMARKS / "run_bench.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+    finally:
+        sys.path.remove(str(BENCHMARKS))
+
+
+class TestValidator:
+    def test_valid_payload_passes(self, run_bench):
+        payload = {
+            "schema": run_bench.SCHEMA,
+            "git_sha": "abc1234",
+            "python": "3.11.0",
+            "numpy": "2.0.0",
+            "backend": {"mode": "auto", "auto_threshold": 64},
+            "benches": [
+                {
+                    "name": "x",
+                    "params": {},
+                    "items": 10,
+                    "repeats": 3,
+                    "wall_s": {"median": 0.1, "min": 0.09, "mean": 0.11},
+                    "items_per_sec": 100.0,
+                    "backend_decision": "auto",
+                }
+            ],
+        }
+        assert run_bench.validate_payload(payload) == []
+
+    def test_malformed_payloads_fail(self, run_bench):
+        assert run_bench.validate_payload([]) != []
+        assert run_bench.validate_payload({"schema": "nope"}) != []
+        missing_wall = {
+            "schema": run_bench.SCHEMA,
+            "git_sha": "x", "python": "x", "numpy": "x",
+            "backend": {"mode": "auto"},
+            "benches": [{"name": "b"}],
+        }
+        errors = run_bench.validate_payload(missing_wall)
+        assert any("wall_s" in e for e in errors)
+        zero_time = {
+            "schema": run_bench.SCHEMA,
+            "git_sha": "x", "python": "x", "numpy": "x",
+            "backend": {"mode": "auto"},
+            "benches": [
+                {
+                    "name": "b", "params": {}, "items": 1, "repeats": 1,
+                    "wall_s": {"median": 0.0, "min": 0.0, "mean": 0.0},
+                    "items_per_sec": 1.0, "backend_decision": "auto",
+                }
+            ],
+        }
+        assert any("median" in e for e in run_bench.validate_payload(zero_time))
+
+    def test_suite_names_are_stable(self, run_bench):
+        # The CI smoke job and the docs name these; renames must be
+        # deliberate.
+        assert {"moments_ablation", "moments_dominance", "simulate_grid",
+                "batch_sum"} <= set(run_bench.SUITE)
+
+
+class TestEndToEnd:
+    def test_smoke_bench_emits_schema_valid_payload(self, tmp_path):
+        out = tmp_path / "bench.json"
+        proc = subprocess.run(
+            [sys.executable, str(BENCHMARKS / "run_bench.py"),
+             "--smoke", "--warmup", "0", "--repeats", "1",
+             "--only", "moments_dominance", "--output", str(out)],
+            capture_output=True, text=True, cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-bench/1"
+        [bench] = payload["benches"]
+        assert bench["name"] == "moments_dominance"
+        assert bench["wall_s"]["median"] > 0
+        assert bench.get("speedup", 1.0) > 0
+        check = subprocess.run(
+            [sys.executable, str(BENCHMARKS / "run_bench.py"),
+             "--check", str(out)],
+            capture_output=True, text=True, cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+            timeout=60,
+        )
+        assert check.returncode == 0, check.stderr
+        assert "ok" in check.stdout
+
+    def test_check_rejects_truncated_payload(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "repro-bench/1"')
+        proc = subprocess.run(
+            [sys.executable, str(BENCHMARKS / "run_bench.py"),
+             "--check", str(bad)],
+            capture_output=True, text=True, cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+            timeout=60,
+        )
+        assert proc.returncode == 2
+        assert "error" in proc.stderr

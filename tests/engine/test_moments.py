@@ -1,0 +1,247 @@
+"""Parity of the batched exact moments with the scalar quadrature.
+
+``engine.moments.batch_moments`` must reproduce
+``analysis.variance.moments`` — same estimator, same scheme, same
+vectors — through a completely different integration rule (fixed
+breakpoint-aware Gauss–Legendre through the kernels vs adaptive
+Gauss–Kronrod over scalar ``estimate_for`` calls).  Agreement is the
+evidence that both compute the *integral*, not artifacts of their rule.
+
+The dyadic kernel is new here, so its per-outcome parity with
+``DyadicEstimator`` is pinned too (quick slice below, exhaustive grid
+under ``-m slow``), as is the sparse ``BatchOutcome`` constructor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.variance import moments
+from repro.core.functions import OneSidedRange
+from repro.core.schemes import pps_scheme
+from repro.engine.batch_outcome import BatchOutcome
+from repro.engine.kernels import DyadicOneSidedPPSKernel, resolve_kernel
+from repro.engine.moments import batch_moments, batch_variances
+from repro.estimators.dyadic import DyadicEstimator
+from repro.estimators.horvitz_thompson import HorvitzThompsonEstimator
+from repro.estimators.lstar import LStarOneSidedRangePPS
+from repro.estimators.ustar import UStarOneSidedRangePPS
+
+#: Quick vector panel: interior points, the v2 = 0 boundary (singular
+#: L* tail), near-equal entries, and an off-unit-square entry.
+VECTORS = [
+    (0.6, 0.2),
+    (0.6, 0.0),
+    (0.9, 0.45),
+    (0.3, 0.29),
+    (0.85, 0.1),
+]
+
+
+def _estimators(p):
+    target = OneSidedRange(p=p)
+    return target, {
+        "lstar": LStarOneSidedRangePPS(p=p),
+        "ustar": UStarOneSidedRangePPS(p=p),
+        "dyadic": DyadicEstimator(target),
+    }
+
+
+class TestBatchMomentsParity:
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    @pytest.mark.parametrize("name", ["lstar", "ustar", "dyadic"])
+    def test_matches_scalar_quadrature(self, p, name):
+        scheme = pps_scheme([1.0, 1.0])
+        target, estimators = _estimators(p)
+        estimator = estimators[name]
+        fast = batch_moments(
+            estimator, scheme, target, VECTORS, backend="vectorized"
+        )
+        for vector, report in zip(VECTORS, fast):
+            reference = moments(estimator, scheme, target, vector)
+            scale = max(1.0, abs(reference.mean))
+            assert abs(report.mean - reference.mean) <= 1e-6 * scale
+            scale = max(1.0, abs(reference.second_moment))
+            assert (
+                abs(report.second_moment - reference.second_moment)
+                <= 1e-6 * scale
+            )
+            assert report.true_value == reference.true_value
+            assert report.estimator == reference.estimator
+
+    def test_ht_matches_on_applicable_vectors(self):
+        scheme = pps_scheme([1.0, 1.0])
+        target = OneSidedRange(p=1.0)
+        ht = HorvitzThompsonEstimator(target)
+        usable = [v for v in VECTORS if ht.is_applicable(scheme, v)]
+        assert usable  # the panel must exercise this case
+        fast = batch_moments(ht, scheme, target, usable, backend="vectorized")
+        for vector, report in zip(usable, fast):
+            reference = moments(ht, scheme, target, vector)
+            assert report.mean == pytest.approx(reference.mean, rel=1e-6)
+            assert report.second_moment == pytest.approx(
+                reference.second_moment, rel=1e-6
+            )
+
+    def test_scalar_backend_is_the_reference(self):
+        scheme = pps_scheme([1.0, 1.0])
+        target, estimators = _estimators(1.0)
+        via_batch = batch_moments(
+            estimators["lstar"], scheme, target, VECTORS, backend="scalar"
+        )
+        direct = [
+            moments(estimators["lstar"], scheme, target, v) for v in VECTORS
+        ]
+        for a, b in zip(via_batch, direct):
+            assert a == b  # identical objects field for field
+
+    def test_unbiasedness_through_the_batch(self):
+        # E[est] must equal f(v) for the unbiased estimators — a sanity
+        # check that the quadrature itself is sound, not just consistent.
+        scheme = pps_scheme([1.0, 1.0])
+        target, estimators = _estimators(1.0)
+        for estimator in estimators.values():
+            for report in batch_moments(
+                estimator, scheme, target, VECTORS, backend="vectorized"
+            ):
+                assert report.mean == pytest.approx(
+                    report.true_value, rel=1e-6, abs=1e-9
+                )
+
+    def test_batch_variances_match_reports(self):
+        scheme = pps_scheme([1.0, 1.0])
+        target, estimators = _estimators(2.0)
+        reports = batch_moments(
+            estimators["lstar"], scheme, target, VECTORS, backend="vectorized"
+        )
+        variances = batch_variances(
+            estimators["lstar"], scheme, target, VECTORS, backend="vectorized"
+        )
+        for report, var in zip(reports, variances):
+            assert var == report.variance_if_unbiased
+
+    def test_empty_input(self):
+        scheme = pps_scheme([1.0, 1.0])
+        target, estimators = _estimators(1.0)
+        assert batch_moments(estimators["lstar"], scheme, target, []) == []
+
+    def test_vectorized_without_kernel_raises(self):
+        from repro.estimators.ustar import UStarNumeric
+
+        scheme = pps_scheme([1.0, 1.0])
+        target = OneSidedRange(p=1.0)
+        with pytest.raises(ValueError, match="no vectorized kernel"):
+            batch_moments(
+                UStarNumeric(target), scheme, target, VECTORS,
+                backend="vectorized",
+            )
+
+
+class TestDyadicKernel:
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    @pytest.mark.parametrize("tau", [1.0, 3.7])
+    def test_matches_scalar_estimator(self, p, tau):
+        scheme = pps_scheme([tau, tau])
+        estimator = DyadicEstimator(OneSidedRange(p=p))
+        kernel = resolve_kernel(estimator, scheme)
+        assert isinstance(kernel, DyadicOneSidedPPSKernel)
+        rng = np.random.default_rng(0)
+        n = 800
+        vectors = rng.random((n, 2)) * tau
+        vectors[: n // 8, 1] = 0.0
+        seeds = 1.0 - rng.random(n)
+        # Exact powers of two and their float neighbours: the level
+        # fix-up loops must agree with the scalar while-loops.
+        seeds[:8] = [1.0, 0.5, 0.25, 2.0 ** -30, np.nextafter(0.5, 1.0),
+                     np.nextafter(0.5, 0.0), 1e-9, 0.75]
+        batch = BatchOutcome.sample_vectors(scheme, vectors, seeds)
+        reference = np.array(
+            [estimator.estimate(o) for o in batch.to_outcomes()]
+        )
+        estimates = kernel.estimate_batch(batch)
+        np.testing.assert_allclose(estimates, reference, rtol=1e-9, atol=1e-12)
+
+    def test_integration_breakpoints_cover_the_dyadic_grid(self):
+        kernel = DyadicOneSidedPPSKernel(p=1.0)
+        points = kernel.integration_breakpoints(1e-6)
+        assert points[0] == 0.5
+        assert all(a / b == 2.0 for a, b in zip(points, points[1:]))
+        assert points[-1] > 1e-6 >= points[-1] / 2.0
+
+    @pytest.mark.slow
+    def test_exhaustive_grid(self):
+        rng = np.random.default_rng(7)
+        for p in (0.5, 1.0, 1.5, 2.0, 3.0):
+            for tau in (1.0, 0.25, 6.0):
+                scheme = pps_scheme([tau, tau])
+                estimator = DyadicEstimator(OneSidedRange(p=p))
+                kernel = resolve_kernel(estimator, scheme)
+                n = 4000
+                vectors = rng.random((n, 2)) * tau
+                vectors[: n // 10, 1] = 0.0
+                seeds = 1.0 - rng.random(n)
+                batch = BatchOutcome.sample_vectors(scheme, vectors, seeds)
+                reference = np.array(
+                    [estimator.estimate(o) for o in batch.to_outcomes()]
+                )
+                estimates = kernel.estimate_batch(batch)
+                np.testing.assert_allclose(
+                    estimates, reference, rtol=1e-9, atol=1e-12
+                )
+
+
+class TestSparseSampling:
+    def test_sparse_rows_match_dense(self):
+        scheme = pps_scheme([1.0, 1.0])
+        rng = np.random.default_rng(4)
+        vectors = rng.random((500, 2)) * 0.2  # low weights: mostly empty
+        seeds = 1.0 - rng.random(500)
+        dense = BatchOutcome.sample_vectors(scheme, vectors, seeds)
+        sparse, retained = BatchOutcome.sample_vectors_sparse(
+            scheme, vectors, seeds
+        )
+        assert len(sparse) == len(retained) < 500
+        np.testing.assert_array_equal(sparse.seeds, dense.seeds[retained])
+        np.testing.assert_array_equal(sparse.values, dense.values[retained])
+        dropped = np.setdiff1d(np.arange(500), retained)
+        assert bool(dense.is_empty[dropped].all())
+        assert not dense.is_empty[retained].any()
+
+    def test_kernel_estimates_unchanged_by_sparsification(self):
+        scheme = pps_scheme([1.0, 1.0])
+        estimator = LStarOneSidedRangePPS(p=1.0)
+        kernel = resolve_kernel(estimator, scheme)
+        rng = np.random.default_rng(5)
+        vectors = rng.random((400, 2)) * 0.3
+        seeds = 1.0 - rng.random(400)
+        dense = kernel.estimate_batch(
+            BatchOutcome.sample_vectors(scheme, vectors, seeds)
+        )
+        sparse_batch, retained = BatchOutcome.sample_vectors_sparse(
+            scheme, vectors, seeds
+        )
+        scattered = np.zeros(400)
+        scattered[retained] = kernel.estimate_batch(sparse_batch)
+        np.testing.assert_array_equal(scattered, dense)
+
+
+@pytest.mark.slow
+class TestBatchMomentsGrid:
+    def test_exhaustive_vector_grid(self):
+        scheme = pps_scheme([1.0, 1.0])
+        rng = np.random.default_rng(11)
+        grid = [tuple(v) for v in rng.random((40, 2))]
+        grid += [(v1, 0.0) for v1 in (0.1, 0.5, 0.95)]
+        for p in (0.5, 1.0, 2.0):
+            target, estimators = _estimators(p)
+            for estimator in estimators.values():
+                fast = batch_moments(
+                    estimator, scheme, target, grid, backend="vectorized"
+                )
+                for vector, report in zip(grid, fast):
+                    reference = moments(estimator, scheme, target, vector)
+                    assert report.mean == pytest.approx(
+                        reference.mean, rel=2e-5, abs=1e-9
+                    )
+                    assert report.second_moment == pytest.approx(
+                        reference.second_moment, rel=2e-5, abs=1e-9
+                    )
