@@ -1,0 +1,132 @@
+"""Benchmark — sketch-store ingest throughput and engine-backed queries.
+
+Three numbers the serving layer stands on:
+
+* **ingest** — events folded per second into the in-memory ledger
+  (single-threaded, arrival order preserved; sharding multiplies this);
+* **recover** — wall time for ``SketchStore.open`` on a directory whose
+  write-ahead log holds the whole feed (the worst case: no snapshot);
+* **query** — served ``sum`` + ``distinct`` through the engine kernels
+  versus the forced-scalar reference on the identical store, asserting
+  they agree and that the engine actually pays for itself.
+"""
+
+import time
+
+import pytest
+
+from conftest import forced_backend
+from repro.serving import SketchStore, StoreConfig, synthetic_feed
+
+NUM_EVENTS = 40_000
+NUM_KEYS = 15_000
+CONFIG = StoreConfig(k=NUM_EVENTS, tau_star=0.25, salt="bench")
+
+#: Minimum acceptable engine speedup for the batched query reductions.
+QUERY_SPEEDUP_FLOOR = 2.0
+
+
+def _feed():
+    return synthetic_feed(
+        NUM_EVENTS, num_keys=NUM_KEYS, groups=("u", "v"), seed=29
+    )
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return value, best
+
+
+def test_ingest_throughput(benchmark, reproduction_report):
+    feed = _feed()
+
+    def ingest():
+        store = SketchStore(CONFIG)
+        store.ingest(feed)
+        return store.events_ingested
+
+    ingested = benchmark.pedantic(ingest, rounds=3, iterations=1)
+    assert ingested == NUM_EVENTS
+    rate = NUM_EVENTS / benchmark.stats["min"]
+    report = (
+        f"SketchStore ingest: {NUM_EVENTS} events over {NUM_KEYS} keys "
+        f"-> {rate / 1e3:.0f}k events/s"
+    )
+    reproduction_report(
+        benchmark,
+        "SketchStore ingest throughput",
+        report,
+        num_events=NUM_EVENTS,
+        num_keys=NUM_KEYS,
+        events_per_sec=rate,
+    )
+
+
+def test_recovery_replay(benchmark, reproduction_report, tmp_path):
+    store = SketchStore.open(tmp_path, CONFIG)
+    store.ingest(_feed())
+    store.close()
+
+    def recover():
+        recovered = SketchStore.open(tmp_path)
+        count = recovered.events_ingested
+        recovered.close()
+        return count
+
+    recovered = benchmark.pedantic(recover, rounds=3, iterations=1)
+    assert recovered == NUM_EVENTS
+    rate = NUM_EVENTS / benchmark.stats["min"]
+    report = (
+        f"SketchStore recovery (WAL replay, no snapshot): {NUM_EVENTS} "
+        f"events -> {rate / 1e3:.0f}k events/s"
+    )
+    reproduction_report(
+        benchmark,
+        "SketchStore recovery replay",
+        report,
+        num_events=NUM_EVENTS,
+        events_per_sec=rate,
+    )
+
+
+def test_query_backend_speedup(benchmark, reproduction_report):
+    store = SketchStore(CONFIG)
+    store.ingest(_feed())
+    retained = sum(
+        len(store.sketch(group, "pps").entries) for group in store.groups
+    )
+
+    def query(backend):
+        sums = store.query("sum", backend=backend)
+        counts = store.query("distinct", backend=backend)
+        return sum(sums.values()) + sum(counts.values())
+
+    scalar_value, scalar_time = _best_of(lambda: query("scalar"))
+    vector_value, vector_time = _best_of(lambda: query("vectorized"))
+    assert vector_value == pytest.approx(scalar_value, rel=1e-9)
+
+    with forced_backend("vectorized"):
+        result = benchmark.pedantic(query, args=(None,), rounds=3, iterations=1)
+    assert result == pytest.approx(scalar_value, rel=1e-9)
+
+    speedup = scalar_time / vector_time
+    report = (
+        f"SketchStore queries over {retained} retained keys: scalar "
+        f"{scalar_time * 1e3:.1f} ms, vectorized {vector_time * 1e3:.1f} ms "
+        f"-> {speedup:.1f}x"
+    )
+    reproduction_report(
+        benchmark,
+        "SketchStore query scalar vs vectorized",
+        report,
+        retained_keys=retained,
+        scalar_seconds=scalar_time,
+        vectorized_seconds=vector_time,
+        speedup=speedup,
+    )
+    assert speedup >= QUERY_SPEEDUP_FLOOR, report

@@ -227,6 +227,45 @@ def _bench_ratios_sweep(smoke: bool):
     )
 
 
+def _bench_store_ingest(smoke: bool):
+    from repro.serving import SketchStore, StoreConfig, synthetic_feed
+
+    n = 10_000 if smoke else 60_000
+    feed = synthetic_feed(n, num_keys=n // 3, groups=("u", "v"), seed=23)
+    config = StoreConfig(k=512, tau_star=0.5, salt="bench")
+
+    def run():
+        store = SketchStore(config)
+        store.ingest(feed)
+        return store.events_ingested
+
+    return (run, n, {"num_events": n, "num_keys": n // 3, "groups": 2})
+
+
+def _bench_store_query(smoke: bool):
+    from repro.serving import SketchStore, StoreConfig, synthetic_feed
+
+    n = 8_000 if smoke else 50_000
+    store = SketchStore(StoreConfig(k=n, tau_star=0.25, salt="bench"))
+    store.ingest(synthetic_feed(n, num_keys=n // 2, groups=("u", "v"), seed=29))
+    retained = sum(
+        len(store.sketch(group, "pps").entries) for group in store.groups
+    )
+
+    def run():
+        sums = store.query("sum")
+        counts = store.query("distinct")
+        return sum(sums.values()) + sum(counts.values())
+
+    return (
+        run,
+        retained,
+        {"num_events": n, "retained_keys": retained, "kinds": ["sum", "distinct"]},
+        # Each query kind dispatches on the retained keys across groups.
+        retained,
+    )
+
+
 def _bench_runner_smoke_batch(smoke: bool):
     from repro.api.experiments import ExperimentRunner
 
@@ -250,6 +289,8 @@ SUITE: Dict[str, Tuple[Callable, bool]] = {
     "example4_curves": (_bench_example4_curves, True),
     "similarity_pairs": (_bench_similarity_pairs, True),
     "ratios_sweep": (_bench_ratios_sweep, True),
+    "store_ingest": (_bench_store_ingest, False),
+    "store_query": (_bench_store_query, True),
     "runner_smoke_batch": (_bench_runner_smoke_batch, False),
 }
 

@@ -65,6 +65,38 @@ class CoordinatedSample:
         self._instances = tuple(instance_samples)
         self._seeds = dict(seeds)
 
+    @classmethod
+    def from_instance_samples(
+        cls,
+        instance_samples: Sequence[InstanceSample],
+        seeds: Mapping[ItemKey, float],
+    ) -> "CoordinatedSample":
+        """Assemble a coordinated sample from per-instance PPS samples.
+
+        The scheme is reconstructed from each sample's ``tau_star`` (the
+        linear PPS thresholds), so samples drawn independently — e.g. by
+        the sketch-serving layer, one per key-group — can be re-entered
+        into the estimation pipeline as long as they shared the per-item
+        seed assignment.  ``seeds`` must cover every item retained by any
+        of the samples.
+        """
+        if not instance_samples:
+            raise ValueError("at least one instance sample is required")
+        scheme = CoordinatedScheme(
+            [LinearThreshold(s.tau_star) for s in instance_samples]
+        )
+        retained = set()
+        for sample in instance_samples:
+            retained.update(sample.entries)
+        missing = [key for key in retained if key not in seeds]
+        if missing:
+            raise ValueError(
+                f"seeds missing for {len(missing)} retained item(s), "
+                f"e.g. {sorted(missing, key=repr)[:3]!r}"
+            )
+        kept = {key: float(seeds[key]) for key in retained}
+        return cls(scheme, tuple(instance_samples), kept)
+
     @property
     def scheme(self) -> CoordinatedScheme:
         return self._scheme

@@ -10,7 +10,13 @@ One import point for the whole pipeline:
 * the plugin registries (:func:`register_estimator`,
   :func:`register_target`, :func:`register_query`,
   :func:`register_scheme`) that the library's own layers self-register
-  into and user code extends with one call.
+  into and user code extends with one call;
+* the sketch-serving layer's entry points
+  (:class:`~repro.serving.store.SketchStore`,
+  :class:`~repro.serving.store.StoreConfig`,
+  :func:`~repro.serving.store.merge_stores`,
+  :class:`~repro.serving.events.Event`), re-exported here so serving a
+  store and estimating offline share one import point.
 
 Import-order note: the registry and backend modules are dependency-free
 and imported eagerly, so lower layers (``repro.core``,
@@ -69,10 +75,16 @@ __all__ = [
     "StoredRun",
     "read_run",
     "CostModel",
+    "SketchStore",
+    "StoreConfig",
+    "Event",
+    "merge_stores",
 ]
 
 #: Lazily-loaded attributes: they import the estimation layers, which in
 #: turn import this package's registries during their own initialisation.
+#: Values are submodules of this package, or absolute module paths (with
+#: a dot) for re-exports from sibling packages such as the serving layer.
 _LAZY = {
     "EstimationSession": "session",
     "Session": "session",
@@ -92,6 +104,10 @@ _LAZY = {
     "StoredRun": "records",
     "read_run": "records",
     "CostModel": "costmodel",
+    "SketchStore": "repro.serving.store",
+    "StoreConfig": "repro.serving.store",
+    "merge_stores": "repro.serving.store",
+    "Event": "repro.serving.events",
 }
 
 
@@ -101,7 +117,10 @@ def __getattr__(name):
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
     from importlib import import_module
 
-    module = import_module(f".{module_name}", __name__)
+    if "." in module_name:
+        module = import_module(module_name)
+    else:
+        module = import_module(f".{module_name}", __name__)
     value = getattr(module, name)
     globals()[name] = value
     return value

@@ -464,6 +464,29 @@ class RecordStore:
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
+    def finalized_digests(self, key: str) -> List[str]:
+        """Digests of every finalized run filed under ``key``, sorted.
+
+        Only ``.jsonl`` files count — a ``.jsonl.partial`` stream is an
+        interrupted run, not a usable one.  The sketch-serving layer uses
+        this to find the newest snapshot (its digests are zero-padded
+        watermarks, so lexical order is recency order).
+
+        Returns
+        -------
+        list of str
+            The digests, lexically sorted; empty when none exist.
+        """
+        prefix = f"{key}-"
+        suffix = ".jsonl"
+        out = []
+        if self._root.is_dir():
+            for path in self._root.iterdir():
+                name = path.name
+                if name.startswith(prefix) and name.endswith(suffix):
+                    out.append(name[len(prefix):-len(suffix)])
+        return sorted(out)
+
     def load(self, key: str, digest: str) -> Optional[StoredRun]:
         """Load a run, preferring the finalized file over a partial one.
 

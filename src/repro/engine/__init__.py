@@ -28,6 +28,11 @@ Chunked batch driver (:mod:`repro.engine.driver`)
     NumPy-bound.  With the same ``rng`` it reproduces the scalar
     pipeline's sample — and hence its estimate — exactly.
 
+Serving-query kernels (:mod:`repro.engine.serving`)
+    Batched per-group reductions behind the sketch-serving layer's
+    ``sum`` and ``distinct`` queries (Horvitz–Thompson subset sums, HIP
+    cardinality estimates), scalar and vectorized under the same policy.
+
 Backend selection
 -----------------
 
@@ -70,6 +75,7 @@ from .kernels import (
     resolve_kernel,
 )
 from .moments import batch_moments, batch_variances
+from .serving import batch_hip_counts, batch_ht_sums
 
 __all__ = [
     "BatchOutcome",
@@ -83,6 +89,8 @@ __all__ = [
     "LStarRangePPSKernel",
     "OrderOptimalTableKernel",
     "UStarOneSidedPPSKernel",
+    "batch_hip_counts",
+    "batch_ht_sums",
     "batch_moments",
     "batch_variances",
     "is_unit_pps",

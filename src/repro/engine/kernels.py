@@ -5,7 +5,9 @@ Each kernel is the NumPy translation of one scalar estimator of
 paper's closed forms hold (coordinated PPS with ``tau* = 1`` over
 two-entry tuples, targets ``RG_p+``), plus a table-lookup kernel for the
 order-optimal estimators over finite grid domains (those are exact for
-*any* scheme the discrete problem was built with).
+*any* scheme the discrete problem was built with) and closed-form kernels
+for the flat-lower-bound targets ``min(v)^p`` / ``max(v)^p`` that the
+serving layer's similarity query aggregates.
 
 The contract, enforced by ``tests/engine/test_parity.py``, is that a
 kernel applied to a batch equals the scalar ``Estimator.estimate`` applied
@@ -30,7 +32,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.functions import ExponentiatedRange, OneSidedRange
+from ..core.functions import ExponentiatedRange, MaxPower, MinPower, OneSidedRange
 from ..core.schemes import CoordinatedScheme, LinearThreshold
 from ..estimators.base import Estimator
 from ..estimators.dyadic import DyadicEstimator
@@ -48,6 +50,8 @@ __all__ = [
     "UStarOneSidedPPSKernel",
     "HTOneSidedPPSKernel",
     "HTRangePPSKernel",
+    "MinPowerPPSKernel",
+    "MaxPowerPPSKernel",
     "DyadicOneSidedPPSKernel",
     "OrderOptimalTableKernel",
     "RescaledPPSKernel",
@@ -481,6 +485,84 @@ class HTRangePPSKernel(BatchKernel):
         return estimates
 
 
+class MinPowerPPSKernel(BatchKernel):
+    """Vectorized L* for ``min(v)^p`` under coordinated PPS with ``tau* = 1``.
+
+    The outcome lower-bound curve of ``min(v)^p`` is flat: it equals
+    ``min(v)^p`` while every entry stays sampled (hypothetical seed at or
+    below the smallest value) and drops to 0 as soon as any entry hides,
+    because a hidden entry may be arbitrarily close to zero.  With a flat
+    curve the L* head and tail telescope to the Horvitz-Thompson form —
+    the revealed value over the probability ``min(1, min(v))`` that the
+    curve is positive:
+
+        est = min(v)^p / min(1, min(v))   when every entry is sampled,
+
+    and 0 otherwise.  The arithmetic is literally the scalar estimator's
+    closed-out quadrature, so parity is at machine precision.  Any batch
+    dimension is handled; :func:`resolve_kernel` currently produces this
+    kernel for the canonical two-entry schemes.
+    """
+
+    def __init__(self, p: float = 1.0, name: Optional[str] = None) -> None:
+        if p <= 0:
+            raise ValueError("p must be positive")
+        self._p = float(p)
+        self.name = name if name is not None else LStarEstimator.name
+
+    @property
+    def p(self) -> float:
+        """The power the minimum is raised to."""
+        return self._p
+
+    def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
+        """Per-item estimates for ``batch``, shape ``(len(batch),)``."""
+        values = batch.values
+        estimates = np.zeros(len(batch))
+        revealed = ~np.isnan(values).any(axis=1)
+        idx = np.flatnonzero(revealed)
+        if idx.size:
+            smallest = values[idx].min(axis=1)
+            estimates[idx] = smallest ** self._p / np.minimum(1.0, smallest)
+        return estimates
+
+
+class MaxPowerPPSKernel(BatchKernel):
+    """Vectorized L* for ``max(v)^p`` under coordinated PPS with ``tau* = 1``.
+
+    The lower-bound curve of ``max(v)^p`` is flat like the minimum's (see
+    :class:`MinPowerPPSKernel`) but anchored at the *largest sampled*
+    value ``M``: hidden entries cannot raise a lower bound, and the curve
+    stays ``M^p`` until the hypothetical seed passes ``M`` itself.  Hence
+
+        est = M^p / min(1, M)   when at least one entry is sampled,
+
+    and 0 when the tuple is empty.
+    """
+
+    def __init__(self, p: float = 1.0, name: Optional[str] = None) -> None:
+        if p <= 0:
+            raise ValueError("p must be positive")
+        self._p = float(p)
+        self.name = name if name is not None else LStarEstimator.name
+
+    @property
+    def p(self) -> float:
+        """The power the maximum is raised to."""
+        return self._p
+
+    def estimate_batch(self, batch: BatchOutcome) -> np.ndarray:
+        """Per-item estimates for ``batch``, shape ``(len(batch),)``."""
+        values = batch.values
+        estimates = np.zeros(len(batch))
+        revealed = ~np.isnan(values).all(axis=1)
+        idx = np.flatnonzero(revealed)
+        if idx.size:
+            largest = np.nanmax(values[idx], axis=1)
+            estimates[idx] = largest ** self._p / np.minimum(1.0, largest)
+        return estimates
+
+
 class DyadicOneSidedPPSKernel(BatchKernel):
     """Vectorized dyadic (J-style) estimator for ``RG_p+`` under unit PPS.
 
@@ -760,6 +842,14 @@ def _unit_pps_kernel(estimator: Estimator) -> Optional[BatchKernel]:
         estimator.target, ExponentiatedRange
     ):
         return LStarRangePPSKernel(estimator.target.p, name=estimator.name)
+    if isinstance(estimator, LStarEstimator) and isinstance(
+        estimator.target, MinPower
+    ):
+        return MinPowerPPSKernel(estimator.target.p, name=estimator.name)
+    if isinstance(estimator, LStarEstimator) and isinstance(
+        estimator.target, MaxPower
+    ):
+        return MaxPowerPPSKernel(estimator.target.p, name=estimator.name)
     if isinstance(estimator, HorvitzThompsonEstimator) and isinstance(
         estimator.target, OneSidedRange
     ):

@@ -1,0 +1,54 @@
+"""repro.serving — a long-lived sketch-serving layer over the library.
+
+Everything below :mod:`repro.api` treats sampling as an offline act: build
+a sample, estimate, throw the sample away.  This package makes the
+*sketches themselves* the product, the way the paper's motivating
+deployments (per-user activity summaries answering sum / similarity /
+distinct-count queries) use them:
+
+:mod:`repro.serving.events`
+    The append-only event feed — ``(key, weight, timestamp, group)``
+    records — with a JSONL wire form, a deterministic synthetic feed
+    generator, and the key-routed sharding helper that makes distributed
+    ingestion bit-reproducible.
+
+:mod:`repro.serving.store`
+    :class:`~repro.serving.store.SketchStore`: streaming ingestion into
+    per-group weight ledgers, lazily materialised bottom-k / PPS /
+    temporal-ADS sketches coordinated via shared hashed seeds, first-class
+    :func:`~repro.serving.store.merge_stores`, and a batch query
+    front-end (``sum`` / ``similarity`` / ``distinct``) dispatched through
+    the engine kernels under the shared
+    :class:`~repro.api.backend.BackendPolicy`.
+
+:mod:`repro.serving.persistence`
+    Durability: a write-ahead event log plus atomic snapshots reusing the
+    :class:`~repro.api.records.RecordStore` finalize machinery, so a
+    crash at any byte boundary loses at most the unacknowledged tail of
+    the log.
+
+:mod:`repro.serving.cli`
+    ``python -m repro.serving`` — ``synth`` / ``ingest`` / ``query`` /
+    ``snapshot`` / ``merge`` / ``info`` subcommands over a store
+    directory.
+"""
+
+from .events import Event, read_events, shard_events, synthetic_feed, write_events
+from .store import (
+    SERVING_QUERY_KINDS,
+    SketchStore,
+    StoreConfig,
+    merge_stores,
+)
+
+__all__ = [
+    "Event",
+    "read_events",
+    "shard_events",
+    "synthetic_feed",
+    "write_events",
+    "SERVING_QUERY_KINDS",
+    "SketchStore",
+    "StoreConfig",
+    "merge_stores",
+]

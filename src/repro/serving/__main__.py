@@ -1,0 +1,5 @@
+"""``python -m repro.serving`` — dispatch to :mod:`repro.serving.cli`."""
+
+from .cli import main
+
+raise SystemExit(main())

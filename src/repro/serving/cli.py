@@ -1,0 +1,239 @@
+"""Command-line face of the sketch store: ``python -m repro.serving``.
+
+Subcommands operate on a store directory (see
+:mod:`repro.serving.persistence` for its layout)::
+
+    python -m repro.serving synth --out feed.jsonl --events 2000
+    python -m repro.serving ingest --store ./store feed.jsonl --snapshot
+    python -m repro.serving query --store ./store --kind sum
+    python -m repro.serving query --store ./store --kind distinct --until 500
+    python -m repro.serving query --store ./store --kind similarity \\
+        --groups alice bob
+    python -m repro.serving snapshot --store ./store
+    python -m repro.serving merge --out ./merged ./shard-a ./shard-b
+    python -m repro.serving info --store ./store
+
+``ingest`` creates the store on first use (``--k`` / ``--tau-star`` /
+``--rank-method`` / ``--salt`` pin the config; afterwards the stored
+config wins and conflicting flags are an error).  ``query`` prints a
+JSON document to stdout.  ``merge`` opens any number of source stores —
+which must share a config — merges their ledgers, and attaches the
+result to a fresh directory.  A failure is reported on stderr and turns
+the exit code nonzero instead of escaping as a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..api.backend import BACKEND_MODES
+from ..sketches.bottomk import RankMethod
+from .events import read_events, synthetic_feed, write_events
+from .store import SERVING_QUERY_KINDS, SketchStore, StoreConfig, merge_stores
+
+__all__ = ["main"]
+
+
+def _config_from_args(args: argparse.Namespace) -> Optional[StoreConfig]:
+    flags = (args.k, args.tau_star, args.rank_method, args.salt)
+    if all(value is None for value in flags):
+        return None
+    defaults = StoreConfig()
+    return StoreConfig(
+        k=defaults.k if args.k is None else args.k,
+        tau_star=defaults.tau_star if args.tau_star is None else args.tau_star,
+        rank_method=(
+            defaults.rank_method
+            if args.rank_method is None
+            else RankMethod(args.rank_method)
+        ),
+        salt=defaults.salt if args.salt is None else args.salt,
+    )
+
+
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--k", type=int, default=None, help="sketch capacity (store creation)"
+    )
+    parser.add_argument(
+        "--tau-star", type=float, default=None,
+        help="PPS rate (store creation)",
+    )
+    parser.add_argument(
+        "--rank-method", choices=[m.value for m in RankMethod], default=None,
+        help="bottom-k rank function (store creation)",
+    )
+    parser.add_argument(
+        "--salt", default=None, help="seed-hash salt (store creation)"
+    )
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    events = synthetic_feed(
+        num_events=args.events,
+        num_keys=args.keys,
+        groups=tuple(args.groups),
+        seed=args.seed,
+    )
+    path = write_events(args.out, events)
+    print(f"wrote {len(events)} events to {path}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    store = SketchStore.open(args.store, config=_config_from_args(args))
+    try:
+        total = 0
+        for feed in args.feeds:
+            total += store.ingest(read_events(feed))
+        if args.snapshot:
+            store.snapshot()
+        print(
+            f"ingested {total} events into {args.store} "
+            f"(total {store.events_ingested}, groups: {', '.join(store.groups) or '-'})"
+        )
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    store = SketchStore.open(args.store)
+    try:
+        result = store.query(
+            args.kind,
+            groups=args.groups,
+            keys=args.keys,
+            until=args.until,
+            backend=args.backend,
+        )
+    finally:
+        store.close()
+    print(json.dumps({"kind": args.kind, "result": result}, sort_keys=True))
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    store = SketchStore.open(args.store)
+    try:
+        path = store.snapshot()
+    finally:
+        store.close()
+    print(f"snapshot {path.name} at watermark {store.events_ingested}")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    sources = []
+    try:
+        for root in args.sources:
+            sources.append(SketchStore.open(root))
+        merged = sources[0]
+        for other in sources[1:]:
+            merged = merge_stores(merged, other)
+        if merged in sources:  # single source: copy its ledger
+            merged = merge_stores(merged, SketchStore(merged.config))
+        merged.attach(args.out)
+        merged.close()
+    finally:
+        for source in sources:
+            source.close()
+    print(
+        f"merged {len(sources)} store(s) into {args.out} "
+        f"({merged.events_ingested} events, groups: {', '.join(merged.groups) or '-'})"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    store = SketchStore.open(args.store)
+    try:
+        from .persistence import latest_snapshot_digest
+
+        payload = {
+            "root": str(store.root),
+            "config": store.config.to_dict(),
+            "events_ingested": store.events_ingested,
+            "groups": {
+                group: {
+                    "keys": len(store.group_state(group).totals),
+                    "events": store.group_state(group).events,
+                    "pps_sample_size": len(store.sketch(group, "pps").entries),
+                    "ads_size": len(store.sketch(group, "ads")),
+                }
+                for group in store.groups
+            },
+            "latest_snapshot": latest_snapshot_digest(Path(args.store)),
+            "query_kinds": list(SERVING_QUERY_KINDS.names()),
+        }
+    finally:
+        store.close()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description="Sketch-store serving layer: ingest, query, snapshot, merge.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synth", help="write a deterministic synthetic feed")
+    synth.add_argument("--out", required=True, help="output feed (.jsonl)")
+    synth.add_argument("--events", type=int, default=1000)
+    synth.add_argument("--keys", type=int, default=100)
+    synth.add_argument("--groups", nargs="+", default=["default"])
+    synth.add_argument("--seed", type=int, default=0)
+    synth.set_defaults(func=_cmd_synth)
+
+    ingest = sub.add_parser("ingest", help="ingest feed files into a store")
+    ingest.add_argument("--store", required=True, help="store directory")
+    ingest.add_argument("feeds", nargs="+", help="feed files (.jsonl)")
+    ingest.add_argument(
+        "--snapshot", action="store_true", help="snapshot after ingesting"
+    )
+    _add_config_flags(ingest)
+    ingest.set_defaults(func=_cmd_ingest)
+
+    query = sub.add_parser("query", help="answer a query from the sketches")
+    query.add_argument("--store", required=True, help="store directory")
+    query.add_argument(
+        "--kind", required=True, choices=list(SERVING_QUERY_KINDS.names())
+    )
+    query.add_argument("--groups", nargs="+", default=None)
+    query.add_argument("--keys", nargs="+", default=None)
+    query.add_argument("--until", type=float, default=None)
+    query.add_argument("--backend", choices=BACKEND_MODES, default=None)
+    query.set_defaults(func=_cmd_query)
+
+    snapshot = sub.add_parser("snapshot", help="snapshot a store's ledger")
+    snapshot.add_argument("--store", required=True, help="store directory")
+    snapshot.set_defaults(func=_cmd_snapshot)
+
+    merge = sub.add_parser(
+        "merge", help="merge stores into a fresh store directory"
+    )
+    merge.add_argument("sources", nargs="+", help="source store directories")
+    merge.add_argument("--out", required=True, help="destination directory")
+    merge.set_defaults(func=_cmd_merge)
+
+    info = sub.add_parser("info", help="summarise a store as JSON")
+    info.add_argument("--store", required=True, help="store directory")
+    info.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.serving``; returns the exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

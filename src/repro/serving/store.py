@@ -1,0 +1,572 @@
+"""The sketch store: streaming ingestion, mergeable sketches, batch queries.
+
+A :class:`SketchStore` turns the library's offline sampling substrates
+into a long-lived service.  Internally it is a *ledger*, not a bag of
+sketches: per key-group it accumulates each key's total weight (in
+arrival order) and first-seen timestamp.  The three sketch families are
+materialised lazily from the ledger and cached until the next ingest:
+
+* a **bottom-k sketch** of the accumulated weights (``config.rank_method``),
+* a **PPS sample** at rate ``config.tau_star`` — the substrate of ``sum``
+  and ``similarity`` queries,
+* a **temporal all-distances sketch** whose "distance" is the first-seen
+  timestamp — the substrate of ``distinct`` (distinct keys seen up to a
+  time horizon) queries.
+
+All groups share one deterministic seed assignment (hashed from the key
+with ``config.salt``), so sketches of different groups — and of different
+stores built with the same config — are *coordinated*: mergeable, and
+comparable for similarity.
+
+Merging (:func:`merge_stores`) adds the ledgers: per-key totals add,
+first-seen timestamps take the minimum.  Combined with key-routed
+sharding (:func:`~repro.serving.events.shard_events`), shard-then-merge
+reproduces single-pass ingestion *bit for bit*, because each key's
+weight is accumulated by exactly one shard in arrival order.  Merge is
+associative and commutative; it is deliberately **not** idempotent
+(merging a store with itself doubles every weight — the idempotent merge
+lives at the sketch level, see :meth:`BottomKSketch.merge
+<repro.sketches.bottomk.BottomKSketch.merge>`).
+
+Queries go through a :class:`~repro.api.registry.Registry` of serving
+query kinds (``sum`` / ``similarity`` / ``distinct``), answer straight
+from the sketches through the engine kernels in
+:mod:`repro.engine.serving`, and honour the shared
+:class:`~repro.api.backend.BackendPolicy`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..aggregates.coordinated import CoordinatedSample, InstanceSample
+from ..api.backend import BackendPolicy, BackendSpec
+from ..api.registry import Registry
+from ..core.seeds import SeedAssigner
+from ..sketches.ads import AllDistancesSketch, build_ads_from_distances
+from ..sketches.bottomk import BottomKSketch, RankMethod, bottom_k_sketch
+from ..sketches.pps import PPSSample, pps_sample
+from .events import Event
+
+__all__ = [
+    "GroupState",
+    "SERVING_QUERY_KINDS",
+    "SketchStore",
+    "StoreConfig",
+    "merge_stores",
+]
+
+#: Registry of serving query kinds; ``sum`` / ``similarity`` /
+#: ``distinct`` are built in, and plugins extend it the same way the
+#: estimation registries are extended.
+SERVING_QUERY_KINDS = Registry("serving query")
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Immutable sketch parameters shared by every group of a store.
+
+    Two stores are mergeable exactly when their configs are equal — the
+    config pins the seed assignment (``salt``), the sketch capacity
+    (``k``), the PPS rate (``tau_star``) and the bottom-k rank function,
+    all of which must coincide for coordinated sketches to describe the
+    same sampling scheme.
+    """
+
+    k: int = 64
+    tau_star: float = 1.0
+    rank_method: RankMethod = RankMethod.PRIORITY
+    salt: str = ""
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if self.tau_star <= 0:
+            raise ValueError("tau_star must be positive")
+        if not isinstance(self.rank_method, RankMethod):
+            object.__setattr__(
+                self, "rank_method", RankMethod(self.rank_method)
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The config's JSON payload (stored in ``config.json``)."""
+        return {
+            "k": self.k,
+            "tau_star": self.tau_star,
+            "rank_method": self.rank_method.value,
+            "salt": self.salt,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "StoreConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        return cls(
+            k=int(payload["k"]),
+            tau_star=float(payload["tau_star"]),
+            rank_method=RankMethod(payload["rank_method"]),
+            salt=str(payload.get("salt", "")),
+        )
+
+
+class GroupState:
+    """One key-group's ledger plus its lazily cached sketches.
+
+    The ledger is the source of truth: ``totals`` maps each key to its
+    accumulated weight (floats added in arrival order — the quantity the
+    bit-identity guarantee is about) and ``first_seen`` to the earliest
+    timestamp the key appeared at.  Sketches are derived views, rebuilt
+    on demand after any mutation.
+    """
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.first_seen: Dict[str, float] = {}
+        self.events = 0
+        self._cache: Dict[str, Any] = {}
+
+    def apply(self, event: Event) -> None:
+        """Fold one event into the ledger and invalidate cached sketches."""
+        self.totals[event.key] = self.totals.get(event.key, 0.0) + float(
+            event.weight
+        )
+        seen = self.first_seen.get(event.key)
+        if seen is None or event.timestamp < seen:
+            self.first_seen[event.key] = float(event.timestamp)
+        self.events += 1
+        self._cache.clear()
+
+    def invalidate(self) -> None:
+        """Drop cached sketches (after any direct ledger mutation)."""
+        self._cache.clear()
+
+    def cached(self, kind: str, build) -> Any:
+        """Return the cached sketch of ``kind``, building it on a miss."""
+        if kind not in self._cache:
+            self._cache[kind] = build()
+        return self._cache[kind]
+
+
+class SketchStore:
+    """A registry of coordinated, mergeable sketches over an event feed.
+
+    Parameters
+    ----------
+    config:
+        Sketch parameters (defaults to :class:`StoreConfig`'s defaults).
+
+    A bare constructor call gives an in-memory store; :meth:`open`
+    attaches a directory with a write-ahead log and snapshots (see
+    :mod:`repro.serving.persistence`).  Ingestion is incremental
+    (:meth:`ingest`), sketches are served per group and kind
+    (:meth:`sketch`), queries are batched across groups (:meth:`query`),
+    and :func:`merge_stores` combines stores built from disjoint (or
+    key-routed) feeds.
+    """
+
+    def __init__(self, config: Optional[StoreConfig] = None) -> None:
+        self._config = config if config is not None else StoreConfig()
+        self._groups: Dict[str, GroupState] = {}
+        self._events = 0
+        self._seeds = SeedAssigner(salt=self._config.salt)
+        # Set by persistence when the store is directory-backed.
+        self._root: Optional[Path] = None
+        self._log = None
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> StoreConfig:
+        """The store's immutable sketch parameters."""
+        return self._config
+
+    @property
+    def root(self) -> Optional[Path]:
+        """The backing directory, or ``None`` for an in-memory store."""
+        return self._root
+
+    @property
+    def events_ingested(self) -> int:
+        """Total events folded into the ledger (the snapshot watermark)."""
+        return self._events
+
+    @property
+    def groups(self) -> List[str]:
+        """Names of every key-group seen so far, sorted."""
+        return sorted(self._groups)
+
+    def group_state(self, group: str) -> GroupState:
+        """The (live) ledger of one group, created on first access."""
+        state = self._groups.get(group)
+        if state is None:
+            state = self._groups[group] = GroupState()
+        return state
+
+    def seed_for(self, key: str) -> float:
+        """The shared hashed seed of ``key`` (identical across groups)."""
+        return self._seeds.seed_for(key)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, events: Iterable[Event]) -> int:
+        """Fold a batch of events into the store, in order.
+
+        Directory-backed stores append each event to the write-ahead log
+        (flushed and fsynced per batch) *before* applying it, so a crash
+        can lose at most events never acknowledged by this method.
+
+        Returns
+        -------
+        int
+            Number of events ingested from this batch.
+        """
+        count = 0
+        batch = list(events)
+        if self._log is not None:
+            self._log.append_batch(
+                (self._events + i + 1, event) for i, event in enumerate(batch)
+            )
+        for event in batch:
+            self._apply(event)
+            count += 1
+        return count
+
+    def _apply(self, event: Event) -> None:
+        """Apply one event to the ledger (no logging — replay path)."""
+        self.group_state(event.group).apply(event)
+        self._events += 1
+
+    # ------------------------------------------------------------------
+    # Sketch views
+    # ------------------------------------------------------------------
+    def sketch(
+        self, group: str, kind: str = "bottomk"
+    ) -> Union[BottomKSketch, PPSSample, AllDistancesSketch]:
+        """The materialised sketch of one group.
+
+        Parameters
+        ----------
+        group:
+            Key-group name (a group never ingested yields the empty
+            sketch).
+        kind:
+            ``"bottomk"``, ``"pps"``, or ``"ads"`` (the temporal ADS over
+            first-seen timestamps).
+        """
+        state = self.group_state(group)
+        config = self._config
+        if kind == "bottomk":
+            return state.cached(
+                "bottomk",
+                lambda: bottom_k_sketch(
+                    state.totals,
+                    k=config.k,
+                    method=config.rank_method,
+                    seeds=self._seeds.seeds_for(state.totals),
+                ),
+            )
+        if kind == "pps":
+            # Feed the weights in sorted-key order: PPS keeps entries in
+            # input order (unlike bottom-k/ADS, which sort by rank), so
+            # this makes the view — and its serialised form — a function
+            # of ledger *content* alone, not of arrival/merge order.
+            return state.cached(
+                "pps",
+                lambda: pps_sample(
+                    {key: state.totals[key] for key in sorted(state.totals)},
+                    tau_star=config.tau_star,
+                    seeds=self._seeds.seeds_for(state.totals),
+                ),
+            )
+        if kind == "ads":
+            return state.cached(
+                "ads",
+                lambda: build_ads_from_distances(
+                    state.first_seen,
+                    k=config.k,
+                    ranks=self._seeds.seeds_for(state.first_seen),
+                ),
+            )
+        raise ValueError(
+            f"unknown sketch kind {kind!r}; expected 'bottomk', 'pps', or 'ads'"
+        )
+
+    def coordinated_sample(self, groups: Sequence[str]) -> CoordinatedSample:
+        """The groups' PPS samples as one coordinated multi-instance sample.
+
+        Because all groups share the seed assignment and the PPS rate,
+        their per-group samples are instances of one coordinated scheme —
+        ready for the estimators in :mod:`repro.aggregates` (similarity,
+        L_p differences, any registered target).
+        """
+        samples = []
+        seeds: Dict[str, float] = {}
+        for group in groups:
+            pps = self.sketch(group, "pps")
+            samples.append(
+                InstanceSample(
+                    instance=group,
+                    tau_star=pps.tau_star,
+                    entries=dict(pps.entries),
+                )
+            )
+            seeds.update(pps.seeds)
+        return CoordinatedSample.from_instance_samples(samples, seeds)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        kind: str,
+        groups: Optional[Sequence[str]] = None,
+        keys: Optional[Iterable[str]] = None,
+        until: Optional[float] = None,
+        backend: BackendSpec = None,
+    ) -> Any:
+        """Answer a batch query straight from the stored sketches.
+
+        Parameters
+        ----------
+        kind:
+            A registered serving query kind: ``"sum"`` (per-group HT
+            subset-sum estimate over the PPS samples), ``"distinct"``
+            (per-group HIP estimate of distinct keys first seen up to
+            ``until``), or ``"similarity"`` (weighted closeness between
+            exactly two groups — the ratio of the estimated sums of
+            per-key minima and maxima).
+        groups:
+            Groups to answer for; defaults to every group in the store
+            (``similarity`` requires exactly two).
+        keys:
+            Optional subset-query selection (``sum`` only).
+        until:
+            Time horizon for ``distinct`` (defaults to all of time).
+        backend:
+            Dispatch override; defaults to the process-wide
+            :class:`~repro.api.backend.BackendPolicy`.
+
+        Returns
+        -------
+        dict or float
+            ``{group: estimate}`` for ``sum`` and ``distinct``; a single
+            ``float`` in ``[0, 1]`` for ``similarity``.
+        """
+        handler = SERVING_QUERY_KINDS.get(kind)
+        selected = self.groups if groups is None else list(groups)
+        return handler(
+            self, groups=selected, keys=keys, until=until, backend=backend
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence facade (implemented in repro.serving.persistence)
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        root: Union[str, Path],
+        config: Optional[StoreConfig] = None,
+    ) -> "SketchStore":
+        """Open (or create) a directory-backed store and recover its state.
+
+        Recovery loads the latest *finalized* snapshot, then replays
+        write-ahead-log events past the snapshot's watermark; torn
+        trailing log lines and abandoned ``.partial`` snapshots are
+        ignored.  See :func:`repro.serving.persistence.open_store`.
+        """
+        from .persistence import open_store
+
+        return open_store(cls, Path(root), config)
+
+    def snapshot(self) -> Path:
+        """Persist the ledger as an atomically finalized snapshot.
+
+        Returns the finalized snapshot path; requires a directory-backed
+        store.  See :func:`repro.serving.persistence.save_snapshot`.
+        """
+        from .persistence import save_snapshot
+
+        if self._root is None:
+            raise ValueError(
+                "in-memory store has no directory; use SketchStore.open() "
+                "or attach() first"
+            )
+        return save_snapshot(self)
+
+    def attach(self, root: Union[str, Path]) -> "SketchStore":
+        """Attach an in-memory store to a fresh directory and snapshot it.
+
+        The directory must not already hold a store.  Returns ``self``
+        (now directory-backed, with subsequent ingests write-ahead
+        logged).
+        """
+        from .persistence import attach_store
+
+        attach_store(self, Path(root))
+        return self
+
+    def close(self) -> None:
+        """Release the write-ahead-log handle of a directory-backed store."""
+        if self._log is not None:
+            self._log.close()
+
+
+def merge_stores(store_a: SketchStore, store_b: SketchStore) -> SketchStore:
+    """Merge two stores' ledgers into a new in-memory store.
+
+    Per group and key, accumulated weights **add** and first-seen
+    timestamps take the **minimum**; group and store event counts add.
+    The operation is associative and commutative.  It is *not*
+    idempotent — merging a store with itself doubles every weight;
+    dedup-style idempotent merging is the sketch-level operation
+    (:meth:`~repro.sketches.bottomk.BottomKSketch.merge` and friends),
+    which applies when two sketches describe the *same* population.
+
+    When the input feeds were key-routed
+    (:func:`~repro.serving.events.shard_events`), every key lives in
+    exactly one input, the addition degenerates to a copy, and the
+    merged ledger — hence every derived sketch — is bit-identical to
+    single-pass ingestion of the combined feed.
+
+    Raises
+    ------
+    ValueError
+        When the two configs differ (different seed assignments or
+        sketch parameters are not mergeable).
+    """
+    if store_a.config != store_b.config:
+        raise ValueError(
+            "cannot merge stores with different configs: "
+            f"{store_a.config} != {store_b.config}"
+        )
+    merged = SketchStore(store_a.config)
+    for source in (store_a, store_b):
+        for group in source.groups:
+            state = source.group_state(group)
+            target = merged.group_state(group)
+            for key, total in state.totals.items():
+                if key in target.totals:
+                    target.totals[key] = target.totals[key] + total
+                else:
+                    target.totals[key] = total
+            for key, seen in state.first_seen.items():
+                prior = target.first_seen.get(key)
+                if prior is None or seen < prior:
+                    target.first_seen[key] = seen
+            target.events += state.events
+            target.invalidate()
+    merged._events = store_a.events_ingested + store_b.events_ingested
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Built-in serving query kinds
+# ----------------------------------------------------------------------
+@SERVING_QUERY_KINDS.register("sum")
+def _query_sum(store, groups, keys, until, backend):
+    """Per-group HT subset-sum estimates from the PPS samples.
+
+    Entries are reduced in sorted-key order, so two stores holding the
+    same ledger *content* (e.g. one recovered from a snapshot, whose
+    dict insertion order differs) return bit-identical answers.  The
+    sorted weight array of each group is cached next to its sketches
+    (and invalidated with them), so a served query is reduction-only.
+    """
+    import numpy as np
+
+    from ..engine.serving import batch_ht_sums
+
+    selected = set(keys) if keys is not None else None
+    weight_groups = []
+    for group in groups:
+        pps = store.sketch(group, "pps")
+        if selected is None:
+            weight_groups.append(
+                store.group_state(group).cached(
+                    "sum_weights",
+                    lambda: np.asarray(
+                        [pps.entries[key] for key in sorted(pps.entries)],
+                        dtype=float,
+                    ),
+                )
+            )
+        else:
+            weight_groups.append(
+                [
+                    pps.entries[key]
+                    for key in sorted(pps.entries)
+                    if key in selected
+                ]
+            )
+    sums = batch_ht_sums(
+        weight_groups, store.config.tau_star, backend=backend
+    )
+    return dict(zip(groups, sums))
+
+
+@SERVING_QUERY_KINDS.register("distinct")
+def _query_distinct(store, groups, keys, until, backend):
+    """Per-group HIP estimates of distinct keys first seen up to ``until``.
+
+    The sketch entries' (distance, threshold) columns are cached in
+    sorted-node order — content-determined reductions, as for ``sum`` —
+    and the query only masks them by the horizon and reduces.
+    """
+    import numpy as np
+
+    from ..engine.serving import batch_hip_counts
+
+    if keys is not None:
+        raise ValueError("'distinct' does not take a key selection")
+    horizon = math.inf if until is None else float(until)
+    probability_groups = []
+    for group in groups:
+        entries = store.sketch(group, "ads").entries
+
+        def columns():
+            nodes = sorted(entries)
+            return (
+                np.asarray([entries[n].distance for n in nodes], dtype=float),
+                np.asarray([entries[n].threshold for n in nodes], dtype=float),
+            )
+
+        distances, thresholds = store.group_state(group).cached(
+            "ads_columns", columns
+        )
+        probability_groups.append(thresholds[distances <= horizon])
+    counts = batch_hip_counts(probability_groups, backend=backend)
+    return dict(zip(groups, counts))
+
+
+@SERVING_QUERY_KINDS.register("similarity")
+def _query_similarity(store, groups, keys, until, backend):
+    """Weighted closeness similarity between exactly two groups.
+
+    The two groups' PPS samples form a coordinated two-instance sample;
+    the estimate is ``est(sum_k min(w_a, w_b)) / est(sum_k max(w_a, w_b))``
+    with the L* estimator per item — the weighted-Jaccard analogue of the
+    paper's closeness similarity, clamped to ``[0, 1]``.
+    """
+    from ..aggregates.sum_estimator import SumAggregateEstimator
+    from ..core.functions import MaxPower, MinPower
+    from ..graphs.similarity import SimilarityEstimate
+
+    if len(groups) != 2:
+        raise ValueError(
+            f"'similarity' requires exactly two groups, got {len(groups)}"
+        )
+    if keys is not None:
+        raise ValueError("'similarity' does not take a key selection")
+    sample = store.coordinated_sample(groups)
+    policy = BackendPolicy.coerce(backend)
+    numerator = SumAggregateEstimator(MinPower(p=1.0), backend=policy)
+    denominator = SumAggregateEstimator(MaxPower(p=1.0), backend=policy)
+    estimate = SimilarityEstimate(
+        numerator=numerator.estimate(sample).value,
+        denominator=denominator.estimate(sample).value,
+    )
+    return estimate.value

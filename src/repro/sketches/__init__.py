@@ -1,6 +1,13 @@
 """Sampling-sketch substrates: PPS, bottom-k, reservoir, all-distances sketches."""
 
-from .ads import ADSEntry, AllDistancesSketch, build_ads, build_all_ads, node_ranks
+from .ads import (
+    ADSEntry,
+    AllDistancesSketch,
+    build_ads,
+    build_ads_from_distances,
+    build_all_ads,
+    node_ranks,
+)
 from .bottomk import BottomKSketch, RankMethod, bottom_k_sketch, coordinated_bottom_k
 from .pps import PPSSample, choose_tau_for_size, pps_sample, subset_sum_estimate
 from .reservoir import ReservoirSampler, coordinated_reservoir
@@ -9,6 +16,7 @@ __all__ = [
     "ADSEntry",
     "AllDistancesSketch",
     "build_ads",
+    "build_ads_from_distances",
     "build_all_ads",
     "node_ranks",
     "BottomKSketch",

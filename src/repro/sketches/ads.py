@@ -19,6 +19,20 @@ same conditioning argument).
 ADS of different source nodes share the node ranks, so they are
 coordinated samples: the setting of the closeness-similarity application
 in Section 7.
+
+Two generalisations support the :class:`~repro.serving.store.SketchStore`
+serving layer.  First, :func:`build_ads_from_distances` builds a sketch
+from any node → distance mapping — no graph required — which turns the
+ADS into a *temporal* sketch when "distance" is a first-seen timestamp
+(the neighbourhood-cardinality estimate at radius ``T`` then estimates
+the number of distinct keys first seen by time ``T``).  Second,
+:meth:`AllDistancesSketch.merge` combines sketches of two node
+populations sharing a rank assignment into the exact sketch of the
+union: a node of the union's sketch is in the top-k of the ball at its
+own distance, hence in the top-k of the corresponding smaller ball of
+whichever input population contains it — so every union entry is
+witnessed by an input entry, and rescanning the union of entries in
+distance order recomputes every threshold exactly.
 """
 
 from __future__ import annotations
@@ -32,7 +46,14 @@ from ..core.seeds import SeedAssigner
 from ..graphs.dijkstra import dijkstra_order
 from ..graphs.graph import Graph
 
-__all__ = ["ADSEntry", "AllDistancesSketch", "build_ads", "build_all_ads", "node_ranks"]
+__all__ = [
+    "ADSEntry",
+    "AllDistancesSketch",
+    "build_ads",
+    "build_ads_from_distances",
+    "build_all_ads",
+    "node_ranks",
+]
 
 Node = Hashable
 
@@ -51,9 +72,16 @@ class ADSEntry:
 
 
 class AllDistancesSketch:
-    """The all-distances sketch of one source node."""
+    """The all-distances sketch of one source node.
 
-    def __init__(self, source: Node, k: int, entries: Mapping[Node, ADSEntry]) -> None:
+    ``source`` may be ``None`` for sketches built from a bare
+    node → distance mapping (:func:`build_ads_from_distances`), where no
+    node plays the distinguished always-included role.
+    """
+
+    def __init__(
+        self, source: Optional[Node], k: int, entries: Mapping[Node, ADSEntry]
+    ) -> None:
         self.source = source
         self.k = k
         self._entries = dict(entries)
@@ -63,6 +91,17 @@ class AllDistancesSketch:
 
     def __contains__(self, node: Node) -> bool:
         return node in self._entries
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AllDistancesSketch):
+            return NotImplemented
+        return (
+            self.source == other.source
+            and self.k == other.k
+            and self._entries == other._entries
+        )
+
+    __hash__ = None  # mutable-ish container semantics; equality by value
 
     @property
     def entries(self) -> Dict[Node, ADSEntry]:
@@ -101,6 +140,87 @@ class AllDistancesSketch:
                 total += alpha(entry.distance) / entry.threshold
         return total
 
+    def merge(self, other: "AllDistancesSketch") -> "AllDistancesSketch":
+        """The exact all-distances sketch of the union of the populations.
+
+        Both sketches must share ``k``, the source, and the rank (and
+        distance) assignment: a node present in both must carry the same
+        ``(distance, rank)`` pair, else :class:`ValueError`.  Exactness
+        rests on two facts.  A node of the union's sketch is in the
+        bottom-k of the ball at its own distance, hence in the bottom-k
+        of the (smaller) corresponding ball of whichever input
+        population contains it — so it is retained by that input sketch.
+        Conversely a node *absent* from both sketches has ``k``
+        strictly-closer, strictly-smaller-rank nodes in one input
+        population, hence in the union, so it is never among the ``k``
+        smallest ranks of any ball and cannot influence a threshold.
+        Rescanning the union of retained entries in distance order
+        therefore recomputes every threshold of the union's sketch
+        exactly.
+        """
+        if self.k != other.k:
+            raise ValueError(
+                f"cannot merge ADS of different k ({self.k} != {other.k})"
+            )
+        if self.source != other.source:
+            raise ValueError(
+                f"cannot merge ADS of different sources "
+                f"({self.source!r} != {other.source!r})"
+            )
+        union: Dict[Node, ADSEntry] = dict(self._entries)
+        for node, entry in other._entries.items():
+            mine = union.get(node)
+            if mine is not None and (mine.distance, mine.rank) != (
+                entry.distance,
+                entry.rank,
+            ):
+                raise ValueError(
+                    f"conflicting entries for node {node!r}: "
+                    f"({mine.distance}, {mine.rank}) != "
+                    f"({entry.distance}, {entry.rank}) (merge requires "
+                    "shared distances and a shared rank assignment)"
+                )
+            union.setdefault(node, entry)
+        ordered = sorted(
+            ((e.node, e.distance, e.rank) for e in union.values()),
+            key=_scan_key,
+        )
+        entries = _ads_scan(ordered, self.k, source=self.source)
+        return AllDistancesSketch(source=self.source, k=self.k, entries=entries)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-portable form of the sketch.
+
+        Node identifiers must themselves be JSON-serializable (strings
+        and integers round-trip; other hashables survive only within one
+        process).
+        """
+        return {
+            "kind": "ads",
+            "source": self.source,
+            "k": self.k,
+            "entries": [
+                [e.node, e.distance, e.rank, e.threshold]
+                for e in self._entries.values()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "AllDistancesSketch":
+        """Rebuild a sketch from :meth:`to_dict` output."""
+        entries = {
+            node: ADSEntry(
+                node=node,
+                distance=float(distance),
+                rank=float(rank),
+                threshold=float(threshold),
+            )
+            for node, distance, rank, threshold in payload["entries"]
+        }
+        return cls(
+            source=payload.get("source"), k=int(payload["k"]), entries=entries
+        )
+
 
 def node_ranks(graph: Graph, salt: str = "") -> Dict[Node, float]:
     """Deterministic hashed ranks shared by every sketch of the graph."""
@@ -128,23 +248,79 @@ def build_ads(
         raise ValueError("k must be positive")
     if ranks is None:
         ranks = node_ranks(graph, salt=salt)
+    ordered = (
+        (node, distance, float(ranks[node]))
+        for node, distance in dijkstra_order(graph, source, cutoff=cutoff)
+    )
+    entries = _ads_scan(ordered, k, source=source)
+    return AllDistancesSketch(source=source, k=k, entries=entries)
+
+
+def build_ads_from_distances(
+    distances: Mapping[Node, float],
+    k: int,
+    ranks: Optional[Mapping[Node, float]] = None,
+    salt: str = "",
+    source: Optional[Node] = None,
+) -> AllDistancesSketch:
+    """Build an all-distances sketch from a bare node → distance mapping.
+
+    No graph is involved: any non-negative "distance" works, which is
+    what makes the sketch *temporal* — with first-seen timestamps as
+    distances, :meth:`AllDistancesSketch.neighborhood_cardinality_estimate`
+    at radius ``T`` estimates the number of distinct keys first seen by
+    time ``T``.  Ranks default to the same deterministic key hashes the
+    rest of the library uses, so sketches built with the same salt are
+    coordinated and mergeable.  Nodes at equal distance are scanned in a
+    canonical ``(distance, rank, repr(node))`` order; the order within a
+    level cannot change the result (thresholds use strictly closer nodes
+    only) but keeping it canonical makes rebuilds bit-identical.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if ranks is None:
+        assigner = SeedAssigner(salt=salt)
+        ranks = {node: assigner.seed_for(node) for node in distances}
+    ordered = sorted(
+        (
+            (node, float(distance), float(ranks[node]))
+            for node, distance in distances.items()
+        ),
+        key=_scan_key,
+    )
+    entries = _ads_scan(ordered, k, source=source)
+    return AllDistancesSketch(source=source, k=k, entries=entries)
+
+
+def _scan_key(item: Tuple[Node, float, float]) -> Tuple[float, float, str]:
+    """Canonical scan order: distance, then rank, then node repr."""
+    node, distance, rank = item
+    return (distance, rank, repr(node))
+
+
+def _ads_scan(
+    ordered, k: int, source: Optional[Node] = None
+) -> Dict[Node, ADSEntry]:
+    """Core ADS construction over ``(node, distance, rank)`` tuples.
+
+    The tuples must arrive in non-decreasing distance order.  A max-heap
+    (via negation) tracks the ``k`` smallest ranks among strictly closer
+    nodes; nodes at equal distance are buffered per level so a node's
+    threshold never sees its own cohort.  The ``source`` node (when
+    given) is always included with distance 0 and threshold 1.
+    """
     entries: Dict[Node, ADSEntry] = {}
-    # Max-heap (via negation) of the k smallest ranks among strictly
-    # closer nodes.  Nodes at equal distance are processed in scan order;
-    # the threshold uses only strictly closer nodes, so we buffer updates
-    # per distance level.
     closest_ranks: List[float] = []  # negated ranks, max-heap of size <= k
     pending: List[float] = []
     previous_distance: Optional[float] = None
-    for node, distance in dijkstra_order(graph, source, cutoff=cutoff):
+    for node, distance, rank in ordered:
         if previous_distance is not None and distance > previous_distance:
-            for rank in pending:
-                _push_rank(closest_ranks, rank, k)
+            for buffered in pending:
+                _push_rank(closest_ranks, buffered, k)
             pending = []
         previous_distance = distance
-        rank = float(ranks[node])
         threshold = 1.0 if len(closest_ranks) < k else -closest_ranks[0]
-        if node == source:
+        if source is not None and node == source:
             entries[node] = ADSEntry(node=node, distance=0.0, rank=rank, threshold=1.0)
             pending.append(rank)
             continue
@@ -153,7 +329,7 @@ def build_ads(
                 node=node, distance=distance, rank=rank, threshold=threshold
             )
         pending.append(rank)
-    return AllDistancesSketch(source=source, k=k, entries=entries)
+    return entries
 
 
 def _push_rank(heap: List[float], rank: float, k: int) -> None:

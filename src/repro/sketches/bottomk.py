@@ -18,6 +18,16 @@ one item (conditioning on the seeds of the other items, which fix the
 threshold), bottom-k sampling is a monotone sampling scheme; the
 conditional inclusion threshold exposed by :meth:`BottomKSketch.threshold`
 is exactly the quantity the estimators need.
+
+Bottom-k sketches are *mergeable*: :meth:`BottomKSketch.merge` combines
+the sketches of two item populations (sharing the rank assignment, i.e.
+the per-item seeds) into the exact sketch of their union — including the
+exact merged threshold, because the ``(k+1)``-st smallest rank of the
+union is always witnessed by a retained entry or by one of the two input
+thresholds (see the proof sketch in the method docstring).  The
+:class:`~repro.serving.store.SketchStore` serving layer builds on this,
+and :meth:`BottomKSketch.to_dict` / :meth:`BottomKSketch.from_dict` give
+the sketch a JSON-portable wire form.
 """
 
 from __future__ import annotations
@@ -116,6 +126,99 @@ class BottomKSketch:
             if p > 0:
                 total += weight / p
         return total
+
+    def merge(self, other: "BottomKSketch") -> "BottomKSketch":
+        """The exact bottom-k sketch of the union of the two populations.
+
+        Both sketches must share ``k``, the rank method, and the rank
+        assignment (the per-item seeds): an item present in both inputs
+        must carry the same ``(weight, rank)`` pair, otherwise the two
+        sketches describe inconsistent populations and a
+        :class:`ValueError` is raised.  Under that precondition the
+        merge is *exact*, not approximate:
+
+        * every item of the union's bottom-k is retained by its own
+          input sketch (it beats at least as many competitors there), so
+          the union's ``k`` smallest ranks are all among the merged
+          entries;
+        * the merged threshold — the ``(k+1)``-st smallest rank of the
+          union — is the ``(k+1)``-st smallest value of the multiset
+          ``{entry ranks} ∪ {threshold_a, threshold_b}``: neither input
+          threshold can undercut it (each is its own population's
+          ``(k+1)``-st smallest, and enlarging a population only lowers
+          that statistic), and the union's ``(k+1)``-st item is itself
+          either a retained entry or one of the two threshold witnesses.
+
+        Merging with an empty sketch is the identity, and merging a
+        sketch with itself returns an equal sketch (idempotence) — both
+        asserted by ``tests/sketches/test_edge_cases.py``.
+        """
+        if self.k != other.k:
+            raise ValueError(
+                f"cannot merge bottom-k sketches of different k "
+                f"({self.k} != {other.k})"
+            )
+        if self.method is not other.method:
+            raise ValueError(
+                "cannot merge bottom-k sketches with different rank "
+                f"methods ({self.method.value} != {other.method.value})"
+            )
+        union: Dict[Hashable, Tuple[float, float]] = dict(self.entries)
+        for key, entry in other.entries.items():
+            existing = union.get(key)
+            if existing is not None and existing != entry:
+                raise ValueError(
+                    f"conflicting entries for item {key!r}: "
+                    f"{existing} != {entry} (merge requires a shared "
+                    "rank assignment and consistent weights)"
+                )
+            union[key] = entry
+        # Order exactly like the single-pass builder: (rank, key, weight).
+        pool = sorted(
+            (rank, key, weight) for key, (weight, rank) in union.items()
+        )
+        kept = pool[:self.k]
+        candidates = sorted(
+            [rank for rank, _key, _weight in pool]
+            + [self.threshold, other.threshold]
+        )
+        threshold = candidates[self.k] if len(candidates) > self.k else math.inf
+        entries = {key: (weight, rank) for rank, key, weight in kept}
+        return BottomKSketch(
+            k=self.k, method=self.method, entries=entries, threshold=threshold
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-portable form (``inf`` thresholds encode as ``None``).
+
+        Item keys must themselves be JSON-serializable (strings and
+        integers round-trip; other hashables survive only within one
+        process).
+        """
+        return {
+            "kind": "bottomk",
+            "k": self.k,
+            "method": self.method.value,
+            "entries": [
+                [key, weight, rank]
+                for key, (weight, rank) in self.entries.items()
+            ],
+            "threshold": None if math.isinf(self.threshold) else self.threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "BottomKSketch":
+        """Rebuild a sketch from :meth:`to_dict` output."""
+        threshold = payload.get("threshold")
+        return cls(
+            k=int(payload["k"]),
+            method=RankMethod(payload["method"]),
+            entries={
+                key: (float(weight), float(rank))
+                for key, weight, rank in payload["entries"]
+            },
+            threshold=math.inf if threshold is None else float(threshold),
+        )
 
 
 def bottom_k_sketch(

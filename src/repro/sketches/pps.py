@@ -7,6 +7,14 @@ single-instance view — useful on its own (per-instance subset-sum
 estimation with the classic Horvitz–Thompson inverse-probability weights)
 and as the building block the multi-instance coordination in
 :mod:`repro.aggregates.coordinated` composes.
+
+PPS samples of *disjoint* (or consistently weighted) populations drawn
+against the same threshold and seed assignment are mergeable:
+:meth:`PPSSample.merge` unions the kept entries and is exact, because an
+item's inclusion decision ``w >= seed * tau*`` depends on nothing but the
+item itself.  :meth:`PPSSample.to_dict` / :meth:`PPSSample.from_dict`
+give the sample a JSON-portable wire form for the
+:class:`~repro.serving.store.SketchStore` serving layer.
 """
 
 from __future__ import annotations
@@ -39,6 +47,64 @@ class PPSSample:
         if weight <= 0:
             return 0.0
         return min(1.0, weight / self.tau_star)
+
+    def merge(self, other: "PPSSample") -> "PPSSample":
+        """The exact PPS sample of the union of the two populations.
+
+        Unlike bottom-k, PPS inclusion is a purely per-item decision
+        (``w >= seed * tau*``), so merging is a plain union of the kept
+        entries — exact whenever both samples used the same ``tau*`` and
+        the same seed assignment.  An item present in both samples must
+        agree on weight and seed; a mismatch means the inputs describe
+        inconsistent populations and raises :class:`ValueError`.
+        """
+        if self.tau_star != other.tau_star:
+            raise ValueError(
+                f"cannot merge PPS samples with different tau* "
+                f"({self.tau_star} != {other.tau_star})"
+            )
+        entries = dict(self.entries)
+        seeds = dict(self.seeds)
+        for key, weight in other.entries.items():
+            seed = other.seeds[key]
+            if key in entries and (entries[key], seeds[key]) != (weight, seed):
+                raise ValueError(
+                    f"conflicting entries for item {key!r}: "
+                    f"({entries[key]}, {seeds[key]}) != ({weight}, {seed}) "
+                    "(merge requires consistent weights and a shared seed "
+                    "assignment)"
+                )
+            entries[key] = weight
+            seeds[key] = seed
+        return PPSSample(tau_star=self.tau_star, entries=entries, seeds=seeds)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-portable form of the sample.
+
+        Item keys must themselves be JSON-serializable (strings and
+        integers round-trip; other hashables survive only within one
+        process).
+        """
+        return {
+            "kind": "pps",
+            "tau_star": self.tau_star,
+            "entries": [
+                [key, weight, self.seeds[key]]
+                for key, weight in self.entries.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "PPSSample":
+        """Rebuild a sample from :meth:`to_dict` output."""
+        entries: Dict[Hashable, float] = {}
+        seeds: Dict[Hashable, float] = {}
+        for key, weight, seed in payload["entries"]:
+            entries[key] = float(weight)
+            seeds[key] = float(seed)
+        return cls(
+            tau_star=float(payload["tau_star"]), entries=entries, seeds=seeds
+        )
 
 
 def pps_sample(

@@ -16,7 +16,7 @@ from repro.aggregates.dataset import MultiInstanceDataset
 from repro.aggregates.sum_estimator import SumAggregateEstimator
 from repro.analysis.simulation import simulate_sum_estimate
 from repro.analysis.variance import monte_carlo_moments
-from repro.core.functions import OneSidedRange
+from repro.core.functions import MaxPower, MinPower, OneSidedRange
 from repro.core.schemes import pps_scheme
 from repro.engine import BatchOutcome, BatchSumEngine, resolve_kernel
 from repro.estimators.horvitz_thompson import HorvitzThompsonEstimator
@@ -66,6 +66,8 @@ def scalar_estimators(p: float):
         UStarOneSidedRangePPS(p=p),
         HorvitzThompsonEstimator(OneSidedRange(p=p)),
         LStarEstimator(OneSidedRange(p=p)),
+        LStarEstimator(MinPower(p=p)),
+        LStarEstimator(MaxPower(p=p)),
     ]
 
 
@@ -139,6 +141,18 @@ class TestKernelParity:
         vectorized = kernel.estimate_batch(batch)
         scalar = np.array([estimator.estimate(o) for o in batch.to_outcomes()])
         assert np.array_equal(vectorized, scalar)
+
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    def test_min_max_kernels_match_scalar_at_shared_rate(self, p):
+        """Min/max L* kernels stay exact through the rescaling wrapper."""
+        scheme = pps_scheme([2.5, 2.5])
+        rng = np.random.default_rng(77)
+        vectors = 4.0 * rng.random((200, 2))
+        seeds = 1.0 - rng.random(200)
+        batch = BatchOutcome.sample_vectors(scheme, vectors, seeds)
+        outcomes = list(batch.to_outcomes())
+        for target in (MinPower(p=p), MaxPower(p=p)):
+            assert_kernel_parity(scheme, batch, outcomes, LStarEstimator(target))
 
     def test_unsupported_pairs_resolve_to_none(self):
         assert resolve_kernel(

@@ -1,0 +1,282 @@
+"""Property-based mergeability suite for the serving layer.
+
+Two layers of guarantees, each checked on hypothesis-drawn inputs:
+
+* **Sketch algebra** — ``merge`` on bottom-k / PPS / ADS sketches built
+  from disjoint populations with shared hashed seeds is associative,
+  commutative, idempotent (self-merge is a no-op) and *exact*: merging
+  part sketches is bit-identical to sketching the union in one pass.
+* **Store sharding** — routing each ``(group, key)`` to exactly one
+  shard (``shard_events``), ingesting the shards into separate stores
+  and folding them with ``merge_stores`` is bit-identical to single-pass
+  ingestion: ledgers, all three sketch kinds, and float query answers
+  compare with ``==``, not ``approx``.  This is the property that makes
+  distributed ingestion trustworthy, so it is enforced exactly.
+
+The default run keeps the hypothesis budget tier-1 sized; the exhaustive
+``k`` × rank-method × shard-count grid runs under ``pytest -m slow``.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.serving import (
+    Event,
+    SketchStore,
+    StoreConfig,
+    merge_stores,
+    shard_events,
+)
+from repro.sketches.ads import build_ads_from_distances
+from repro.sketches.bottomk import BottomKSketch, RankMethod, bottom_k_sketch
+from repro.sketches.pps import pps_sample
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Dyadic weights: sums of a few of these are exact in binary floating
+#: point, so associativity of the store ledger (which *adds* totals on
+#: merge) can be asserted bit-exactly rather than approximately.
+dyadic_weights = st.integers(min_value=1, max_value=64).map(lambda n: n / 8.0)
+
+#: Arbitrary positive weights for the sharding property, which must hold
+#: for any floats because key routing never reorders any key's additions.
+any_weights = st.floats(
+    min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+def weight_maps(values=dyadic_weights, max_keys=30):
+    return st.dictionaries(
+        keys=st.integers(min_value=0, max_value=200).map(lambda i: f"k{i}"),
+        values=values,
+        max_size=max_keys,
+    )
+
+
+def event_streams(values=any_weights, max_events=60):
+    """Streams of events over a small key/group universe."""
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=24),
+            values,
+            st.sampled_from(["g1", "g2", "g3"]),
+        ),
+        max_size=max_events,
+    ).map(
+        lambda rows: [
+            Event(f"k{key}", weight, float(t), group)
+            for t, (key, weight, group) in enumerate(rows)
+        ]
+    )
+
+
+def _disjoint(parts):
+    """Rekey each part so the populations are disjoint across parts."""
+    return [
+        {f"p{i}:{key}": weight for key, weight in part.items()}
+        for i, part in enumerate(parts)
+    ]
+
+
+class TestBottomKAlgebra:
+    @SETTINGS
+    @given(parts=st.lists(weight_maps(), min_size=2, max_size=3))
+    def test_merge_is_exact_commutative_associative(self, parts):
+        parts = _disjoint(parts)
+        k, method, salt = 4, RankMethod.PRIORITY, "prop"
+        sketches = [
+            bottom_k_sketch(part, k, method=method, salt=salt)
+            for part in parts
+        ]
+        union = {key: w for part in parts for key, w in part.items()}
+        single_pass = bottom_k_sketch(union, k, method=method, salt=salt)
+
+        left = sketches[0]
+        for other in sketches[1:]:
+            left = left.merge(other)
+        assert left == single_pass
+
+        right = sketches[-1]
+        for other in reversed(sketches[:-1]):
+            right = other.merge(right)
+        assert right == single_pass
+
+        reversed_fold = sketches[-1]
+        for other in reversed(sketches[:-1]):
+            reversed_fold = reversed_fold.merge(other)
+        assert reversed_fold == single_pass
+
+    @SETTINGS
+    @given(weights=weight_maps())
+    def test_self_merge_and_empty_merge_are_identity(self, weights):
+        sketch = bottom_k_sketch(weights, 4, salt="prop")
+        empty = bottom_k_sketch({}, 4, salt="prop")
+        assert sketch.merge(sketch) == sketch
+        assert sketch.merge(empty) == sketch
+        assert empty.merge(sketch) == sketch
+
+    @SETTINGS
+    @given(weights=weight_maps())
+    def test_dict_round_trip(self, weights):
+        sketch = bottom_k_sketch(weights, 4, salt="prop")
+        assert BottomKSketch.from_dict(sketch.to_dict()) == sketch
+
+
+class TestPPSAlgebra:
+    @SETTINGS
+    @given(parts=st.lists(weight_maps(), min_size=2, max_size=3))
+    def test_merge_is_exact_and_commutative(self, parts):
+        parts = _disjoint(parts)
+        tau, salt = 2.0, "prop"
+        sketches = [pps_sample(part, tau, salt=salt) for part in parts]
+        union = {key: w for part in parts for key, w in part.items()}
+        single_pass = pps_sample(union, tau, salt=salt)
+
+        folded = sketches[0]
+        for other in sketches[1:]:
+            folded = folded.merge(other)
+        backwards = sketches[-1]
+        for other in reversed(sketches[:-1]):
+            backwards = backwards.merge(other)
+        assert folded == single_pass
+        assert backwards == single_pass
+
+    @SETTINGS
+    @given(weights=weight_maps())
+    def test_self_merge_is_identity(self, weights):
+        sample = pps_sample(weights, 2.0, salt="prop")
+        assert sample.merge(sample) == sample
+
+
+class TestADSAlgebra:
+    @SETTINGS
+    @given(
+        parts=st.lists(
+            st.dictionaries(
+                keys=st.integers(min_value=0, max_value=60).map(str),
+                values=st.floats(min_value=0.0, max_value=100.0),
+                max_size=20,
+            ),
+            min_size=2,
+            max_size=3,
+        )
+    )
+    def test_merge_is_exact_and_commutative(self, parts):
+        parts = [
+            {f"p{i}:{node}": d for node, d in part.items()}
+            for i, part in enumerate(parts)
+        ]
+        k, salt = 3, "prop"
+        sketches = [
+            build_ads_from_distances(part, k, salt=salt) for part in parts
+        ]
+        union = {node: d for part in parts for node, d in part.items()}
+        single_pass = build_ads_from_distances(union, k, salt=salt)
+
+        folded = sketches[0]
+        for other in sketches[1:]:
+            folded = folded.merge(other)
+        backwards = sketches[-1]
+        for other in reversed(sketches[:-1]):
+            backwards = backwards.merge(other)
+        assert folded == single_pass
+        assert backwards == single_pass
+
+    @SETTINGS
+    @given(
+        distances=st.dictionaries(
+            keys=st.integers(min_value=0, max_value=60).map(str),
+            values=st.floats(min_value=0.0, max_value=100.0),
+            max_size=20,
+        )
+    )
+    def test_self_merge_is_identity(self, distances):
+        sketch = build_ads_from_distances(distances, 3, salt="prop")
+        assert sketch.merge(sketch) == sketch
+
+
+def assert_stores_bit_identical(a, b):
+    assert a.groups == b.groups
+    assert a.events_ingested == b.events_ingested
+    for group in a.groups:
+        sa, sb = a.group_state(group), b.group_state(group)
+        assert sa.totals == sb.totals        # exact float equality
+        assert sa.first_seen == sb.first_seen
+        for kind in ("bottomk", "pps", "ads"):
+            assert a.sketch(group, kind) == b.sketch(group, kind)
+    assert a.query("sum") == b.query("sum")  # bit-identical answers
+    assert a.query("distinct") == b.query("distinct")
+
+
+def _shard_then_merge(events, config, num_shards):
+    shards = shard_events(events, num_shards)
+    stores = []
+    for shard in shards:
+        store = SketchStore(config)
+        store.ingest(shard)
+        stores.append(store)
+    merged = stores[0]
+    for other in stores[1:]:
+        merged = merge_stores(merged, other)
+    return merged
+
+
+class TestStoreSharding:
+    @SETTINGS
+    @given(
+        events=event_streams(),
+        num_shards=st.integers(min_value=1, max_value=4),
+    )
+    def test_shard_then_merge_is_bit_identical(self, events, num_shards):
+        config = StoreConfig(k=4, tau_star=1.5, salt="prop")
+        single = SketchStore(config)
+        single.ingest(events)
+        merged = _shard_then_merge(events, config, num_shards)
+        assert_stores_bit_identical(merged, single)
+
+    @SETTINGS
+    @given(events=event_streams(values=dyadic_weights, max_events=40))
+    def test_store_merge_is_commutative_and_associative(self, events):
+        config = StoreConfig(k=4, salt="prop")
+        third = max(1, len(events) // 3)
+        chunks = [events[:third], events[third : 2 * third], events[2 * third :]]
+        stores = []
+        for chunk in chunks:
+            store = SketchStore(config)
+            store.ingest(chunk)
+            stores.append(store)
+        a, b, c = stores
+        assert_stores_bit_identical(merge_stores(a, b), merge_stores(b, a))
+        assert_stores_bit_identical(
+            merge_stores(merge_stores(a, b), c),
+            merge_stores(a, merge_stores(b, c)),
+        )
+
+
+@pytest.mark.slow
+class TestExhaustiveMergeGrid:
+    """Shard-merge bit-identity across the full configuration grid."""
+
+    @pytest.mark.parametrize("k", [1, 2, 8, 64])
+    @pytest.mark.parametrize("method", list(RankMethod))
+    @pytest.mark.parametrize("num_shards", [2, 3, 5])
+    def test_grid(self, k, method, num_shards):
+        from repro.serving import synthetic_feed
+
+        events = synthetic_feed(
+            500, num_keys=80, groups=("g1", "g2"), seed=k * 7 + num_shards
+        )
+        config = StoreConfig(k=k, tau_star=0.8, rank_method=method, salt="grid")
+        single = SketchStore(config)
+        single.ingest(events)
+        merged = _shard_then_merge(events, config, num_shards)
+        assert_stores_bit_identical(merged, single)
+        assert merged.query("similarity", groups=["g1", "g2"]) == single.query(
+            "similarity", groups=["g1", "g2"]
+        )

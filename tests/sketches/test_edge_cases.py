@@ -1,10 +1,12 @@
 """Edge cases of the sampling substrates.
 
-Three boundary behaviours the estimation layers silently rely on:
+Four boundary behaviours the estimation layers silently rely on:
 bottom-k sketches whose capacity meets or exceeds the population, items
-of zero weight under PPS, and seeds landing *exactly* on an inclusion
+of zero weight under PPS, seeds landing *exactly* on an inclusion
 threshold (the ``>=`` convention must agree everywhere — scalar scheme,
-multi-instance sampler, and the vectorized engine).
+multi-instance sampler, and the vectorized engine), and the degenerate
+merges — with an empty sketch and with the sketch itself — which must be
+exact identities for the serving layer's shard-fold to be trustworthy.
 """
 
 import math
@@ -16,6 +18,7 @@ from repro.aggregates.coordinated import CoordinatedPPSSampler
 from repro.aggregates.dataset import MultiInstanceDataset
 from repro.core.schemes import StepThreshold, pps_scheme
 from repro.engine import BatchOutcome
+from repro.sketches.ads import build_ads_from_distances
 from repro.sketches.bottomk import RankMethod, bottom_k_sketch
 from repro.sketches.pps import pps_sample, subset_sum_estimate
 
@@ -115,3 +118,77 @@ class TestSeedExactlyOnThreshold:
         assert outcome.known_at(0.5) == {0: 0.5}
         # ... and strictly above it the entry drops out.
         assert outcome.known_at(float(np.nextafter(0.5, 1.0))) == {}
+
+
+class TestDegenerateMerges:
+    """Merging with an empty sketch or with itself must be an identity.
+
+    A saturated sketch (population above capacity, finite threshold) is
+    the load-bearing case: the merged threshold is recomputed from the
+    union pool plus both input thresholds, and the degenerate inputs must
+    not perturb it.
+    """
+
+    WEIGHTS = {"a": 3.0, "b": 1.0, "c": 0.5, "d": 2.0}
+
+    @pytest.mark.parametrize("method", list(RankMethod))
+    @pytest.mark.parametrize("k", [1, 2, 100])
+    def test_bottom_k_empty_and_self_merge(self, method, k):
+        sketch = bottom_k_sketch(self.WEIGHTS, k=k, method=method)
+        empty = bottom_k_sketch({}, k=k, method=method)
+        assert k >= len(self.WEIGHTS) or math.isfinite(sketch.threshold)
+        assert sketch.merge(empty) == sketch
+        assert empty.merge(sketch) == sketch
+        assert sketch.merge(sketch) == sketch
+        assert empty.merge(empty) == empty
+
+    def test_bottom_k_merge_rejects_mismatched_parameters(self):
+        sketch = bottom_k_sketch(self.WEIGHTS, k=2)
+        with pytest.raises(ValueError, match="k"):
+            sketch.merge(bottom_k_sketch(self.WEIGHTS, k=3))
+        with pytest.raises(ValueError, match="method"):
+            sketch.merge(
+                bottom_k_sketch(self.WEIGHTS, k=2, method=RankMethod.EXPONENTIAL)
+            )
+
+    def test_bottom_k_merge_rejects_conflicting_duplicates(self):
+        base = bottom_k_sketch({"a": 3.0}, k=2)
+        conflict = bottom_k_sketch({"a": 4.0}, k=2)
+        with pytest.raises(ValueError, match="conflicting entries"):
+            base.merge(conflict)
+
+    def test_pps_empty_and_self_merge(self):
+        sample = pps_sample(self.WEIGHTS, tau_star=2.0)
+        empty = pps_sample({}, tau_star=2.0)
+        assert sample.merge(empty) == sample
+        assert empty.merge(sample) == sample
+        assert sample.merge(sample) == sample
+
+    def test_pps_merge_rejects_mismatched_rate(self):
+        sample = pps_sample(self.WEIGHTS, tau_star=2.0)
+        with pytest.raises(ValueError, match="tau"):
+            sample.merge(pps_sample(self.WEIGHTS, tau_star=1.0))
+
+    def test_ads_empty_and_self_merge(self):
+        distances = {"a": 0.0, "b": 1.0, "c": 2.0, "d": 3.0}
+        sketch = build_ads_from_distances(distances, k=2)
+        empty = build_ads_from_distances({}, k=2)
+        assert sketch.merge(empty) == sketch
+        assert empty.merge(sketch) == sketch
+        assert sketch.merge(sketch) == sketch
+
+    def test_ads_merge_rejects_mismatched_identity(self):
+        distances = {"a": 0.0, "b": 1.0}
+        sketch = build_ads_from_distances(distances, k=2)
+        with pytest.raises(ValueError, match="k"):
+            sketch.merge(build_ads_from_distances(distances, k=3))
+        with pytest.raises(ValueError, match="source"):
+            sketch.merge(
+                build_ads_from_distances(distances, k=2, source="a")
+            )
+
+    def test_ads_merge_rejects_conflicting_duplicates(self):
+        base = build_ads_from_distances({"a": 0.0}, k=2)
+        conflict = build_ads_from_distances({"a": 5.0}, k=2)
+        with pytest.raises(ValueError, match="conflicting entries"):
+            base.merge(conflict)
