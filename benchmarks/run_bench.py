@@ -11,6 +11,7 @@ control, and writes a schema-validated JSON payload::
     python benchmarks/run_bench.py --smoke          # CI-sized suite
     python benchmarks/run_bench.py --only moments_ablation simulate_grid
     python benchmarks/run_bench.py --check BENCH_5.json   # validate a payload
+    python benchmarks/run_bench.py --compare OLD.json NEW.json --band 0.5
     python benchmarks/run_bench.py --threshold-sweep      # auto-threshold data
     python benchmarks/run_bench.py --list           # show the suite
 
@@ -19,9 +20,16 @@ Every payload records the git SHA, python/numpy versions, the effective
 wall seconds, items per second, the backend decision the policy took at
 that size, and the measured speedup over the scalar baseline.  The
 ``BENCH_<n>.json`` files checked in at the repository root (one per PR
-that touched performance) form the trajectory; ``--check`` is what CI
-runs on a fresh ``--smoke`` payload so schema rot fails loudly while
-timing noise does not.
+that touched performance) form the trajectory; ``--check`` validates a
+payload's structure, and ``--compare OLD NEW`` diffs two payloads'
+*speedup ratios* — dimensionless, so roughly comparable across machines
+— and exits nonzero when any shared bench's speedup collapsed below
+``1 - band`` of its old value.  CI runs both on every push: the fresh
+``--smoke`` payload is checked for schema rot and compared against the
+committed smoke baseline (``benchmarks/baseline_smoke.json``), so a
+silent performance regression — an engine path quietly falling back to
+scalar, coalescing quietly degrading to per-request dispatch — fails
+the build while ordinary wall-clock noise does not.
 
 The ``--threshold-sweep`` mode measures the scalar/vectorized crossover
 of per-item estimation as a function of input size — the measurement
@@ -111,6 +119,14 @@ def _stats(samples: Sequence[float]) -> Dict[str, float]:
 # size the *library* resolves the backend on for this path (e.g. the
 # moment experiments dispatch on vectors × quadrature nodes, not on the
 # reported item count) — it defaults to ``items``.
+#
+# Benches whose baseline is not "the same call forced scalar" — the
+# serving benches compare *architectures* (coalesced vs sequential
+# dispatch, multi-process vs single-pass ingestion) — are marked
+# "custom" in SUITE and return a five-tuple whose last element is
+# ``(baseline_label, baseline_fn)``; the harness times ``baseline_fn``
+# with the same warmup/repeat protocol and reports the speedup against
+# it.
 # ----------------------------------------------------------------------
 def _bench_batch_sum(smoke: bool):
     from repro.datasets.synthetic import surname_pairs
@@ -266,6 +282,108 @@ def _bench_store_query(smoke: bool):
     )
 
 
+def _bench_store_serve(smoke: bool):
+    import asyncio
+
+    from repro.serving import SketchServer, SketchStore, StoreConfig, synthetic_feed
+    from repro.serving.cli import run_load
+
+    n = 6_000 if smoke else 24_000
+    clients = 32
+    per_client = 2 if smoke else 4
+    store = SketchStore(StoreConfig(k=n, tau_star=0.25, salt="bench-serve"))
+    store.ingest(
+        synthetic_feed(
+            n, num_keys=n // 2, groups=("u", "v", "w", "x"), seed=31
+        )
+    )
+    kinds = ("sum", "distinct", "similarity")
+
+    async def drive(mode: str, mode_clients: int):
+        async with SketchServer(store) as server:
+            host, port = server.address
+            report = await run_load(
+                host,
+                port,
+                clients=mode_clients,
+                requests_per_client=per_client,
+                mode=mode,
+                kinds=kinds,
+            )
+        if report["errors"]:
+            raise RuntimeError(f"load errors: {report['errors']}")
+        return report["requests_per_sec"]
+
+    return (
+        lambda: asyncio.run(drive("concurrent", clients)),
+        clients * per_client,
+        {
+            "num_events": n,
+            "groups": 4,
+            "clients": clients,
+            "requests_per_client": per_client,
+            "kinds": list(kinds),
+        },
+        n // 2,  # query dispatch resolves on the retained keys
+        # The identical request multiset, one request at a time over one
+        # connection: what serving costs without coalescing.
+        ("sequential", lambda: asyncio.run(drive("sequential", clients))),
+    )
+
+
+def _bench_store_ingest_parallel(smoke: bool):
+    import os
+    import shutil
+    import tempfile
+
+    from repro.serving import (
+        ParallelIngestor,
+        StoreConfig,
+        shard_events,
+        synthetic_feed,
+        write_events,
+    )
+
+    n = 12_000 if smoke else 60_000
+    workers = 4
+    feed = synthetic_feed(n, num_keys=n // 3, groups=("u", "v"), seed=23)
+    config = StoreConfig(k=512, tau_star=0.5, salt="bench")
+    # Pre-shard to feed files so each worker parses its own shard — the
+    # configuration where the per-event work (JSON decode + ledger fold)
+    # actually fans out, with no parent-side routing on the hot path.
+    staging = Path(tempfile.mkdtemp(prefix="bench-ingest-"))
+    paths = []
+    for index, shard in enumerate(shard_events(feed, workers)):
+        path = staging / f"shard-{index:02d}.jsonl"
+        write_events(path, shard)
+        paths.append(path)
+
+    def run_with(count: int):
+        store = ParallelIngestor(config, num_workers=count).ingest_feeds(paths)
+        if store.events_ingested != n:
+            raise RuntimeError("short ingest")
+        return store.events_ingested
+
+    import atexit
+
+    atexit.register(shutil.rmtree, staging, ignore_errors=True)
+    return (
+        lambda: run_with(workers),
+        n,
+        {
+            "num_events": n,
+            "num_keys": n // 3,
+            "workers": workers,
+            # Parallel speedup is bounded by the cores actually
+            # available; record them so a ~1x result on a 1-CPU host
+            # reads as the hardware bound it is, not a code regression.
+            "cpu_count": os.cpu_count(),
+        },
+        n,
+        ("single-worker", lambda: run_with(1)),
+    )
+
+
 def _bench_runner_smoke_batch(smoke: bool):
     from repro.api.experiments import ExperimentRunner
 
@@ -278,10 +396,12 @@ def _bench_runner_smoke_batch(smoke: bool):
     )
 
 
-#: name -> (builder, has_scalar_baseline).  The runner batch has no
-#: meaningful forced-scalar baseline (it measures scheduling, not
-#: estimation), so its entry skips the comparison.
-SUITE: Dict[str, Tuple[Callable, bool]] = {
+#: name -> (builder, baseline kind).  ``True`` re-times the same call
+#: under a forced-scalar policy; ``"custom"`` times the builder-supplied
+#: architectural baseline; ``False`` skips the comparison (the runner
+#: batch measures scheduling, not estimation, so a forced-scalar rerun
+#: would be meaningless).
+SUITE: Dict[str, Tuple[Callable, object]] = {
     "batch_sum": (_bench_batch_sum, True),
     "simulate_grid": (_bench_simulate_grid, True),
     "moments_dominance": (_bench_moments_dominance, True),
@@ -291,6 +411,8 @@ SUITE: Dict[str, Tuple[Callable, bool]] = {
     "ratios_sweep": (_bench_ratios_sweep, True),
     "store_ingest": (_bench_store_ingest, False),
     "store_query": (_bench_store_query, True),
+    "store_serve": (_bench_store_serve, "custom"),
+    "store_ingest_parallel": (_bench_store_ingest_parallel, "custom"),
     "runner_smoke_batch": (_bench_runner_smoke_batch, False),
 }
 
@@ -321,7 +443,14 @@ def run_suite(
             # ("auto" = engine whenever a kernel covers the estimator).
             "backend_decision": policy.resolve(dispatch_size),
         }
-        if has_baseline and policy.mode != "scalar":
+        if has_baseline == "custom":
+            base_label, base_fn = built[4]
+            base = _time(base_fn, min(warmup, 1), repeats)
+            entry["baseline"] = {"backend": base_label, "wall_s": _stats(base)}
+            entry["speedup"] = float(
+                statistics.median(base) / statistics.median(samples)
+            )
+        elif has_baseline and policy.mode != "scalar":
             with forced_backend("scalar"):
                 base_fn = builder(smoke)[0]
                 base = _time(base_fn, min(warmup, 1), repeats)
@@ -332,7 +461,10 @@ def run_suite(
         benches.append(entry)
         line = f"{name:22s} {entry['wall_s']['median'] * 1e3:9.1f} ms"
         if "speedup" in entry:
-            line += f"   {entry['speedup']:6.1f}x vs scalar"
+            line += (
+                f"   {entry['speedup']:6.1f}x vs "
+                f"{entry['baseline']['backend']}"
+            )
         print(line, file=sys.stderr)
     return {
         "schema": SCHEMA,
@@ -404,6 +536,100 @@ def validate_payload(payload) -> List[str]:
         ):
             errors.append(f"bench {label}: items_per_sec must be > 0")
     return errors
+
+
+# ----------------------------------------------------------------------
+# Payload comparison (CI's regression gate)
+# ----------------------------------------------------------------------
+#: Default fraction of a bench's old speedup it may lose before the
+#: comparison counts it as a regression.  Speedups are dimensionless
+#: ratios, so the band absorbs machine and noise effects that absolute
+#: wall times never could — but smoke-sized inputs still earn smaller
+#: speedups than full-sized ones, so compare like against like.
+DEFAULT_COMPARE_BAND = 0.5
+
+#: Benches whose old speedup sits below this are compared informationally
+#: only: a 1.1x-vs-0.9x flip is timing noise, not an engine falling back
+#: to scalar, and must never fail a build.
+DEFAULT_MIN_SPEEDUP = 1.5
+
+
+def compare_payloads(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    band: float,
+    min_speedup: float = DEFAULT_MIN_SPEEDUP,
+) -> Tuple[List[str], List[str]]:
+    """Diff two payloads' speedup ratios.
+
+    Returns ``(regressions, notes)``: ``regressions`` are failures (a
+    shared bench's speedup fell below ``1 - band`` of its old value, or
+    a bench that had a measured speedup disappeared — lost coverage is
+    indistinguishable from a hidden regression); ``notes`` are
+    informational lines for everything else, including benches whose old
+    speedup is under ``min_speedup`` (too close to 1x for the ratio to
+    mean anything).
+    """
+    if not 0 <= band < 1:
+        raise ValueError("band must be in [0, 1)")
+    old_benches = {
+        b["name"]: b for b in old.get("benches", []) if isinstance(b, dict)
+    }
+    new_benches = {
+        b["name"]: b for b in new.get("benches", []) if isinstance(b, dict)
+    }
+    regressions: List[str] = []
+    notes: List[str] = []
+    if old.get("smoke") != new.get("smoke"):
+        notes.append(
+            f"note: comparing smoke={old.get('smoke')} against "
+            f"smoke={new.get('smoke')} payloads; speedups are "
+            "size-dependent, expect larger drift"
+        )
+    for name, old_bench in old_benches.items():
+        old_speedup = old_bench.get("speedup")
+        new_bench = new_benches.get(name)
+        if new_bench is None:
+            if old_speedup is not None and old_speedup >= min_speedup:
+                regressions.append(
+                    f"{name}: had a measured speedup "
+                    f"({old_speedup:.2f}x) but is missing from the new "
+                    "payload"
+                )
+            else:
+                notes.append(f"note: {name} missing from the new payload")
+            continue
+        new_speedup = new_bench.get("speedup")
+        if old_speedup is None and new_speedup is None:
+            continue
+        if old_speedup is None:
+            notes.append(f"note: {name} gained a baseline ({new_speedup:.2f}x)")
+            continue
+        if new_speedup is None:
+            if old_speedup >= min_speedup:
+                regressions.append(
+                    f"{name}: speedup ({old_speedup:.2f}x) no longer measured"
+                )
+            else:
+                notes.append(
+                    f"note: {name} speedup no longer measured "
+                    f"(was {old_speedup:.2f}x)"
+                )
+            continue
+        ratio = new_speedup / old_speedup
+        line = (
+            f"{name}: {old_speedup:.2f}x -> {new_speedup:.2f}x "
+            f"({ratio:.2f} of old)"
+        )
+        if old_speedup < min_speedup:
+            notes.append(line + " [below --min-speedup, informational]")
+        elif ratio < 1.0 - band:
+            regressions.append(line + f" — below the {1.0 - band:.2f} floor")
+        else:
+            notes.append(line)
+    for name in new_benches.keys() - old_benches.keys():
+        notes.append(f"note: {name} is new in this payload")
+    return regressions, notes
 
 
 def next_output_path() -> Path:
@@ -500,6 +726,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "the repo root)")
     parser.add_argument("--check", default=None, metavar="FILE",
                         help="validate an existing payload and exit")
+    parser.add_argument("--compare", nargs=2, default=None,
+                        metavar=("OLD", "NEW"),
+                        help="diff two payloads' speedup ratios and exit "
+                             "nonzero on a regression beyond --band")
+    parser.add_argument("--band", type=float, default=DEFAULT_COMPARE_BAND,
+                        help="fraction of the old speedup a bench may lose "
+                             f"before --compare fails it (default "
+                             f"{DEFAULT_COMPARE_BAND})")
+    parser.add_argument("--min-speedup", type=float,
+                        default=DEFAULT_MIN_SPEEDUP,
+                        help="old speedups under this are compared "
+                             "informationally only (default "
+                             f"{DEFAULT_MIN_SPEEDUP})")
     parser.add_argument("--list", action="store_true",
                         help="list bench names and exit")
     parser.add_argument("--threshold-sweep", action="store_true",
@@ -522,6 +761,34 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {message}", file=sys.stderr)
         print(f"{args.check}: " + ("INVALID" if errors else "ok"))
         return 1 if errors else 0
+    if args.compare is not None:
+        payloads = []
+        for path in args.compare:
+            try:
+                payloads.append(json.loads(Path(path).read_text()))
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+                return 2
+        for path, payload in zip(args.compare, payloads):
+            errors = validate_payload(payload)
+            for message in errors:
+                print(f"error: {path}: {message}", file=sys.stderr)
+            if errors:
+                return 2
+        try:
+            regressions, notes = compare_payloads(
+                *payloads, band=args.band, min_speedup=args.min_speedup
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for message in notes:
+            print(message)
+        for message in regressions:
+            print(f"regression: {message}", file=sys.stderr)
+        verdict = "REGRESSED" if regressions else "ok"
+        print(f"{args.compare[0]} -> {args.compare[1]}: {verdict}")
+        return 1 if regressions else 0
     if args.threshold_sweep:
         payload = threshold_sweep()
         text = json.dumps(payload, indent=2, sort_keys=True)

@@ -15,8 +15,11 @@ One import point for the whole pipeline:
   (:class:`~repro.serving.store.SketchStore`,
   :class:`~repro.serving.store.StoreConfig`,
   :func:`~repro.serving.store.merge_stores`,
-  :class:`~repro.serving.events.Event`), re-exported here so serving a
-  store and estimating offline share one import point.
+  :class:`~repro.serving.events.Event`,
+  :class:`~repro.serving.server.SketchServer`,
+  :class:`~repro.serving.ingest.ParallelIngestor`,
+  :class:`~repro.serving.retention.RetentionPolicy`), re-exported here
+  so serving a store and estimating offline share one import point.
 
 Import-order note: the registry and backend modules are dependency-free
 and imported eagerly, so lower layers (``repro.core``,
@@ -79,6 +82,11 @@ __all__ = [
     "StoreConfig",
     "Event",
     "merge_stores",
+    "ParallelIngestor",
+    "QueryBatcher",
+    "RetentionPolicy",
+    "ServingClient",
+    "SketchServer",
 ]
 
 #: Lazily-loaded attributes: they import the estimation layers, which in
@@ -108,6 +116,11 @@ _LAZY = {
     "StoreConfig": "repro.serving.store",
     "merge_stores": "repro.serving.store",
     "Event": "repro.serving.events",
+    "ParallelIngestor": "repro.serving.ingest",
+    "QueryBatcher": "repro.serving.batcher",
+    "RetentionPolicy": "repro.serving.retention",
+    "ServingClient": "repro.serving.server",
+    "SketchServer": "repro.serving.server",
 }
 
 

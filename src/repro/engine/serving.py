@@ -27,7 +27,7 @@ import numpy as np
 
 from ..api.backend import BackendPolicy, BackendSpec
 
-__all__ = ["batch_ht_sums", "batch_hip_counts"]
+__all__ = ["batch_hip_counts", "batch_hip_horizon_counts", "batch_ht_sums"]
 
 
 def batch_ht_sums(
@@ -144,3 +144,57 @@ def batch_hip_counts(
         minlength=len(probability_groups),
     )
     return [float(t) for t in totals]
+
+
+def batch_hip_horizon_counts(
+    column_groups: Sequence[Sequence],
+    horizons: Sequence[float],
+    backend: BackendSpec = None,
+) -> List[float]:
+    """HIP cardinality estimates of many sketch groups, each at its own horizon.
+
+    The serving layer's ``distinct`` query masks a temporal ADS by a
+    time horizon before the ``sum of 1/p`` reduction.  Coalescing
+    concurrent queries with *different* horizons needs the masking
+    inside the kernel call: each group carries its full ``(distance,
+    threshold)`` columns plus a horizon, the kernel masks per group and
+    hands the surviving probabilities to :func:`batch_hip_counts` — so a
+    one-group call is exactly the sequential code path (same masking,
+    same dispatch size, same reduction), which is what makes coalesced
+    answers bit-identical to single-caller answers.
+
+    Parameters
+    ----------
+    column_groups:
+        One ``(distances, thresholds)`` array pair per group (equal
+        lengths within a pair; thresholds in ``(0, 1]``).
+    horizons:
+        One inclusive time horizon per group (``math.inf`` for all of
+        time).
+    backend:
+        ``None`` (process-wide policy), a mode string, or a
+        :class:`~repro.api.backend.BackendPolicy`.  Dispatch sizes the
+        input by the total number of entries *surviving* the masks,
+        matching what per-group sequential calls would resolve on.
+
+    Returns
+    -------
+    list of float
+        Per-group cardinality estimates, in input order.
+    """
+    if len(column_groups) != len(horizons):
+        raise ValueError(
+            f"got {len(column_groups)} column groups but "
+            f"{len(horizons)} horizons"
+        )
+    masked = []
+    for (distances, thresholds), horizon in zip(column_groups, horizons):
+        distances = np.asarray(distances, dtype=float)
+        thresholds = np.asarray(thresholds, dtype=float)
+        if distances.shape != thresholds.shape:
+            raise ValueError(
+                "distance and threshold columns must have equal shapes, "
+                f"got {distances.shape} != {thresholds.shape}"
+            )
+        masked.append(thresholds[distances <= float(horizon)])
+    return batch_hip_counts(masked, backend=backend)

@@ -27,13 +27,41 @@ distinct-count queries) use them:
     crash at any byte boundary loses at most the unacknowledged tail of
     the log.
 
+:mod:`repro.serving.batcher`
+    Request coalescing: a micro-batching
+    :class:`~repro.serving.batcher.QueryBatcher` that folds concurrent
+    in-flight queries into single engine dispatches with answers
+    bit-identical to sequential single-caller queries.
+
+:mod:`repro.serving.server`
+    The asyncio front-end: a JSON-lines TCP
+    :class:`~repro.serving.server.SketchServer` (pipelined connections,
+    coalesced queries, watermark-tagged answers, background retention)
+    and its :class:`~repro.serving.server.ServingClient`.
+
+:mod:`repro.serving.ingest`
+    Multi-process ingestion: a
+    :class:`~repro.serving.ingest.ParallelIngestor` fanning key-routed
+    shards across worker processes — bit-identical to single-pass
+    ingestion, with a durable resumable mode.
+
+:mod:`repro.serving.retention`
+    Bounded retention: deterministic per-group TTL / max-keys ledger
+    eviction (:class:`~repro.serving.retention.RetentionPolicy`), made
+    durable through the snapshot + log-compaction path.
+
 :mod:`repro.serving.cli`
     ``python -m repro.serving`` — ``synth`` / ``ingest`` / ``query`` /
     ``snapshot`` / ``merge`` / ``info`` subcommands over a store
-    directory.
+    directory, plus ``serve`` (the asyncio server), ``load`` (a
+    load-generating client) and ``evict`` (offline retention).
 """
 
+from .batcher import QueryBatcher, QueryRequest
 from .events import Event, read_events, shard_events, synthetic_feed, write_events
+from .ingest import ParallelIngestor
+from .retention import RetentionPolicy, apply_retention
+from .server import ServingClient, ServingError, SketchServer
 from .store import (
     SERVING_QUERY_KINDS,
     SketchStore,
@@ -43,6 +71,14 @@ from .store import (
 
 __all__ = [
     "Event",
+    "ParallelIngestor",
+    "QueryBatcher",
+    "QueryRequest",
+    "RetentionPolicy",
+    "ServingClient",
+    "ServingError",
+    "SketchServer",
+    "apply_retention",
     "read_events",
     "shard_events",
     "synthetic_feed",

@@ -12,6 +12,10 @@ Subcommands operate on a store directory (see
     python -m repro.serving snapshot --store ./store
     python -m repro.serving merge --out ./merged ./shard-a ./shard-b
     python -m repro.serving info --store ./store
+    python -m repro.serving serve --store ./store --port 0 --max-keys 512
+    python -m repro.serving load --host 127.0.0.1 --port 7343 \\
+        --clients 32 --requests 8 --mode concurrent --evict --shutdown
+    python -m repro.serving evict --store ./store --ttl 3600 --max-keys 256
 
 ``ingest`` creates the store on first use (``--k`` / ``--tau-star`` /
 ``--rank-method`` / ``--salt`` pin the config; afterwards the stored
@@ -20,22 +24,36 @@ JSON document to stdout.  ``merge`` opens any number of source stores —
 which must share a config — merges their ledgers, and attaches the
 result to a fresh directory.  A failure is reported on stderr and turns
 the exit code nonzero instead of escaping as a traceback.
+
+``serve`` runs the asyncio front-end of :mod:`repro.serving.server` on
+a store directory (announcing the bound address on stdout — with
+``--port 0`` the kernel picks a free port) until a ``shutdown`` request
+arrives.  ``load`` is the matching load generator: deterministic mixed
+queries from ``--clients`` concurrent connections (or one connection
+with ``--mode sequential`` — the per-request baseline the benchmarks
+compare against), an optional eviction cycle, and an optional clean
+shutdown; it prints a JSON throughput report.  ``evict`` applies a
+retention policy offline, snapshotting so the eviction is durable.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..api.backend import BACKEND_MODES
 from ..sketches.bottomk import RankMethod
 from .events import read_events, synthetic_feed, write_events
+from .retention import RetentionPolicy, apply_retention
+from .server import ServingClient, ServingError, SketchServer
 from .store import SERVING_QUERY_KINDS, SketchStore, StoreConfig, merge_stores
 
-__all__ = ["main"]
+__all__ = ["main", "run_load"]
 
 
 def _config_from_args(args: argparse.Namespace) -> Optional[StoreConfig]:
@@ -176,6 +194,200 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _retention_from_args(args: argparse.Namespace) -> Optional[RetentionPolicy]:
+    if args.ttl is None and args.max_keys is None:
+        return None
+    return RetentionPolicy(ttl=args.ttl, max_keys=args.max_keys)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    store = SketchStore.open(args.store, config=_config_from_args(args))
+
+    async def run() -> None:
+        server = SketchServer(
+            store,
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay_ms / 1000.0,
+            retention=_retention_from_args(args),
+            retention_interval=args.retention_interval,
+        )
+        host, port = await server.start()
+        # Announced (and flushed) so a driver using --port 0 can read the
+        # bound port before sending traffic.
+        print(f"serving {args.store} on {host}:{port}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    finally:
+        store.close()
+    print(f"server stopped at watermark {store.events_ingested}")
+    return 0
+
+
+async def run_load(
+    host: str,
+    port: int,
+    clients: int = 8,
+    requests_per_client: int = 8,
+    mode: str = "concurrent",
+    kinds: Sequence[str] = ("sum", "distinct"),
+    backend: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Drive a running server with a deterministic mixed query workload.
+
+    ``concurrent`` mode opens one connection per client and lets the
+    clients issue their requests closed-loop in parallel — the workload
+    the coalescing window feeds on.  ``sequential`` mode issues every
+    request one at a time over a single connection: the per-request
+    baseline.  The request mix is a pure function of the arguments, so
+    the two modes answer the identical request multiset.
+
+    Returns a JSON-ready report: request counts, wall seconds,
+    requests/second, error count, and the server's coalescing counters
+    after the run.
+    """
+    if mode not in ("concurrent", "sequential"):
+        raise ValueError(f"unknown load mode {mode!r}")
+    if clients < 1 or requests_per_client < 1:
+        raise ValueError("clients and requests must be positive")
+    if not kinds:
+        raise ValueError("at least one query kind is required")
+    probe = await ServingClient.connect(host, port)
+    try:
+        info = await probe.info()
+        groups = info["groups"]
+        pair = groups[:2] if len(groups) >= 2 else None
+        plan: List[List[str]] = []
+        for client_index in range(clients):
+            mine = []
+            for request_index in range(requests_per_client):
+                kind = kinds[
+                    (client_index * requests_per_client + request_index)
+                    % len(kinds)
+                ]
+                if kind == "similarity" and pair is None:
+                    kind = "sum"
+                mine.append(kind)
+            plan.append(mine)
+        errors = 0
+
+        async def issue(client: ServingClient, kind: str) -> None:
+            nonlocal errors
+            try:
+                if kind == "similarity":
+                    await client.query(kind, groups=pair, backend=backend)
+                else:
+                    await client.query(kind, backend=backend)
+            except ServingError:
+                errors += 1
+
+        start = time.perf_counter()
+        if mode == "sequential":
+            for mine in plan:
+                for kind in mine:
+                    await issue(probe, kind)
+        else:
+            connections = [
+                await ServingClient.connect(host, port) for _ in range(clients)
+            ]
+            try:
+
+                async def worker(
+                    client: ServingClient, mine: List[str]
+                ) -> None:
+                    for kind in mine:
+                        await issue(client, kind)
+
+                await asyncio.gather(
+                    *(
+                        worker(client, mine)
+                        for client, mine in zip(connections, plan)
+                    )
+                )
+            finally:
+                for client in connections:
+                    await client.close()
+        seconds = time.perf_counter() - start
+        after = await probe.info()
+        total = clients * requests_per_client
+        return {
+            "mode": mode,
+            "clients": clients,
+            "requests": total,
+            "kinds": list(kinds),
+            "errors": errors,
+            "seconds": seconds,
+            "requests_per_sec": total / seconds if seconds > 0 else 0.0,
+            "coalescing": after["coalescing"],
+        }
+    finally:
+        await probe.close()
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    async def run() -> Dict[str, Any]:
+        report = await run_load(
+            args.host,
+            args.port,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            mode=args.mode,
+            kinds=tuple(args.kinds),
+            backend=args.backend,
+        )
+        if args.evict or args.ttl is not None or args.max_keys is not None:
+            client = await ServingClient.connect(args.host, args.port)
+            try:
+                response = await client.evict(
+                    ttl=args.ttl, max_keys=args.max_keys
+                )
+                report["evicted"] = {
+                    group: len(keys)
+                    for group, keys in response["evicted"].items()
+                }
+            finally:
+                await client.close()
+        if args.shutdown:
+            client = await ServingClient.connect(args.host, args.port)
+            try:
+                await client.shutdown()
+            finally:
+                await client.close()
+            report["shutdown"] = True
+        return report
+
+    report = asyncio.run(run())
+    print(json.dumps(report, sort_keys=True))
+    return 1 if report["errors"] else 0
+
+
+def _cmd_evict(args: argparse.Namespace) -> int:
+    policy = _retention_from_args(args)
+    if policy is None:
+        raise ValueError("evict needs --ttl and/or --max-keys")
+    store = SketchStore.open(args.store)
+    try:
+        report = apply_retention(
+            store, policy, now=args.now, snapshot=not args.no_snapshot
+        )
+        payload = {
+            "evicted": {
+                group: len(keys) for group, keys in report.items()
+            },
+            "remaining_keys": {
+                group: len(store.group_state(group).totals)
+                for group in store.groups
+            },
+        }
+    finally:
+        store.close()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serving",
@@ -226,6 +438,88 @@ def _build_parser() -> argparse.ArgumentParser:
     info.add_argument("--store", required=True, help="store directory")
     info.set_defaults(func=_cmd_info)
 
+    serve = sub.add_parser(
+        "serve", help="serve a store over the JSON-lines TCP protocol"
+    )
+    serve.add_argument("--store", required=True, help="store directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="coalescing window: flush at this many pending queries",
+    )
+    serve.add_argument(
+        "--max-delay-ms", type=float, default=0.0,
+        help="coalescing window: hold open this long (0 = one loop tick)",
+    )
+    serve.add_argument(
+        "--ttl", type=float, default=None,
+        help="retention: evict keys idle longer than this",
+    )
+    serve.add_argument(
+        "--max-keys", type=int, default=None,
+        help="retention: keep at most this many keys per group",
+    )
+    serve.add_argument(
+        "--retention-interval", type=float, default=None,
+        help="seconds between background retention sweeps",
+    )
+    _add_config_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    load = sub.add_parser(
+        "load", help="drive a running server with a query workload"
+    )
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, required=True)
+    load.add_argument("--clients", type=int, default=8)
+    load.add_argument(
+        "--requests", type=int, default=8, help="requests per client"
+    )
+    load.add_argument(
+        "--mode", choices=["concurrent", "sequential"], default="concurrent"
+    )
+    load.add_argument(
+        "--kinds", nargs="+", default=["sum", "distinct"],
+        choices=["sum", "distinct", "similarity"],
+    )
+    load.add_argument("--backend", choices=BACKEND_MODES, default=None)
+    load.add_argument(
+        "--evict", action="store_true",
+        help="finish with an eviction cycle (server-side policy)",
+    )
+    load.add_argument(
+        "--ttl", type=float, default=None,
+        help="eviction cycle: explicit TTL (implies --evict)",
+    )
+    load.add_argument(
+        "--max-keys", type=int, default=None,
+        help="eviction cycle: explicit key cap (implies --evict)",
+    )
+    load.add_argument(
+        "--shutdown", action="store_true",
+        help="finish by asking the server to stop",
+    )
+    load.set_defaults(func=_cmd_load)
+
+    evict = sub.add_parser(
+        "evict", help="apply a retention policy to a store, durably"
+    )
+    evict.add_argument("--store", required=True, help="store directory")
+    evict.add_argument("--ttl", type=float, default=None)
+    evict.add_argument("--max-keys", type=int, default=None)
+    evict.add_argument(
+        "--now", type=float, default=None,
+        help="TTL reference time (default: the feed's latest timestamp)",
+    )
+    evict.add_argument(
+        "--no-snapshot", action="store_true",
+        help="skip the durability snapshot (in-memory eviction only)",
+    )
+    evict.set_defaults(func=_cmd_evict)
+
     return parser
 
 
@@ -234,6 +528,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except (ValueError, KeyError, OSError) as exc:
+    except (ValueError, KeyError, OSError, ServingError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

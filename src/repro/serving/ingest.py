@@ -1,0 +1,330 @@
+"""Multi-process ingestion: fan an event feed across worker processes.
+
+A :class:`ParallelIngestor` parallelizes what
+:func:`~repro.serving.events.shard_events` +
+:func:`~repro.serving.store.merge_stores` already make *correct*: route
+events to shards by key, ingest each shard in its own process, fold the
+shard ledgers back together.  Because every ``(group, key)`` pair lives
+on exactly one shard — with its events in arrival order — the fold is a
+plain copy per key and the merged ledger (hence every derived sketch
+and query answer) is **bit-identical** to single-pass ingestion of the
+whole feed.  The property suite in
+``tests/serving/test_parallel_ingest.py`` pins this against
+:func:`~repro.serving.store.merge_stores`' own guarantee.
+
+Workers return *ledger payloads* (totals / first-seen / last-seen per
+group), not event streams — the data crossing process boundaries is
+proportional to the number of distinct keys, not the feed length.
+
+Durable mode (:meth:`ParallelIngestor.ingest_durable`) gives each
+worker a directory-backed store under ``root/worker-NN``; every batch
+is write-ahead logged and fsynced before it is acknowledged.  A worker
+killed mid-run therefore leaves exactly its acknowledged prefix on
+disk, and *re-running the same call resumes*: each worker reopens its
+directory, recovers ``events_ingested``, skips that many events of its
+shard, and ingests the rest.  :func:`ingest_shard_durable` exposes the
+worker entry point directly (its ``limit`` parameter lets the fault
+tests fabricate a kill at an exact acknowledgement boundary instead of
+racing a real ``SIGKILL``).
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from itertools import repeat
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .events import Event, read_events, shard_events
+from .store import SketchStore, StoreConfig
+
+__all__ = ["ParallelIngestor", "ingest_shard_durable"]
+
+#: Event tuples crossing the process boundary: (key, weight, ts, group).
+_EventRow = Tuple[str, float, float, str]
+
+
+def _event_rows(events: Iterable[Event]) -> List[_EventRow]:
+    return [(e.key, e.weight, e.timestamp, e.group) for e in events]
+
+
+def _row_events(rows: Iterable[_EventRow]) -> List[Event]:
+    return [
+        Event(key=key, weight=weight, timestamp=timestamp, group=group)
+        for key, weight, timestamp, group in rows
+    ]
+
+
+def _ledger_payload(store: SketchStore) -> Dict[str, Any]:
+    """A store's ledger as a picklable payload (what workers return)."""
+    return {
+        "events": store.events_ingested,
+        "groups": {
+            group: {
+                "totals": dict(store.group_state(group).totals),
+                "first_seen": dict(store.group_state(group).first_seen),
+                "last_seen": dict(store.group_state(group).last_seen),
+                "events": store.group_state(group).events,
+            }
+            for group in store.groups
+        },
+    }
+
+
+def _fold_payload(store: SketchStore, payload: Dict[str, Any]) -> None:
+    """Fold one shard's ledger payload into ``store``.
+
+    The accumulation rule is exactly :func:`~repro.serving.store.merge_stores`'
+    (totals add, first-seen min, last-seen max, event counts add); with
+    key-routed shards every key appears in one payload only, so the
+    addition degenerates to a copy and bit-identity to single-pass
+    ingestion follows from the merge guarantee.
+    """
+    for group, bucket in payload["groups"].items():
+        state = store.group_state(group)
+        for key, total in bucket["totals"].items():
+            if key in state.totals:
+                state.totals[key] = state.totals[key] + total
+            else:
+                state.totals[key] = total
+        for key, seen in bucket["first_seen"].items():
+            prior = state.first_seen.get(key)
+            if prior is None or seen < prior:
+                state.first_seen[key] = seen
+        for key, seen in bucket["last_seen"].items():
+            prior = state.last_seen.get(key)
+            if prior is None or seen > prior:
+                state.last_seen[key] = seen
+        state.events += bucket["events"]
+        state.invalidate()
+    store._events += payload["events"]
+
+
+def _ingest_shard(config_payload: Dict[str, Any], rows: List[_EventRow]):
+    """Worker: fold one in-memory shard, return its ledger payload."""
+    store = SketchStore(StoreConfig.from_dict(config_payload))
+    store.ingest(_row_events(rows))
+    return _ledger_payload(store)
+
+
+def _ingest_shard_feed(config_payload: Dict[str, Any], path: str):
+    """Worker: fold one feed file, return its ledger payload."""
+    store = SketchStore(StoreConfig.from_dict(config_payload))
+    store.ingest(read_events(path))
+    return _ledger_payload(store)
+
+
+def ingest_shard_durable(
+    config_payload: Dict[str, Any],
+    rows: List[_EventRow],
+    root: Union[str, Path],
+    batch_size: int = 1024,
+    limit: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Worker: fold one shard into a directory-backed store, resumably.
+
+    Opens (or creates) the store at ``root``, recovers the acknowledged
+    prefix length (``events_ingested``), skips that many events of the
+    shard, and ingests the remainder in write-ahead-logged, fsynced
+    batches of ``batch_size``.  Re-running after a crash therefore
+    continues from the last durable acknowledgement — never duplicating,
+    never dropping an acknowledged event.
+
+    Parameters
+    ----------
+    config_payload:
+        ``StoreConfig.to_dict()`` of the shared store config.
+    rows:
+        The worker's full shard as event tuples (the same shard every
+        run — sharding is deterministic).
+    root:
+        The worker's store directory.
+    batch_size:
+        Events per WAL-acknowledged ingest batch (positive).
+    limit:
+        Fault-injection hook: stop after acknowledging this many *new*
+        events this run — the state a ``SIGKILL`` right after the last
+        fsync would leave, made deterministic.
+
+    Returns
+    -------
+    dict
+        The worker store's ledger payload (see worker return contract),
+        plus ``"acknowledged"``: its total durable event count.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    store = SketchStore.open(Path(root), StoreConfig.from_dict(config_payload))
+    try:
+        already = store.events_ingested
+        pending = _row_events(rows[already:])
+        if limit is not None:
+            pending = pending[: max(0, int(limit))]
+        for start in range(0, len(pending), batch_size):
+            store.ingest(pending[start : start + batch_size])
+        payload = _ledger_payload(store)
+        payload["acknowledged"] = store.events_ingested
+        return payload
+    finally:
+        store.close()
+
+
+class ParallelIngestor:
+    """Ingest an event feed with several worker processes, bit-identically.
+
+    Parameters
+    ----------
+    config:
+        The shared :class:`~repro.serving.store.StoreConfig` (defaults
+        to the default config).
+    num_workers:
+        Worker process count; ``1`` skips the process pool entirely
+        (the honest single-pass baseline the benchmarks compare
+        against).
+    batch_size:
+        Durable mode's events-per-acknowledged-batch.
+    mp_context:
+        Optional :mod:`multiprocessing` context for the pool.
+    """
+
+    def __init__(
+        self,
+        config: Optional[StoreConfig] = None,
+        num_workers: int = 2,
+        batch_size: int = 1024,
+        mp_context=None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self._config = config if config is not None else StoreConfig()
+        self._num_workers = num_workers
+        self._batch_size = batch_size
+        self._mp_context = mp_context
+
+    @property
+    def config(self) -> StoreConfig:
+        """The shared store config workers build with."""
+        return self._config
+
+    @property
+    def num_workers(self) -> int:
+        """The worker process count."""
+        return self._num_workers
+
+    def _pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self._num_workers, mp_context=self._mp_context
+        )
+
+    def _fold(self, payloads: Iterable[Dict[str, Any]]) -> SketchStore:
+        store = SketchStore(self._config)
+        for payload in payloads:
+            _fold_payload(store, payload)
+        return store
+
+    def ingest(self, events: Iterable[Event]) -> SketchStore:
+        """Shard, ingest in parallel, fold — returns an in-memory store.
+
+        Bit-identical to ``SketchStore(config).ingest(events)``: ledgers,
+        sketches, and query answers compare with ``==``.
+        """
+        events = list(events)
+        if self._num_workers == 1:
+            store = SketchStore(self._config)
+            store.ingest(events)
+            return store
+        shards = shard_events(events, self._num_workers)
+        with self._pool() as pool:
+            payloads = list(
+                pool.map(
+                    _ingest_shard,
+                    repeat(self._config.to_dict()),
+                    [_event_rows(shard) for shard in shards],
+                )
+            )
+        return self._fold(payloads)
+
+    def ingest_feeds(
+        self, paths: Sequence[Union[str, Path]]
+    ) -> SketchStore:
+        """Parallel-ingest pre-sharded feed files (one file per task).
+
+        Each worker reads and folds one file; bit-identity to a single
+        pass over the concatenation holds when the files are key-routed
+        (every ``(group, key)`` in one file — e.g. written from
+        :func:`~repro.serving.events.shard_events` output).  Files are
+        processed by up to ``num_workers`` processes at a time.
+        """
+        paths = [str(path) for path in paths]
+        if self._num_workers == 1 or len(paths) <= 1:
+            store = SketchStore(self._config)
+            for path in paths:
+                store.ingest(read_events(path))
+            return store
+        with self._pool() as pool:
+            payloads = list(
+                pool.map(
+                    _ingest_shard_feed,
+                    repeat(self._config.to_dict()),
+                    paths,
+                )
+            )
+        return self._fold(payloads)
+
+    def ingest_durable(
+        self, events: Iterable[Event], root: Union[str, Path]
+    ) -> SketchStore:
+        """Durable parallel ingest under ``root``, resumable after crashes.
+
+        Each worker owns ``root/worker-NN`` (WAL + snapshots via the
+        store's own persistence); re-running the same call after a
+        worker died resumes every worker from its acknowledged prefix.
+        The fold of the worker payloads is returned as an in-memory
+        store; the worker directories remain on disk as the durable
+        copies.
+
+        ``root/ingest.json`` pins the worker count — resuming with a
+        different ``num_workers`` would re-route keys to different
+        shards, so it is rejected.
+        """
+        events = list(events)
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        meta_path = root / "ingest.json"
+        meta = {"workers": self._num_workers}
+        if meta_path.exists():
+            stored = json.loads(meta_path.read_text())
+            if stored != meta:
+                raise ValueError(
+                    f"ingest root {root} was laid out for {stored}, which "
+                    f"conflicts with the requested {meta}"
+                )
+        else:
+            meta_path.write_text(json.dumps(meta, sort_keys=True))
+        shards = shard_events(events, self._num_workers)
+        rows = [_event_rows(shard) for shard in shards]
+        dirs = [
+            str(root / f"worker-{index:02d}")
+            for index in range(self._num_workers)
+        ]
+        if self._num_workers == 1:
+            payloads = [
+                ingest_shard_durable(
+                    self._config.to_dict(), rows[0], dirs[0], self._batch_size
+                )
+            ]
+        else:
+            with self._pool() as pool:
+                payloads = list(
+                    pool.map(
+                        ingest_shard_durable,
+                        repeat(self._config.to_dict()),
+                        rows,
+                        dirs,
+                        repeat(self._batch_size),
+                    )
+                )
+        return self._fold(payloads)

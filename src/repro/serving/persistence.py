@@ -180,6 +180,7 @@ def save_snapshot(store) -> Path:
                     "item": key,
                     "total": state.totals[key],
                     "first_seen": state.first_seen[key],
+                    "last_seen": state.last_seen[key],
                 }
                 for key in sorted(state.totals)
             ]
@@ -214,8 +215,8 @@ def load_snapshot(
     -------
     (groups, watermark) or None
         ``groups`` maps group name to ``{"totals": {...},
-        "first_seen": {...}, "events": n}``; ``None`` when the snapshot
-        is missing or unreadable.
+        "first_seen": {...}, "last_seen": {...}, "events": n}``;
+        ``None`` when the snapshot is missing or unreadable.
     """
     records = _snapshot_store(root)
     run = records.load(SNAPSHOT_KEY, digest)
@@ -227,6 +228,7 @@ def load_snapshot(
         group: {
             "totals": {},
             "first_seen": {},
+            "last_seen": {},
             "events": int(group_events.get(group, 0)),
         }
         for group in manifest.get("groups", [])
@@ -234,10 +236,16 @@ def load_snapshot(
     for row in run.raw_records():
         bucket = groups.setdefault(
             str(row["group"]),
-            {"totals": {}, "first_seen": {}, "events": 0},
+            {"totals": {}, "first_seen": {}, "last_seen": {}, "events": 0},
         )
-        bucket["totals"][str(row["item"])] = float(row["total"])
-        bucket["first_seen"][str(row["item"])] = float(row["first_seen"])
+        item = str(row["item"])
+        bucket["totals"][item] = float(row["total"])
+        bucket["first_seen"][item] = float(row["first_seen"])
+        # Snapshots predating retention lack last_seen; falling back to
+        # first_seen keeps them loadable (recency is then conservative).
+        bucket["last_seen"][item] = float(
+            row.get("last_seen", row["first_seen"])
+        )
     return groups, int(manifest.get("watermark", int(digest)))
 
 
@@ -286,6 +294,7 @@ def open_store(cls: Type, root: Path, config) -> "Any":
                 state = store.group_state(group)
                 state.totals.update(payload["totals"])
                 state.first_seen.update(payload["first_seen"])
+                state.last_seen.update(payload["last_seen"])
                 state.events = payload["events"]
                 state.invalidate()
             store._events = watermark

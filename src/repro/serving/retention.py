@@ -1,0 +1,179 @@
+"""Bounded retention: deterministic TTL / max-keys eviction for the ledger.
+
+A long-lived :class:`~repro.serving.store.SketchStore` grows with its
+key universe — the sketches are bounded by ``k``, but the exact ledger
+underneath them is not.  A :class:`RetentionPolicy` bounds it two ways,
+both driven by per-key **recency** (``GroupState.last_seen``):
+
+* ``ttl`` — evict keys whose last activity is older than ``now - ttl``;
+* ``max_keys`` — evict stalest-first until at most ``max_keys`` keys
+  remain per group.
+
+Eviction is deterministic: victims are chosen and dropped in
+``(last_seen, key)`` order, so two replicas applying the same policy at
+the same ``now`` evict identically — the same property that makes
+shard-then-merge reproducible keeps retention reproducible.
+
+Durability integration (:func:`apply_retention`): eviction mutates only
+the in-memory ledger, so for a directory-backed store it must be made
+durable *through the snapshot path* — a post-eviction snapshot at the
+current watermark atomically supersedes the pre-eviction one (same
+digest, atomic replace) and compacts the write-ahead log through the
+watermark, so recovery can never resurrect an evicted key.  Evicting
+without snapshotting a directory-backed store would be undone by the
+next WAL replay; ``apply_retention`` therefore snapshots by default
+whenever it evicted something from a directory-backed store.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+__all__ = ["RetentionPolicy", "apply_retention"]
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Bounds on a group's ledger: a recency TTL and/or a key-count cap.
+
+    Attributes
+    ----------
+    ttl:
+        Evict keys with ``last_seen < now - ttl`` (strictly older — a
+        key last seen exactly at the cutoff survives).  ``None`` means
+        no age bound.
+    max_keys:
+        After TTL eviction, keep at most this many keys per group,
+        evicting stalest-first.  ``None`` means no count bound.
+    """
+
+    ttl: Optional[float] = None
+    max_keys: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.ttl is not None and not self.ttl > 0:
+            raise ValueError("ttl must be positive")
+        if self.max_keys is not None and self.max_keys < 0:
+            raise ValueError("max_keys must be nonnegative")
+
+    @property
+    def bounded(self) -> bool:
+        """Whether the policy evicts anything at all."""
+        return self.ttl is not None or self.max_keys is not None
+
+    def plan(self, last_seen: Mapping[str, float], now: float) -> List[str]:
+        """The keys this policy evicts from one group, in eviction order.
+
+        Pure and deterministic: victims (TTL-expired keys, then the
+        stalest keys beyond ``max_keys``) are returned sorted by
+        ``(last_seen, key)`` — stalest first, ties broken by key — so
+        identical ledgers always evict identically.
+
+        Parameters
+        ----------
+        last_seen:
+            The group's per-key recency map.
+        now:
+            The reference time TTL ages are measured against.
+
+        Returns
+        -------
+        list of str
+            Keys to evict, in deterministic eviction order.
+        """
+        victims = set()
+        if self.ttl is not None:
+            cutoff = float(now) - self.ttl
+            victims.update(
+                key for key, seen in last_seen.items() if seen < cutoff
+            )
+        if self.max_keys is not None:
+            survivors = len(last_seen) - len(victims)
+            if survivors > self.max_keys:
+                remaining = sorted(
+                    (key for key in last_seen if key not in victims),
+                    key=lambda key: (last_seen[key], key),
+                )
+                victims.update(remaining[: survivors - self.max_keys])
+        return sorted(victims, key=lambda key: (last_seen[key], key))
+
+    def to_dict(self) -> Dict[str, Optional[float]]:
+        """The policy's JSON payload (for the serving wire protocol)."""
+        return {"ttl": self.ttl, "max_keys": self.max_keys}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RetentionPolicy":
+        """Rebuild a policy from :meth:`to_dict` output."""
+        ttl = payload.get("ttl")
+        max_keys = payload.get("max_keys")
+        return cls(
+            ttl=None if ttl is None else float(ttl),
+            max_keys=None if max_keys is None else int(max_keys),
+        )
+
+
+def apply_retention(
+    store,
+    policy: RetentionPolicy,
+    now: Optional[float] = None,
+    snapshot: bool = True,
+) -> Dict[str, List[str]]:
+    """Evict per ``policy`` from every group of ``store``, durably.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.serving.store.SketchStore` to bound.
+    policy:
+        What to evict (see :class:`RetentionPolicy`).
+    now:
+        Reference time for TTL ages; defaults to the maximum
+        ``last_seen`` across the store (feed time, not wall time), so
+        offline eviction of a historical feed is reproducible.
+    snapshot:
+        When ``True`` (the default) and anything was evicted from a
+        directory-backed store, write a snapshot at the current
+        watermark — atomically superseding the previous snapshot and
+        compacting the write-ahead log, so recovery cannot resurrect
+        the evicted keys.  Pass ``False`` only when the caller batches
+        several mutations before snapshotting itself.
+
+    Returns
+    -------
+    dict
+        ``{group: [evicted keys, in eviction order]}`` — only groups
+        that lost at least one key appear.
+
+    Raises
+    ------
+    ValueError
+        If the policy is unbounded — "apply retention that can never
+        evict" is a caller bug, not a request to do nothing.
+    """
+    if not policy.bounded:
+        raise ValueError(
+            "retention policy is unbounded; set ttl and/or max_keys"
+        )
+    if now is None:
+        now = max(
+            (
+                seen
+                for group in store.groups
+                for seen in store.group_state(group).last_seen.values()
+            ),
+            default=0.0,
+        )
+    if not math.isfinite(float(now)):
+        raise ValueError("now must be finite")
+    report: Dict[str, List[str]] = {}
+    for group in store.groups:
+        state = store.group_state(group)
+        victims = policy.plan(state.last_seen, now)
+        if victims:
+            state.drop_keys(victims)
+            report[group] = victims
+    if report and snapshot and store.root is not None:
+        store.snapshot()
+    return report

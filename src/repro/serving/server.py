@@ -1,0 +1,439 @@
+"""The asyncio serving front-end: a JSON-lines TCP query/ingest server.
+
+One :class:`SketchServer` owns one :class:`~repro.serving.store.SketchStore`
+and speaks a line protocol: every request is one JSON object terminated
+by a newline, every response one JSON object echoing the request's
+``id``.  Requests on a connection are *pipelined* — each is served by
+its own task, so a client may keep many in flight and responses may
+return out of order (the ``id`` is the correlation handle).
+
+Concurrent ``query`` requests — across requests of one connection and
+across connections — funnel through a
+:class:`~repro.serving.batcher.QueryBatcher`, so a burst of clients
+costs a handful of engine dispatches instead of one per request, with
+answers bit-identical to sequential single-caller queries (see the
+batcher's module docstring for why).  Every query response carries the
+store's ``watermark`` (events ingested when the window executed), which
+pins the answer to an exact feed prefix.
+
+Operations::
+
+    {"id": 1, "op": "ping"}
+    {"id": 2, "op": "query", "kind": "sum", "groups": ["a"], "backend": null}
+    {"id": 3, "op": "query", "kind": "distinct", "until": 250.0}
+    {"id": 4, "op": "query", "kind": "similarity", "groups": ["a", "b"]}
+    {"id": 5, "op": "ingest", "events": [{...}], "snapshot": false}
+    {"id": 6, "op": "evict", "ttl": 3600.0, "max_keys": 512, "now": ...}
+    {"id": 7, "op": "info"}
+    {"id": 8, "op": "shutdown"}
+
+Responses are ``{"id": ..., "ok": true, ...}`` or ``{"id": ..., "ok":
+false, "error": "..."}``; per-request failures never tear down the
+connection.  Ingestion is serialized by the event loop (the store
+mutates only between awaits), and an optional background
+:class:`~repro.serving.retention.RetentionPolicy` keeps the ledger
+bounded while serving.
+
+:class:`ServingClient` is the matching asyncio client — used by the
+load-generating CLI subcommand, the benchmarks, and the stress tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from .batcher import QueryBatcher, QueryRequest
+from .events import Event
+from .retention import RetentionPolicy, apply_retention
+
+__all__ = ["ServingClient", "ServingError", "SketchServer"]
+
+
+class ServingError(RuntimeError):
+    """A server-side request failure, re-raised by :class:`ServingClient`."""
+
+
+class SketchServer:
+    """Serve one sketch store over a JSON-lines TCP protocol.
+
+    Parameters
+    ----------
+    store:
+        The store to serve (in-memory or directory-backed).
+    host, port:
+        Bind address; port ``0`` picks a free port (see :attr:`address`
+        after :meth:`start`).
+    max_batch, max_delay:
+        Coalescing window knobs, passed to
+        :class:`~repro.serving.batcher.QueryBatcher`.
+    retention:
+        Optional default :class:`~repro.serving.retention.RetentionPolicy`
+        — the policy ``evict`` requests fall back to, and the one the
+        background sweep applies.
+    retention_interval:
+        Seconds between background retention sweeps (requires
+        ``retention``); ``None`` disables the sweep — eviction then only
+        happens on explicit ``evict`` requests.
+    clock:
+        Time source for background sweeps (overridable in tests).
+    """
+
+    def __init__(
+        self,
+        store,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_batch: int = 64,
+        max_delay: float = 0.0,
+        retention: Optional[RetentionPolicy] = None,
+        retention_interval: Optional[float] = None,
+        clock=time.time,
+    ) -> None:
+        if retention is not None and not retention.bounded:
+            raise ValueError("the server's retention policy must be bounded")
+        if retention_interval is not None:
+            if retention is None:
+                raise ValueError(
+                    "retention_interval requires a retention policy"
+                )
+            if retention_interval <= 0:
+                raise ValueError("retention_interval must be positive")
+        self._store = store
+        self._host = host
+        self._port = port
+        self._batcher = QueryBatcher(
+            store, max_batch=max_batch, max_delay=max_delay
+        )
+        self._retention = retention
+        self._retention_interval = retention_interval
+        self._clock = clock
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._retention_task: Optional[asyncio.Task] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._connections: set = set()
+        self._closed = False
+
+    @property
+    def store(self):
+        """The served store."""
+        return self._store
+
+    @property
+    def stats(self):
+        """The coalescing counters of the underlying batcher."""
+        return self._batcher.stats
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting connections; returns the address."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self._host, self._port
+        )
+        if self._retention is not None and self._retention_interval:
+            self._retention_task = asyncio.create_task(
+                self._retention_loop()
+            )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Serve until a ``shutdown`` request (or :meth:`stop`) arrives."""
+        if self._stop_event is None:
+            raise RuntimeError("server is not started")
+        await self._stop_event.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Stop accepting, flush pending queries, close connections."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._stop_event is not None:
+            self._stop_event.set()
+        if self._retention_task is not None:
+            self._retention_task.cancel()
+            try:
+                await self._retention_task
+            except asyncio.CancelledError:
+                pass
+        self._batcher.flush()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._connections):
+            writer.close()
+
+    async def __aenter__(self) -> "SketchServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def _retention_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._retention_interval)
+            apply_retention(self._store, self._retention, now=self._clock())
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    async def _on_connection(self, reader, writer) -> None:
+        self._connections.add(writer)
+        tasks: set = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(self._serve_line(line, writer))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        except asyncio.CancelledError:
+            # Loop teardown mid-read (shutdown with the peer still
+            # connected) — close out quietly; cleanup happens below.
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_line(self, line: bytes, writer) -> None:
+        request_id = None
+        op = None
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = payload.get("id")
+            op = payload.get("op")
+            response = await self._dispatch(payload)
+        except (ValueError, KeyError, TypeError, OSError) as exc:
+            response = {"ok": False, "error": f"{exc}"}
+        response["id"] = request_id
+        writer.write((json.dumps(response, sort_keys=True) + "\n").encode())
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return
+        if op == "shutdown" and response.get("ok"):
+            self._stop_event.set()
+
+    async def _dispatch(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        op = payload.get("op")
+        if op == "ping":
+            return {"ok": True, "result": "pong"}
+        if op == "query":
+            request = QueryRequest.from_payload(payload)
+            result, watermark = await self._batcher.submit(request)
+            return {"ok": True, "result": result, "watermark": watermark}
+        if op == "ingest":
+            events = [
+                Event.from_dict(entry) for entry in payload.get("events", [])
+            ]
+            count = self._store.ingest(events)
+            if payload.get("snapshot") and self._store.root is not None:
+                self._store.snapshot()
+            return {
+                "ok": True,
+                "ingested": count,
+                "watermark": self._store.events_ingested,
+            }
+        if op == "evict":
+            if payload.get("ttl") is None and payload.get("max_keys") is None:
+                policy = self._retention
+            else:
+                policy = RetentionPolicy.from_dict(payload)
+            if policy is None or not policy.bounded:
+                raise ValueError(
+                    "evict needs ttl and/or max_keys (or a server-side "
+                    "retention policy)"
+                )
+            now = payload.get("now")
+            report = apply_retention(
+                self._store,
+                policy,
+                now=None if now is None else float(now),
+                snapshot=bool(payload.get("snapshot", True)),
+            )
+            return {
+                "ok": True,
+                "evicted": report,
+                "watermark": self._store.events_ingested,
+            }
+        if op == "info":
+            return {"ok": True, "result": self.describe()}
+        if op == "shutdown":
+            return {"ok": True, "result": "bye"}
+        raise ValueError(f"unknown op {op!r}")
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``info`` payload: store summary plus coalescing counters."""
+        store = self._store
+        return {
+            "groups": store.groups,
+            "events_ingested": store.events_ingested,
+            "keys": {
+                group: len(store.group_state(group).totals)
+                for group in store.groups
+            },
+            "config": store.config.to_dict(),
+            "root": None if store.root is None else str(store.root),
+            "retention": (
+                None if self._retention is None else self._retention.to_dict()
+            ),
+            "coalescing": self._batcher.stats.to_dict(),
+        }
+
+
+class ServingClient:
+    """Asyncio client for :class:`SketchServer`'s JSON-lines protocol.
+
+    Supports pipelining: every request gets a fresh ``id`` and a future;
+    a background reader task matches responses back by ``id``, so many
+    requests may be awaited concurrently over one connection.  Methods
+    return the full response payload (so callers can read the
+    ``watermark``) and raise :class:`ServingError` on ``ok: false``.
+    """
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: Dict[str, asyncio.Future] = {}
+        self._next_id = 0
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServingClient":
+        """Open a connection to a running server."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                payload = json.loads(line)
+                future = self._pending.pop(str(payload.get("id")), None)
+                if future is not None and not future.done():
+                    future.set_result(payload)
+        except (ConnectionError, OSError, ValueError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ServingError("server closed the connection")
+                    )
+            self._pending.clear()
+
+    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one operation and await its response payload."""
+        self._next_id += 1
+        request_id = str(self._next_id)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        line = json.dumps({"id": request_id, "op": op, **fields}) + "\n"
+        self._writer.write(line.encode())
+        await self._writer.drain()
+        response = await future
+        if not response.get("ok"):
+            raise ServingError(response.get("error", "request failed"))
+        return response
+
+    async def ping(self) -> Dict[str, Any]:
+        """Round-trip liveness check."""
+        return await self.request("ping")
+
+    async def query(
+        self,
+        kind: str,
+        groups: Optional[Sequence[str]] = None,
+        keys: Optional[Sequence[str]] = None,
+        until: Optional[float] = None,
+        backend: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Issue one serving query; the response carries ``result`` and
+        ``watermark``."""
+        fields: Dict[str, Any] = {"kind": kind}
+        if groups is not None:
+            fields["groups"] = list(groups)
+        if keys is not None:
+            fields["keys"] = list(keys)
+        if until is not None:
+            fields["until"] = until
+        if backend is not None:
+            fields["backend"] = backend
+        return await self.request("query", **fields)
+
+    async def ingest(
+        self, events: Iterable[Event], snapshot: bool = False
+    ) -> Dict[str, Any]:
+        """Ship a batch of events; the response acknowledges the count."""
+        return await self.request(
+            "ingest",
+            events=[event.to_dict() for event in events],
+            snapshot=snapshot,
+        )
+
+    async def evict(
+        self,
+        ttl: Optional[float] = None,
+        max_keys: Optional[int] = None,
+        now: Optional[float] = None,
+        snapshot: bool = True,
+    ) -> Dict[str, Any]:
+        """Run one eviction cycle (explicit knobs or the server default)."""
+        fields: Dict[str, Any] = {"snapshot": snapshot}
+        if ttl is not None:
+            fields["ttl"] = ttl
+        if max_keys is not None:
+            fields["max_keys"] = max_keys
+        if now is not None:
+            fields["now"] = now
+        return await self.request("evict", **fields)
+
+    async def info(self) -> Dict[str, Any]:
+        """The server's ``info`` payload."""
+        return (await self.request("info"))["result"]
+
+    async def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to stop (after acknowledging)."""
+        return await self.request("shutdown")
+
+    async def close(self) -> None:
+        """Close the connection and stop the reader task."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass

@@ -116,26 +116,53 @@ class GroupState:
 
     The ledger is the source of truth: ``totals`` maps each key to its
     accumulated weight (floats added in arrival order — the quantity the
-    bit-identity guarantee is about) and ``first_seen`` to the earliest
-    timestamp the key appeared at.  Sketches are derived views, rebuilt
-    on demand after any mutation.
+    bit-identity guarantee is about), ``first_seen`` to the earliest
+    timestamp the key appeared at, and ``last_seen`` to the latest (the
+    recency the retention policies in :mod:`repro.serving.retention`
+    evict by).  Sketches are derived views, rebuilt on demand after any
+    mutation — except append-only batches, which the store patches into
+    the cached views incrementally (see ``SketchStore.ingest``).
     """
 
     def __init__(self) -> None:
         self.totals: Dict[str, float] = {}
         self.first_seen: Dict[str, float] = {}
+        self.last_seen: Dict[str, float] = {}
         self.events = 0
         self._cache: Dict[str, Any] = {}
 
-    def apply(self, event: Event) -> None:
-        """Fold one event into the ledger and invalidate cached sketches."""
+    def apply(self, event: Event, invalidate: bool = True) -> None:
+        """Fold one event into the ledger.
+
+        ``invalidate=False`` leaves the cached sketches untouched; the
+        caller then owns bringing them back in sync (the append-only
+        fast path patches them via exact sketch-level merges).
+        """
         self.totals[event.key] = self.totals.get(event.key, 0.0) + float(
             event.weight
         )
         seen = self.first_seen.get(event.key)
         if seen is None or event.timestamp < seen:
             self.first_seen[event.key] = float(event.timestamp)
+        last = self.last_seen.get(event.key)
+        if last is None or event.timestamp > last:
+            self.last_seen[event.key] = float(event.timestamp)
         self.events += 1
+        if invalidate:
+            self._cache.clear()
+
+    def drop_keys(self, keys: Iterable[str]) -> None:
+        """Evict keys from the ledger and invalidate cached sketches.
+
+        Unknown keys are ignored.  ``events`` is deliberately left
+        alone: it counts feed events folded in, not retained keys, and
+        the store-level watermark must keep advancing monotonically so
+        snapshots taken after an eviction supersede earlier ones.
+        """
+        for key in keys:
+            self.totals.pop(key, None)
+            self.first_seen.pop(key, None)
+            self.last_seen.pop(key, None)
         self._cache.clear()
 
     def invalidate(self) -> None:
@@ -219,26 +246,99 @@ class SketchStore:
         (flushed and fsynced per batch) *before* applying it, so a crash
         can lose at most events never acknowledged by this method.
 
+        **Append-only fast path.**  When a batch only *introduces* keys
+        to a group (no event touches a key already in the ledger) and
+        the group's sketch views are materialised, the store does not
+        invalidate-and-rebuild: it builds sketches over just the new
+        keys and folds them into the cached views with the exact
+        sketch-level merges (:meth:`BottomKSketch.merge
+        <repro.sketches.bottomk.BottomKSketch.merge>` and friends),
+        which are bit-identical in content to a rebuild because the new
+        keys form a population disjoint from the retained one under the
+        shared seed assignment.  Batches that update retained keys fall
+        back to plain invalidation.
+
         Returns
         -------
         int
             Number of events ingested from this batch.
         """
-        count = 0
         batch = list(events)
         if self._log is not None:
             self._log.append_batch(
                 (self._events + i + 1, event) for i, event in enumerate(batch)
             )
+        per_group: Dict[str, List[Event]] = {}
         for event in batch:
-            self._apply(event)
-            count += 1
-        return count
+            per_group.setdefault(event.group, []).append(event)
+        for group, group_events in per_group.items():
+            state = self.group_state(group)
+            if state._cache and all(
+                event.key not in state.totals for event in group_events
+            ):
+                new_keys: List[str] = []
+                seen = set()
+                for event in group_events:
+                    state.apply(event, invalidate=False)
+                    if event.key not in seen:
+                        seen.add(event.key)
+                        new_keys.append(event.key)
+                self._patch_caches(state, new_keys)
+            else:
+                for event in group_events:
+                    state.apply(event)
+        self._events += len(batch)
+        return len(batch)
 
     def _apply(self, event: Event) -> None:
         """Apply one event to the ledger (no logging — replay path)."""
         self.group_state(event.group).apply(event)
         self._events += 1
+
+    def _patch_caches(self, state: GroupState, new_keys: Sequence[str]) -> None:
+        """Extend cached sketch views in place after an append-only batch.
+
+        ``new_keys`` were introduced by the batch (disjoint from the
+        pre-batch ledger) and are already folded into ``state``.  A
+        sketch built over just the new keys merged into the cached view
+        equals a full rebuild — the sketch-level merges are exact for
+        disjoint populations sharing the seed assignment — while only
+        paying for the new keys.  The derived reduction arrays (sorted
+        weights, ADS columns) are dropped and rebuilt lazily; they are
+        full-ledger concatenations with no incremental form.
+        """
+        cache = state._cache
+        config = self._config
+        if "bottomk" in cache:
+            new_totals = {key: state.totals[key] for key in new_keys}
+            cache["bottomk"] = cache["bottomk"].merge(
+                bottom_k_sketch(
+                    new_totals,
+                    k=config.k,
+                    method=config.rank_method,
+                    seeds=self._seeds.seeds_for(new_totals),
+                )
+            )
+        if "pps" in cache:
+            new_totals = {key: state.totals[key] for key in sorted(new_keys)}
+            cache["pps"] = cache["pps"].merge(
+                pps_sample(
+                    new_totals,
+                    tau_star=config.tau_star,
+                    seeds=self._seeds.seeds_for(new_totals),
+                )
+            )
+        if "ads" in cache:
+            new_first = {key: state.first_seen[key] for key in new_keys}
+            cache["ads"] = cache["ads"].merge(
+                build_ads_from_distances(
+                    new_first,
+                    k=config.k,
+                    ranks=self._seeds.seeds_for(new_first),
+                )
+            )
+        cache.pop("sum_weights", None)
+        cache.pop("ads_columns", None)
 
     # ------------------------------------------------------------------
     # Sketch views
@@ -362,6 +462,103 @@ class SketchStore:
             self, groups=selected, keys=keys, until=until, backend=backend
         )
 
+    def distinct_batch(
+        self,
+        group_horizons: Sequence[tuple],
+        backend: BackendSpec = None,
+    ) -> List[float]:
+        """``distinct`` estimates for many ``(group, until)`` pairs at once.
+
+        This is the coalescing entry point behind
+        :class:`~repro.serving.batcher.QueryBatcher`: concurrent
+        ``distinct`` requests with *different* time horizons still
+        collapse into one engine dispatch.  A single-pair call is the
+        exact code path of ``query("distinct", ...)``, so coalesced and
+        sequential answers are bit-identical.
+
+        Parameters
+        ----------
+        group_horizons:
+            ``(group, until)`` pairs; ``until=None`` means all of time.
+        backend:
+            Dispatch override, as for :meth:`query`.
+
+        Returns
+        -------
+        list of float
+            One estimate per pair, in input order.
+        """
+        from ..engine.serving import batch_hip_horizon_counts
+
+        column_groups = []
+        horizons = []
+        for group, until in group_horizons:
+            column_groups.append(self._ads_columns(group))
+            horizons.append(math.inf if until is None else float(until))
+        return batch_hip_horizon_counts(
+            column_groups, horizons, backend=backend
+        )
+
+    def _ads_columns(self, group: str):
+        """The group's cached ``(distance, threshold)`` ADS column arrays."""
+        import numpy as np
+
+        entries = self.sketch(group, "ads").entries
+
+        def columns():
+            nodes = sorted(entries)
+            return (
+                np.asarray([entries[n].distance for n in nodes], dtype=float),
+                np.asarray([entries[n].threshold for n in nodes], dtype=float),
+            )
+
+        return self.group_state(group).cached("ads_columns", columns)
+
+    def dispatch_size(
+        self,
+        kind: str,
+        groups: Optional[Sequence[str]] = None,
+        keys: Optional[Iterable[str]] = None,
+        until: Optional[float] = None,
+    ) -> int:
+        """The entry count :meth:`query` would resolve its backend on.
+
+        The query batcher uses this to resolve each request's backend
+        *individually* before coalescing, so an ``auto`` policy decides
+        exactly as it would for the sequential single-caller call —
+        coalescing never flips a dispatch decision, which is what keeps
+        coalesced answers bit-identical.
+        """
+        selected = self.groups if groups is None else list(groups)
+        if kind == "sum":
+            chosen = set(keys) if keys is not None else None
+            total = 0
+            for group in selected:
+                entries = self.sketch(group, "pps").entries
+                if chosen is None:
+                    total += len(entries)
+                else:
+                    total += sum(1 for key in entries if key in chosen)
+            return total
+        if kind == "distinct":
+            horizon = math.inf if until is None else float(until)
+            total = 0
+            for group in selected:
+                distances, _thresholds = self._ads_columns(group)
+                total += int((distances <= horizon).sum())
+            return total
+        raise ValueError(
+            f"no dispatch size for query kind {kind!r}; expected 'sum' "
+            "or 'distinct'"
+        )
+
+    def retain(self, policy, now: Optional[float] = None) -> Dict[str, List[str]]:
+        """Apply a retention policy to every group; see
+        :func:`repro.serving.retention.apply_retention`."""
+        from .retention import apply_retention
+
+        return apply_retention(self, policy, now=now)
+
     # ------------------------------------------------------------------
     # Persistence facade (implemented in repro.serving.persistence)
     # ------------------------------------------------------------------
@@ -457,6 +654,10 @@ def merge_stores(store_a: SketchStore, store_b: SketchStore) -> SketchStore:
                 prior = target.first_seen.get(key)
                 if prior is None or seen < prior:
                     target.first_seen[key] = seen
+            for key, seen in state.last_seen.items():
+                prior = target.last_seen.get(key)
+                if prior is None or seen > prior:
+                    target.last_seen[key] = seen
             target.events += state.events
             target.invalidate()
     merged._events = store_a.events_ingested + store_b.events_ingested
@@ -514,31 +715,16 @@ def _query_distinct(store, groups, keys, until, backend):
 
     The sketch entries' (distance, threshold) columns are cached in
     sorted-node order — content-determined reductions, as for ``sum`` —
-    and the query only masks them by the horizon and reduces.
+    and the query only masks them by the horizon and reduces.  The
+    masking and reduction are shared with :meth:`SketchStore.distinct_batch`
+    (the coalescing entry point), so single-caller and coalesced
+    answers come from one code path.
     """
-    import numpy as np
-
-    from ..engine.serving import batch_hip_counts
-
     if keys is not None:
         raise ValueError("'distinct' does not take a key selection")
-    horizon = math.inf if until is None else float(until)
-    probability_groups = []
-    for group in groups:
-        entries = store.sketch(group, "ads").entries
-
-        def columns():
-            nodes = sorted(entries)
-            return (
-                np.asarray([entries[n].distance for n in nodes], dtype=float),
-                np.asarray([entries[n].threshold for n in nodes], dtype=float),
-            )
-
-        distances, thresholds = store.group_state(group).cached(
-            "ads_columns", columns
-        )
-        probability_groups.append(thresholds[distances <= horizon])
-    counts = batch_hip_counts(probability_groups, backend=backend)
+    counts = store.distinct_batch(
+        [(group, until) for group in groups], backend=backend
+    )
     return dict(zip(groups, counts))
 
 

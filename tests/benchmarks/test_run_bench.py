@@ -81,11 +81,137 @@ class TestValidator:
         }
         assert any("median" in e for e in run_bench.validate_payload(zero_time))
 
+    def test_committed_smoke_baseline_is_valid(self, run_bench):
+        # CI compares every fresh smoke payload against this file; a
+        # malformed baseline would silently disable the regression gate.
+        payload = json.loads(
+            (BENCHMARKS / "baseline_smoke.json").read_text()
+        )
+        assert run_bench.validate_payload(payload) == []
+        assert payload["smoke"] is True
+        named = {bench["name"] for bench in payload["benches"]}
+        assert "store_serve" in named
+
     def test_suite_names_are_stable(self, run_bench):
         # The CI smoke job and the docs name these; renames must be
         # deliberate.
         assert {"moments_ablation", "moments_dominance", "simulate_grid",
-                "batch_sum"} <= set(run_bench.SUITE)
+                "batch_sum", "store_serve", "store_ingest_parallel",
+                } <= set(run_bench.SUITE)
+
+
+def _payload(run_bench, speedups, smoke=False):
+    """A schema-valid payload whose benches carry the given speedups
+    (``None`` = no baseline measured)."""
+    benches = []
+    for name, speedup in speedups.items():
+        bench = {
+            "name": name, "params": {}, "items": 10, "repeats": 3,
+            "wall_s": {"median": 0.1, "min": 0.09, "mean": 0.11},
+            "items_per_sec": 100.0, "backend_decision": "auto",
+        }
+        if speedup is not None:
+            bench["speedup"] = speedup
+            bench["baseline"] = {
+                "backend": "scalar",
+                "wall_s": {"median": 0.1 * speedup,
+                           "min": 0.09 * speedup,
+                           "mean": 0.11 * speedup},
+            }
+        benches.append(bench)
+    return {
+        "schema": run_bench.SCHEMA,
+        "git_sha": "abc1234",
+        "python": "3.11.0",
+        "numpy": "2.0.0",
+        "backend": {"mode": "auto", "auto_threshold": 64},
+        "smoke": smoke,
+        "benches": benches,
+    }
+
+
+class TestCompare:
+    def test_identical_payloads_pass(self, run_bench):
+        payload = _payload(run_bench, {"a": 4.0, "b": None})
+        regressions, _notes = run_bench.compare_payloads(
+            payload, payload, band=0.5
+        )
+        assert regressions == []
+
+    def test_within_band_passes_beyond_band_fails(self, run_bench):
+        old = _payload(run_bench, {"a": 4.0})
+        within = _payload(run_bench, {"a": 2.1})  # 0.525 of old
+        beyond = _payload(run_bench, {"a": 1.9})  # 0.475 of old
+        assert run_bench.compare_payloads(old, within, band=0.5)[0] == []
+        regressions, _ = run_bench.compare_payloads(old, beyond, band=0.5)
+        assert len(regressions) == 1
+        assert "a" in regressions[0]
+
+    def test_improvements_never_fail(self, run_bench):
+        old = _payload(run_bench, {"a": 2.0})
+        new = _payload(run_bench, {"a": 40.0})
+        assert run_bench.compare_payloads(old, new, band=0.1)[0] == []
+
+    def test_lost_speedup_coverage_is_a_regression(self, run_bench):
+        old = _payload(run_bench, {"a": 4.0, "b": 3.0})
+        missing = _payload(run_bench, {"b": 3.0})
+        unmeasured = _payload(run_bench, {"a": None, "b": 3.0})
+        assert len(run_bench.compare_payloads(old, missing, band=0.5)[0]) == 1
+        assert len(run_bench.compare_payloads(old, unmeasured, band=0.5)[0]) == 1
+
+    def test_new_and_baseline_free_benches_are_notes(self, run_bench):
+        old = _payload(run_bench, {"a": 4.0, "c": None})
+        new = _payload(run_bench, {"a": 4.0, "d": None}, smoke=True)
+        regressions, notes = run_bench.compare_payloads(old, new, band=0.5)
+        assert regressions == []
+        text = "\n".join(notes)
+        assert "c" in text and "d" in text and "smoke" in text
+
+    def test_near_unity_speedups_are_informational(self, run_bench):
+        # A 1.1x-vs-0.5x flip is noise around "no speedup", not a
+        # vectorized path collapsing; it must never fail the build.
+        old = _payload(run_bench, {"a": 1.1})
+        new = _payload(run_bench, {"a": 0.5})
+        regressions, notes = run_bench.compare_payloads(old, new, band=0.5)
+        assert regressions == []
+        assert any("informational" in note for note in notes)
+        gone = _payload(run_bench, {})
+        assert run_bench.compare_payloads(old, gone, band=0.5)[0] == []
+
+    def test_band_must_be_a_fraction(self, run_bench):
+        payload = _payload(run_bench, {"a": 1.0})
+        with pytest.raises(ValueError):
+            run_bench.compare_payloads(payload, payload, band=1.0)
+
+    def test_cli_compare_exit_codes(self, run_bench, tmp_path):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(_payload(run_bench, {"a": 4.0})))
+        new.write_text(json.dumps(_payload(run_bench, {"a": 1.0})))
+        env = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
+        args = [sys.executable, str(BENCHMARKS / "run_bench.py"), "--compare"]
+        ok = subprocess.run(
+            args + [str(old), str(old)],
+            capture_output=True, text=True, cwd=REPO, env=env, timeout=60,
+        )
+        assert ok.returncode == 0, ok.stderr
+        assert "ok" in ok.stdout
+        bad = subprocess.run(
+            args + [str(old), str(new)],
+            capture_output=True, text=True, cwd=REPO, env=env, timeout=60,
+        )
+        assert bad.returncode == 1
+        assert "regression" in bad.stderr
+        loose = subprocess.run(
+            args + [str(old), str(new), "--band", "0.9"],
+            capture_output=True, text=True, cwd=REPO, env=env, timeout=60,
+        )
+        assert loose.returncode == 0, loose.stderr
+        missing = subprocess.run(
+            args + [str(old), str(tmp_path / "nope.json")],
+            capture_output=True, text=True, cwd=REPO, env=env, timeout=60,
+        )
+        assert missing.returncode == 2
 
 
 class TestEndToEnd:

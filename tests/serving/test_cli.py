@@ -1,0 +1,157 @@
+"""The serving CLI's phase-2 subcommands: serve, load, evict.
+
+The ``serve`` test is the CI serving-smoke job in miniature: a real
+subprocess bound to an ephemeral port, driven by the load client
+(concurrent queries plus an eviction cycle), asked to shut down, and
+required to exit cleanly with its final watermark announced.  ``load``
+and ``evict`` are also covered in-process, where their reports can be
+inspected without scraping stdout.
+"""
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.serving import SketchServer, SketchStore, StoreConfig, synthetic_feed
+from repro.serving.cli import main, run_load
+
+REPO = Path(__file__).resolve().parents[2]
+
+CONFIG = StoreConfig(k=32, tau_star=0.75, salt="test-cli")
+
+
+def _populate(root, n=300, keys=80):
+    store = SketchStore.open(root, CONFIG)
+    store.ingest(synthetic_feed(n, num_keys=keys, groups=("u", "v"), seed=13))
+    store.close()
+
+
+class TestRunLoad:
+    def test_concurrent_and_sequential_answer_identically(self):
+        store = SketchStore(CONFIG)
+        store.ingest(
+            synthetic_feed(200, num_keys=50, groups=("u", "v"), seed=19)
+        )
+
+        async def run():
+            async with SketchServer(store) as server:
+                host, port = server.address
+                concurrent = await run_load(
+                    host, port, clients=6, requests_per_client=4,
+                    kinds=("sum", "distinct", "similarity"),
+                )
+                sequential = await run_load(
+                    host, port, clients=6, requests_per_client=4,
+                    mode="sequential",
+                    kinds=("sum", "distinct", "similarity"),
+                )
+                return concurrent, sequential
+
+        concurrent, sequential = asyncio.run(run())
+        assert concurrent["errors"] == 0 and sequential["errors"] == 0
+        assert concurrent["requests"] == sequential["requests"] == 24
+        # Coalescing shows up in the counters: the concurrent pass must
+        # not cost one store call per request.
+        burst_calls = (
+            sequential["coalescing"]["store_calls"]
+            - concurrent["coalescing"]["store_calls"]
+        )
+        assert concurrent["coalescing"]["store_calls"] < 24 <= burst_calls
+
+    def test_load_validates_its_knobs(self):
+        with pytest.raises(ValueError):
+            asyncio.run(run_load("127.0.0.1", 1, mode="warp"))
+        with pytest.raises(ValueError):
+            asyncio.run(run_load("127.0.0.1", 1, clients=0))
+        with pytest.raises(ValueError):
+            asyncio.run(run_load("127.0.0.1", 1, kinds=()))
+
+
+class TestEvictCommand:
+    def test_evict_bounds_and_persists(self, tmp_path, capsys):
+        _populate(tmp_path)
+        assert main(
+            ["evict", "--store", str(tmp_path), "--max-keys", "12"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["evicted"]
+        assert all(
+            count <= 12 for count in payload["remaining_keys"].values()
+        )
+        store = SketchStore.open(tmp_path)
+        try:
+            assert all(
+                len(store.group_state(group).totals) <= 12
+                for group in store.groups
+            )
+        finally:
+            store.close()
+
+    def test_evict_requires_a_bound(self, tmp_path, capsys):
+        _populate(tmp_path, n=20, keys=10)
+        assert main(["evict", "--store", str(tmp_path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeSubprocess:
+    def test_serve_load_evict_shutdown_cycle(self, tmp_path):
+        _populate(tmp_path / "store")
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.serving", "serve",
+                "--store", str(tmp_path / "store"), "--port", "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=REPO,
+        )
+        try:
+            banner = proc.stdout.readline().strip()
+            assert " on " in banner, banner
+            host, port = banner.rsplit(" on ", 1)[1].rsplit(":", 1)
+
+            async def drive():
+                report = await run_load(
+                    host, int(port), clients=8, requests_per_client=3,
+                    kinds=("sum", "distinct"),
+                )
+                from repro.serving import ServingClient
+
+                client = await ServingClient.connect(host, int(port))
+                try:
+                    evicted = await client.evict(max_keys=10)
+                    info = await client.info()
+                    await client.shutdown()
+                finally:
+                    await client.close()
+                return report, evicted, info
+
+            report, evicted, info = asyncio.run(drive())
+            assert report["errors"] == 0
+            assert all(count <= 10 for count in info["keys"].values())
+            stdout, stderr = proc.communicate(timeout=30)
+            assert proc.returncode == 0, stderr
+            assert "server stopped at watermark 300" in stdout
+            assert "Traceback" not in stderr
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        # The eviction cycle was snapshotted: a reopened store stays
+        # bounded.
+        store = SketchStore.open(tmp_path / "store")
+        try:
+            assert all(
+                len(store.group_state(group).totals) <= 10
+                for group in store.groups
+            )
+        finally:
+            store.close()

@@ -1,0 +1,187 @@
+"""The append-only incremental fast path must be invisible in the results.
+
+``SketchStore.ingest`` patches the cached sketch views in place when a
+batch introduces only brand-new keys into a group whose caches are warm
+— merging a batch-only sketch into the cached one instead of rebuilding
+from the full ledger.  Merging is *exact* for disjoint populations
+(pinned by the merge property suite), so the patched store must be
+bit-identical to a cold rebuild: ledgers, all three sketch kinds, and
+float query answers compare with ``==``.  A batch that touches any
+existing key must fall back to invalidation, and the fall-back must be
+just as invisible.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.serving import Event, SketchStore, StoreConfig, synthetic_feed
+
+CONFIG = StoreConfig(k=12, tau_star=0.75, salt="test-incremental")
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _warm(store):
+    """Materialise every cached view the fast path patches."""
+    for group in store.groups:
+        for kind in ("bottomk", "pps", "ads"):
+            store.sketch(group, kind)
+    store.query("sum")
+    store.query("distinct")
+    return store
+
+
+def _cold_rebuild(batches):
+    """One single-pass store over the concatenation, caches built once."""
+    store = SketchStore(CONFIG)
+    for batch in batches:
+        store.ingest(batch)
+    return store
+
+
+def assert_identical(warm, cold):
+    assert warm.groups == cold.groups
+    assert warm.events_ingested == cold.events_ingested
+    for group in cold.groups:
+        ours, theirs = warm.group_state(group), cold.group_state(group)
+        assert ours.totals == theirs.totals
+        assert ours.first_seen == theirs.first_seen
+        assert ours.last_seen == theirs.last_seen
+        for kind in ("bottomk", "pps"):
+            assert (
+                warm.sketch(group, kind).entries
+                == cold.sketch(group, kind).entries
+            )
+        assert warm.sketch(group, "ads") == cold.sketch(group, "ads")
+    assert warm.query("sum") == cold.query("sum")
+    assert warm.query("distinct") == cold.query("distinct")
+    assert warm.query("distinct", until=50.0) == cold.query(
+        "distinct", until=50.0
+    )
+
+
+def _base(n=80, keys=25):
+    return synthetic_feed(n, num_keys=keys, groups=("u", "v"), seed=61)
+
+
+class TestAppendOnlyFastPath:
+    def test_single_append_batch_matches_cold_rebuild(self):
+        base = _base()
+        batch = [
+            Event(f"new-{index}", 1.5 + index, 200.0 + index, "u")
+            for index in range(6)
+        ]
+        warm = _warm(_cold_rebuild([base]))
+        warm.ingest(batch)
+        assert_identical(warm, _cold_rebuild([base, batch]))
+
+    def test_many_small_appends_stay_identical(self):
+        base = _base()
+        batches = [
+            [
+                Event(
+                    f"n{round_index}-{index}",
+                    1.0 + (round_index + index) % 4,
+                    300.0 + round_index * 10 + index,
+                    ("u", "v")[index % 2],
+                )
+                for index in range(4)
+            ]
+            for round_index in range(8)
+        ]
+        warm = _warm(_cold_rebuild([base]))
+        for batch in batches:
+            warm.ingest(batch)
+        assert_identical(warm, _cold_rebuild([base] + batches))
+
+    def test_existing_key_falls_back_to_invalidation(self):
+        base = _base()
+        existing = base[0].key
+        batch = [
+            Event("brand-new", 2.0, 400.0, base[0].group),
+            Event(existing, 1.0, 401.0, base[0].group),
+        ]
+        warm = _warm(_cold_rebuild([base]))
+        warm.ingest(batch)
+        assert_identical(warm, _cold_rebuild([base, batch]))
+
+    def test_new_group_in_batch_is_safe(self):
+        base = _base()
+        batch = [Event("first-of-group", 1.0, 500.0, "w")]
+        warm = _warm(_cold_rebuild([base]))
+        warm.ingest(batch)
+        assert_identical(warm, _cold_rebuild([base, batch]))
+
+    def test_cold_store_takes_the_plain_path(self):
+        base = _base()
+        batch = [Event("new-key", 1.0, 600.0, "u")]
+        cold = _cold_rebuild([base])  # caches never materialised
+        cold.ingest(batch)
+        assert_identical(cold, _cold_rebuild([base, batch]))
+
+    def test_fast_path_preserves_derived_caches(self):
+        # "sum_weights" / "ads_columns" are derived from the sketch
+        # caches; a stale one after patching would skew every query.
+        base = _base()
+        warm = _warm(_cold_rebuild([base]))
+        for round_index in range(3):
+            batch = [
+                Event(
+                    f"d{round_index}-{index}",
+                    2.0,
+                    700.0 + round_index * 5 + index,
+                    "v",
+                )
+                for index in range(3)
+            ]
+            warm.ingest(batch)
+            cold = _cold_rebuild([base])
+            for done in range(round_index + 1):
+                cold.ingest(
+                    [
+                        Event(
+                            f"d{done}-{index}",
+                            2.0,
+                            700.0 + done * 5 + index,
+                            "v",
+                        )
+                        for index in range(3)
+                    ]
+                )
+            assert warm.query("sum") == cold.query("sum")
+            assert warm.query("distinct") == cold.query("distinct")
+
+
+class TestAppendOnlyProperty:
+    @SETTINGS
+    @given(
+        splits=st.lists(
+            st.integers(min_value=0, max_value=39), min_size=1, max_size=4
+        ),
+        data=st.data(),
+    )
+    def test_random_append_schedules_match_cold_rebuild(self, splits, data):
+        """Any partition of a feed into (warm base + append batches) —
+        where batch keys may be new or repeated — matches the rebuild."""
+        feed = synthetic_feed(40, num_keys=15, groups=("u", "v"), seed=67)
+        extra_count = data.draw(st.integers(min_value=0, max_value=10))
+        extras = [
+            Event(f"x{index}", 1.0 + index % 3, 100.0 + index, ("u", "v")[index % 2])
+            for index in range(extra_count)
+        ]
+        tail = sorted(set(splits))
+        batches = []
+        previous = 0
+        for cut in tail:
+            batches.append(feed[previous:cut])
+            previous = cut
+        batches.append(feed[previous:] + extras)
+        warm = _warm(_cold_rebuild([batches[0]]))
+        for batch in batches[1:]:
+            warm.ingest(batch)
+            _warm(warm)  # interleave queries with ingestion
+        assert_identical(warm, _cold_rebuild(batches))

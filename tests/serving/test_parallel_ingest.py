@@ -1,0 +1,163 @@
+"""Multi-process ingestion: bit-identity, durability, and crash recovery.
+
+The :class:`~repro.serving.ingest.ParallelIngestor` claims its fold is
+*bit-identical* to single-pass ingestion — ledgers, sketches, and query
+answers all compare with ``==`` — and that durable mode resumes from
+exactly the acknowledged prefix after a worker dies.  The fault tests
+fabricate the kill deterministically through
+:func:`~repro.serving.ingest.ingest_shard_durable`'s ``limit`` hook (the
+state a ``SIGKILL`` right after the last fsync would leave) instead of
+racing a real signal.
+"""
+
+import pytest
+
+from repro.serving import (
+    ParallelIngestor,
+    SketchStore,
+    StoreConfig,
+    shard_events,
+    synthetic_feed,
+    write_events,
+)
+from repro.serving.ingest import ingest_shard_durable
+
+CONFIG = StoreConfig(k=16, tau_star=0.75, salt="test-parallel")
+
+
+def _feed(n=300, keys=80, seed=41):
+    return synthetic_feed(n, num_keys=keys, groups=("u", "v", "w"), seed=seed)
+
+
+def _single_pass(events, config=CONFIG):
+    store = SketchStore(config)
+    store.ingest(events)
+    return store
+
+
+def assert_stores_identical(actual, expected):
+    """Ledgers, sketches, and answers must compare with ``==``."""
+    assert actual.groups == expected.groups
+    assert actual.events_ingested == expected.events_ingested
+    for group in expected.groups:
+        ours, theirs = actual.group_state(group), expected.group_state(group)
+        assert ours.totals == theirs.totals
+        assert ours.first_seen == theirs.first_seen
+        assert ours.last_seen == theirs.last_seen
+        assert ours.events == theirs.events
+        for kind in ("bottomk", "pps"):
+            assert (
+                actual.sketch(group, kind).entries
+                == expected.sketch(group, kind).entries
+            )
+    assert actual.query("sum") == expected.query("sum")
+    assert actual.query("distinct") == expected.query("distinct")
+    pair = expected.groups[:2]
+    assert actual.query("similarity", groups=pair) == expected.query(
+        "similarity", groups=pair
+    )
+
+
+class TestInMemoryParity:
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_parallel_equals_single_pass(self, workers):
+        feed = _feed()
+        parallel = ParallelIngestor(CONFIG, num_workers=workers).ingest(feed)
+        assert_stores_identical(parallel, _single_pass(feed))
+
+    def test_one_worker_skips_the_pool(self):
+        feed = _feed(n=60, keys=20)
+        store = ParallelIngestor(CONFIG, num_workers=1).ingest(feed)
+        assert_stores_identical(store, _single_pass(feed))
+
+    def test_feed_files_parity(self, tmp_path):
+        feed = _feed()
+        paths = []
+        for index, shard in enumerate(shard_events(feed, 3)):
+            path = tmp_path / f"shard-{index}.jsonl"
+            write_events(path, shard)
+            paths.append(path)
+        store = ParallelIngestor(CONFIG, num_workers=3).ingest_feeds(paths)
+        assert_stores_identical(store, _single_pass(feed))
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            ParallelIngestor(CONFIG, num_workers=0)
+        with pytest.raises(ValueError):
+            ParallelIngestor(CONFIG, batch_size=0)
+
+
+class TestDurable:
+    def test_durable_parity_and_workers_on_disk(self, tmp_path):
+        feed = _feed(n=200, keys=50)
+        ingestor = ParallelIngestor(CONFIG, num_workers=2, batch_size=32)
+        store = ingestor.ingest_durable(feed, tmp_path / "root")
+        assert_stores_identical(store, _single_pass(feed))
+        shards = shard_events(feed, 2)
+        for index, shard in enumerate(shards):
+            worker = SketchStore.open(tmp_path / "root" / f"worker-{index:02d}")
+            try:
+                assert worker.events_ingested == len(shard)
+            finally:
+                worker.close()
+
+    def test_worker_count_is_pinned(self, tmp_path):
+        feed = _feed(n=60, keys=20)
+        root = tmp_path / "root"
+        ParallelIngestor(CONFIG, num_workers=2).ingest_durable(feed, root)
+        with pytest.raises(ValueError, match="laid out"):
+            ParallelIngestor(CONFIG, num_workers=3).ingest_durable(feed, root)
+
+    def test_killed_worker_leaves_exactly_the_acknowledged_prefix(
+        self, tmp_path
+    ):
+        feed = _feed(n=200, keys=50)
+        shard = shard_events(feed, 2)[1]
+        rows = [(e.key, e.weight, e.timestamp, e.group) for e in shard]
+        payload = ingest_shard_durable(
+            CONFIG.to_dict(), rows, tmp_path / "w", batch_size=16, limit=40
+        )
+        assert payload["acknowledged"] == 40
+        # What survived on disk is the acknowledged prefix, nothing else.
+        recovered = SketchStore.open(tmp_path / "w")
+        try:
+            assert_stores_identical(recovered, _single_pass(shard[:40]))
+        finally:
+            recovered.close()
+
+    def test_rerun_after_crash_resumes_and_converges(self, tmp_path):
+        feed = _feed(n=240, keys=60)
+        root = tmp_path / "root"
+        shards = shard_events(feed, 2)
+        rows = [
+            [(e.key, e.weight, e.timestamp, e.group) for e in shard]
+            for shard in shards
+        ]
+        # Fabricate the crash: worker 0 completes, worker 1 dies after
+        # acknowledging 25 events.
+        ingest_shard_durable(
+            CONFIG.to_dict(), rows[0], root / "worker-00", batch_size=16
+        )
+        ingest_shard_durable(
+            CONFIG.to_dict(),
+            rows[1],
+            root / "worker-01",
+            batch_size=16,
+            limit=25,
+        )
+        # The operator re-runs the same ingest; every worker resumes
+        # from its own acknowledged prefix and the fold converges to
+        # the single-pass answer.
+        store = ParallelIngestor(
+            CONFIG, num_workers=2, batch_size=16
+        ).ingest_durable(feed, root)
+        assert_stores_identical(store, _single_pass(feed))
+
+    def test_rerun_without_crash_is_idempotent(self, tmp_path):
+        feed = _feed(n=120, keys=30)
+        root = tmp_path / "root"
+        ingestor = ParallelIngestor(CONFIG, num_workers=2, batch_size=16)
+        first = ingestor.ingest_durable(feed, root)
+        second = ingestor.ingest_durable(feed, root)
+        assert_stores_identical(second, first)
+        assert_stores_identical(second, _single_pass(feed))

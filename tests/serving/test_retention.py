@@ -1,0 +1,175 @@
+"""Bounded retention: deterministic eviction plans, durable eviction.
+
+The policy is a pure function of ``(last_seen, now)`` — stalest first,
+ties broken by key, TTL cutoff strict — and applying it must be
+*durable*: after the eviction snapshot, a reopened store cannot
+resurrect evicted keys from the write-ahead log, while the events
+counter (the serving watermark) stays monotone.
+"""
+
+import math
+
+import pytest
+
+from repro.serving import (
+    Event,
+    RetentionPolicy,
+    SketchStore,
+    StoreConfig,
+    apply_retention,
+    synthetic_feed,
+)
+
+CONFIG = StoreConfig(k=16, tau_star=0.75, salt="test-retention")
+
+
+def _store(events, root=None):
+    store = (
+        SketchStore(CONFIG)
+        if root is None
+        else SketchStore.open(root, CONFIG)
+    )
+    store.ingest(events)
+    return store
+
+
+class TestPolicy:
+    def test_ttl_cutoff_is_strict(self):
+        policy = RetentionPolicy(ttl=10.0)
+        last_seen = {"old": 0.0, "edge": 10.0, "fresh": 15.0}
+        assert policy.plan(last_seen, now=20.0) == ["old"]
+
+    def test_max_keys_evicts_stalest_first(self):
+        policy = RetentionPolicy(max_keys=2)
+        last_seen = {"a": 3.0, "b": 1.0, "c": 2.0, "d": 4.0}
+        assert policy.plan(last_seen, now=4.0) == ["b", "c"]
+
+    def test_ties_break_by_key(self):
+        policy = RetentionPolicy(max_keys=1)
+        last_seen = {"z": 1.0, "a": 1.0, "m": 2.0}
+        assert policy.plan(last_seen, now=2.0) == ["a", "z"]
+
+    def test_ttl_and_max_keys_compose(self):
+        policy = RetentionPolicy(ttl=5.0, max_keys=2)
+        last_seen = {"a": 0.0, "b": 6.0, "c": 7.0, "d": 8.0}
+        # "a" ages out; of the survivors the stalest beyond max_keys go.
+        assert policy.plan(last_seen, now=10.0) == ["a", "b"]
+
+    def test_unbounded_policy_plans_nothing(self):
+        policy = RetentionPolicy()
+        assert not policy.bounded
+        assert policy.plan({"a": 0.0}, now=1e9) == []
+        assert RetentionPolicy(ttl=1.0).bounded
+        assert RetentionPolicy(max_keys=0).bounded
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetentionPolicy(ttl=0.0)
+        with pytest.raises(ValueError):
+            RetentionPolicy(ttl=-1.0)
+        with pytest.raises(ValueError):
+            RetentionPolicy(max_keys=-1)
+
+    def test_dict_roundtrip_tolerates_extra_fields(self):
+        policy = RetentionPolicy(ttl=3600.0, max_keys=512)
+        assert RetentionPolicy.from_dict(policy.to_dict()) == policy
+        # The server builds a policy straight from an ``evict`` request
+        # payload, which carries protocol fields too.
+        wire = {"id": 7, "op": "evict", "ttl": 60.0, "max_keys": None}
+        assert RetentionPolicy.from_dict(wire) == RetentionPolicy(ttl=60.0)
+
+
+class TestApplyRetention:
+    def test_eviction_equals_a_store_of_the_survivors(self):
+        events = synthetic_feed(
+            150, num_keys=40, groups=("u", "v"), seed=53
+        )
+        store = _store(events)
+        report = apply_retention(store, RetentionPolicy(max_keys=10))
+        assert all(
+            len(store.group_state(group).totals) <= 10
+            for group in store.groups
+        )
+        # The post-eviction store answers exactly like a store that only
+        # ever saw the surviving keys' events.
+        victims = {
+            group: set(keys) for group, keys in report.items()
+        }
+        survivors = [
+            event
+            for event in events
+            if event.key not in victims.get(event.group, set())
+        ]
+        reference = _store(survivors)
+        for group in store.groups:
+            assert (
+                store.group_state(group).totals
+                == reference.group_state(group).totals
+            )
+            for kind in ("bottomk", "pps"):
+                assert (
+                    store.sketch(group, kind).entries
+                    == reference.sketch(group, kind).entries
+                )
+        assert store.query("sum") == reference.query("sum")
+        assert store.query("distinct") == reference.query("distinct")
+
+    def test_default_now_is_the_stores_newest_timestamp(self):
+        store = _store(
+            [
+                Event("a", 1.0, 0.0, "g"),
+                Event("b", 1.0, 50.0, "g"),
+                Event("c", 1.0, 100.0, "g"),
+            ]
+        )
+        report = apply_retention(store, RetentionPolicy(ttl=60.0))
+        assert report == {"g": ["a"]}
+        assert set(store.group_state("g").totals) == {"b", "c"}
+
+    def test_unbounded_policy_must_not_be_applied(self):
+        with pytest.raises(ValueError):
+            apply_retention(_store([Event("a", 1.0, 0.0, "g")]),
+                            RetentionPolicy())
+
+    def test_watermark_survives_eviction(self):
+        store = _store(synthetic_feed(80, num_keys=30, seed=7))
+        before = store.events_ingested
+        apply_retention(store, RetentionPolicy(max_keys=5))
+        assert store.events_ingested == before
+
+    def test_evicted_keys_stay_gone_after_reopen(self, tmp_path):
+        events = synthetic_feed(
+            120, num_keys=30, groups=("u", "v"), seed=59
+        )
+        store = _store(events, root=tmp_path)
+        report = apply_retention(store, RetentionPolicy(max_keys=8))
+        assert any(report.values())
+        surviving = {
+            group: dict(store.group_state(group).totals)
+            for group in store.groups
+        }
+        watermark = store.events_ingested
+        store.close()
+        # Reopen: the eviction snapshot supersedes the WAL, so replay
+        # cannot resurrect the victims, and the watermark is intact.
+        recovered = SketchStore.open(tmp_path)
+        try:
+            assert recovered.events_ingested == watermark
+            for group, totals in surviving.items():
+                assert recovered.group_state(group).totals == totals
+        finally:
+            recovered.close()
+
+    def test_evicted_key_may_return_as_fresh(self):
+        store = _store(
+            [
+                Event("a", 2.0, 0.0, "g"),
+                Event("b", 1.0, 100.0, "g"),
+            ]
+        )
+        apply_retention(store, RetentionPolicy(ttl=50.0))
+        assert set(store.group_state("g").totals) == {"b"}
+        store.ingest([Event("a", 3.0, 200.0, "g")])
+        state = store.group_state("g")
+        assert state.totals["a"] == 3.0  # history was truly dropped
+        assert state.first_seen["a"] == 200.0
