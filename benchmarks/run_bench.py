@@ -384,6 +384,54 @@ def _bench_store_ingest_parallel(smoke: bool):
     )
 
 
+def _bench_store_replication(smoke: bool):
+    import asyncio
+
+    from repro.serving import (
+        ReplicaFollower,
+        ServingClient,
+        SketchServer,
+        SketchStore,
+        StoreConfig,
+        synthetic_feed,
+    )
+
+    n = 4_000 if smoke else 20_000
+    batch = 500
+    config = StoreConfig(k=512, tau_star=0.5, salt="bench-repl")
+    feed = synthetic_feed(n, num_keys=n // 3, groups=("u", "v"), seed=37)
+    chunks = [feed[i : i + batch] for i in range(0, n, batch)]
+
+    async def drive(replicate: bool):
+        store = SketchStore(config)
+        async with SketchServer(store) as server:
+            host, port = server.address
+            client = await ServingClient.connect(host, port)
+            for chunk in chunks:
+                await client.ingest(chunk)
+            await client.close()
+            if replicate:
+                fstore = SketchStore(config)
+                follower = ReplicaFollower(fstore, host, port)
+                await follower.sync_once()
+                if fstore.events_ingested != n:
+                    raise RuntimeError("follower did not converge")
+        return store.events_ingested
+
+    return (
+        # Ingest over the wire *plus* a cold follower bootstrap and
+        # catch-up: what a replica group costs end to end.
+        lambda: asyncio.run(drive(True)),
+        n,
+        {"num_events": n, "batch": batch, "groups": 2},
+        n,
+        # The same wire ingest with no follower: replication's overhead
+        # shows up as an honest sub-1x "speedup" (informational in
+        # --compare, since it sits below --min-speedup).
+        ("primary-only", lambda: asyncio.run(drive(False))),
+    )
+
+
 def _bench_runner_smoke_batch(smoke: bool):
     from repro.api.experiments import ExperimentRunner
 
@@ -413,6 +461,7 @@ SUITE: Dict[str, Tuple[Callable, object]] = {
     "store_query": (_bench_store_query, True),
     "store_serve": (_bench_store_serve, "custom"),
     "store_ingest_parallel": (_bench_store_ingest_parallel, "custom"),
+    "store_replication": (_bench_store_replication, "custom"),
     "runner_smoke_batch": (_bench_runner_smoke_batch, False),
 }
 
@@ -569,6 +618,12 @@ def compare_payloads(
     informational lines for everything else, including benches whose old
     speedup is under ``min_speedup`` (too close to 1x for the ratio to
     mean anything).
+
+    Benches that record a ``cpu_count`` param (the parallel-ingest
+    bench) are only compared when both payloads saw the same count: a
+    multi-process speedup measured on 8 cores says nothing about the
+    same code on 1 core, so a mismatch is warned about and the bench is
+    skipped rather than failed.
     """
     if not 0 <= band < 1:
         raise ValueError("band must be in [0, 1)")
@@ -598,6 +653,15 @@ def compare_payloads(
                 )
             else:
                 notes.append(f"note: {name} missing from the new payload")
+            continue
+        old_cpu = (old_bench.get("params") or {}).get("cpu_count")
+        new_cpu = (new_bench.get("params") or {}).get("cpu_count")
+        if (old_cpu is not None or new_cpu is not None) and old_cpu != new_cpu:
+            notes.append(
+                f"warning: {name}: recorded cpu_count differs "
+                f"({old_cpu} -> {new_cpu}); hardware-bound speedups are "
+                "not comparable, skipping this bench"
+            )
             continue
         new_speedup = new_bench.get("speedup")
         if old_speedup is None and new_speedup is None:

@@ -50,18 +50,52 @@ distinct-count queries) use them:
     eviction (:class:`~repro.serving.retention.RetentionPolicy`), made
     durable through the snapshot + log-compaction path.
 
+:mod:`repro.serving.replication`
+    Primary/follower replication: a bounded
+    :class:`~repro.serving.replication.ReplicationHub` of sealed WAL
+    segments shipped over the TCP protocol, snapshot shipping for cold
+    followers, and a :class:`~repro.serving.replication.ReplicaFollower`
+    whose ledger — and every query answer — converges bit-identically
+    to the primary's at the same watermark.
+
+:mod:`repro.serving.metrics`
+    Observability: a deterministic
+    :class:`~repro.serving.metrics.MetricsRegistry` (counters +
+    fixed-bucket latency histograms) threaded through the server,
+    batcher, ingest, retention, and replication paths, exposed by the
+    ``metrics`` op and a stdlib-only Prometheus
+    :class:`~repro.serving.metrics.MetricsHTTPShim`.
+
+:mod:`repro.serving.admission`
+    Ingest admission control: a bounded pending-events queue with
+    explicit shed responses carrying a measured ``retry_after`` hint
+    (:class:`~repro.serving.admission.AdmissionController`), so
+    overload degrades deterministically instead of growing memory.
+
 :mod:`repro.serving.cli`
     ``python -m repro.serving`` — ``synth`` / ``ingest`` / ``query`` /
     ``snapshot`` / ``merge`` / ``info`` subcommands over a store
-    directory, plus ``serve`` (the asyncio server), ``load`` (a
-    load-generating client) and ``evict`` (offline retention).
+    directory, plus ``serve`` (the asyncio server; ``--follow`` runs a
+    read-only replica, ``--metrics-port`` mounts the scrape endpoint),
+    ``load`` (a load-generating client) and ``evict`` (offline
+    retention).
 """
 
+from .admission import AdmissionController
 from .batcher import QueryBatcher, QueryRequest
 from .events import Event, read_events, shard_events, synthetic_feed, write_events
 from .ingest import ParallelIngestor
+from .metrics import MetricsHTTPShim, MetricsRegistry
+from .replication import ReplicaFollower, ReplicationError, ReplicationHub
 from .retention import RetentionPolicy, apply_retention
-from .server import ServingClient, ServingError, SketchServer
+from .server import (
+    ConnectionLost,
+    Overloaded,
+    ProtocolError,
+    ServingClient,
+    ServingError,
+    SketchServer,
+)
 from .store import (
     SERVING_QUERY_KINDS,
     SketchStore,
@@ -70,10 +104,19 @@ from .store import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "ConnectionLost",
     "Event",
+    "MetricsHTTPShim",
+    "MetricsRegistry",
+    "Overloaded",
     "ParallelIngestor",
+    "ProtocolError",
     "QueryBatcher",
     "QueryRequest",
+    "ReplicaFollower",
+    "ReplicationError",
+    "ReplicationHub",
     "RetentionPolicy",
     "ServingClient",
     "ServingError",

@@ -1,0 +1,159 @@
+"""Ingest admission control: bounded queueing with explicit backpressure.
+
+Without a bound, a burst of ingest requests grows server memory without
+limit — every request parses its events and parks them until the event
+loop applies them.  An :class:`AdmissionController` makes overload a
+*deterministic, explicit* protocol outcome instead: the server admits an
+ingest batch only while the pending-event total stays within
+``max_pending_events``; past the bound the batch is **shed** — answered
+immediately with ``{"ok": false, "error": "overloaded...", "shed":
+true, "retry_after": seconds}`` and never applied — so memory stays
+bounded and a well-behaved client knows exactly when to come back.
+
+The ``retry_after`` hint is an estimate, not a promise: the controller
+keeps an exponentially-weighted moving average of the apply rate
+(events per second, updated each time a batch drains) and hints the
+time the current backlog needs at that rate, clamped to
+``[min_hint, max_hint]``.  Before any batch has drained there is no
+rate, so the hint falls back to ``min_hint``.
+
+Determinism: admission itself is a pure function of the pending total
+and the bound — a burst of ``b`` events against a bound of ``B`` admits
+exactly the longest prefix of batches that fits, independent of timing.
+Only the *hint* depends on measured rates, and nothing in the protocol
+depends on the hint's value.  Shed accounting (batches and events) goes
+to the server's :class:`~repro.serving.metrics.MetricsRegistry`, so
+overload is visible on the ``/metrics`` endpoint while it happens.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded pending-events accounting plus a drain-rate backoff hint.
+
+    Parameters
+    ----------
+    max_pending_events:
+        Admit a batch only while (pending + batch) stays within this
+        many events; must be positive.
+    min_hint, max_hint:
+        Clamp for the ``retry_after`` hint, seconds.
+    ewma_alpha:
+        Weight of the newest drain measurement in the moving average
+        (``0 < alpha <= 1``).
+    """
+
+    def __init__(
+        self,
+        max_pending_events: int,
+        *,
+        min_hint: float = 0.01,
+        max_hint: float = 5.0,
+        ewma_alpha: float = 0.3,
+    ) -> None:
+        if max_pending_events <= 0:
+            raise ValueError("max_pending_events must be positive")
+        if not 0 < min_hint <= max_hint:
+            raise ValueError("need 0 < min_hint <= max_hint")
+        if not 0 < ewma_alpha <= 1:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.max_pending_events = int(max_pending_events)
+        self._min_hint = float(min_hint)
+        self._max_hint = float(max_hint)
+        self._alpha = float(ewma_alpha)
+        self._pending_events = 0
+        self._pending_batches = 0
+        self._rate: float = 0.0  # events/second EWMA; 0 = unmeasured
+        self.admitted_batches = 0
+        self.admitted_events = 0
+        self.shed_batches = 0
+        self.shed_events = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Events admitted but not yet applied."""
+        return self._pending_events
+
+    @property
+    def pending_batches(self) -> int:
+        """Batches admitted but not yet applied."""
+        return self._pending_batches
+
+    def try_admit(self, num_events: int) -> bool:
+        """Admit a batch of ``num_events`` if it fits, else account a shed.
+
+        Admission is deterministic in the pending total: a batch is
+        admitted iff ``pending + num_events <= max_pending_events``.
+        Empty batches always fit.
+        """
+        if num_events < 0:
+            raise ValueError("num_events must be nonnegative")
+        if self._pending_events + num_events > self.max_pending_events:
+            self.shed_batches += 1
+            self.shed_events += num_events
+            return False
+        self._pending_events += num_events
+        self._pending_batches += 1
+        self.admitted_batches += 1
+        self.admitted_events += num_events
+        return True
+
+    def note_applied(self, num_events: int, seconds: float) -> None:
+        """Record that an admitted batch drained in ``seconds``.
+
+        Releases the batch's events from the pending total and folds the
+        measured apply rate into the EWMA the ``retry_after`` hint is
+        computed from.
+        """
+        self._pending_events = max(0, self._pending_events - num_events)
+        self._pending_batches = max(0, self._pending_batches - 1)
+        if num_events > 0 and seconds > 0:
+            rate = num_events / seconds
+            if self._rate <= 0:
+                self._rate = rate
+            else:
+                self._rate = (
+                    self._alpha * rate + (1 - self._alpha) * self._rate
+                )
+
+    def release(self, num_events: int) -> None:
+        """Release an admitted batch that will never be applied
+        (server shutdown, apply failure) without touching the rate."""
+        self._pending_events = max(0, self._pending_events - num_events)
+        self._pending_batches = max(0, self._pending_batches - 1)
+
+    # ------------------------------------------------------------------
+    # Backpressure hint
+    # ------------------------------------------------------------------
+    def retry_after(self) -> float:
+        """Seconds a shed client should wait before retrying.
+
+        The current backlog divided by the measured drain rate, clamped
+        to ``[min_hint, max_hint]``; ``min_hint`` when no rate has been
+        measured yet (nothing has drained) or the queue is empty.
+        """
+        if self._rate <= 0 or self._pending_events == 0:
+            return self._min_hint
+        hint = self._pending_events / self._rate
+        return min(self._max_hint, max(self._min_hint, hint))
+
+    def describe(self) -> Dict[str, Any]:
+        """The controller's state for the ``info`` operation."""
+        return {
+            "max_pending_events": self.max_pending_events,
+            "pending_events": self._pending_events,
+            "pending_batches": self._pending_batches,
+            "admitted_batches": self.admitted_batches,
+            "admitted_events": self.admitted_events,
+            "shed_batches": self.shed_batches,
+            "shed_events": self.shed_events,
+            "drain_rate_events_per_sec": self._rate,
+        }

@@ -229,13 +229,25 @@ class QueryBatcher:
         sockets readable at once) still coalesce, while a lone request
         pays no artificial latency.
 
+    metrics:
+        Optional :class:`~repro.serving.metrics.MetricsRegistry`; when
+        given, each flush feeds coalescing counters (requests, flushes,
+        store calls — the ratios operators watch) alongside the local
+        :class:`BatcherStats`.
+
     :meth:`submit` resolves to ``(result, watermark)`` where the
     watermark is the store's ``events_ingested`` at execution time —
     the handle that lets a client (or the concurrency stress test) pin
     an answer to the exact feed prefix it describes.
     """
 
-    def __init__(self, store, max_batch: int = 64, max_delay: float = 0.0):
+    def __init__(
+        self,
+        store,
+        max_batch: int = 64,
+        max_delay: float = 0.0,
+        metrics=None,
+    ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if max_delay < 0:
@@ -243,6 +255,7 @@ class QueryBatcher:
         self._store = store
         self.max_batch = max_batch
         self.max_delay = max_delay
+        self._metrics = metrics
         self._pending: List[Tuple[QueryRequest, asyncio.Future]] = []
         self._handle: Optional[asyncio.TimerHandle] = None
         self.stats = BatcherStats()
@@ -277,6 +290,19 @@ class QueryBatcher:
         watermark = self._store.events_ingested
         self.stats.flushes += 1
         self.stats.store_calls += calls
+        if self._metrics is not None:
+            self._metrics.counter(
+                "serving_coalesce_requests_total",
+                help="query requests that went through a coalescing window",
+            ).inc(len(pending))
+            self._metrics.counter(
+                "serving_coalesce_flushes_total",
+                help="coalescing windows executed",
+            ).inc()
+            self._metrics.counter(
+                "serving_coalesce_store_calls_total",
+                help="store calls issued by coalescing windows",
+            ).inc(calls)
         for (_request, future), result, error in zip(
             pending, results, errors
         ):

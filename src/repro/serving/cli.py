@@ -28,12 +28,21 @@ the exit code nonzero instead of escaping as a traceback.
 ``serve`` runs the asyncio front-end of :mod:`repro.serving.server` on
 a store directory (announcing the bound address on stdout — with
 ``--port 0`` the kernel picks a free port) until a ``shutdown`` request
-arrives.  ``load`` is the matching load generator: deterministic mixed
-queries from ``--clients`` concurrent connections (or one connection
-with ``--mode sequential`` — the per-request baseline the benchmarks
-compare against), an optional eviction cycle, and an optional clean
-shutdown; it prints a JSON throughput report.  ``evict`` applies a
-retention policy offline, snapshotting so the eviction is durable.
+arrives.  ``--metrics-port`` mounts the Prometheus ``/metrics`` HTTP
+shim next to the TCP server; ``--max-pending-events`` bounds the ingest
+queue (overload then sheds with a ``retry_after`` hint instead of
+growing memory); ``--follow HOST:PORT`` starts the server as a
+*read-only replica* of a running primary — it bootstraps from the
+primary's snapshot (adopting its config on first start), streams sealed
+WAL segments, and serves queries bit-identical to the primary's at the
+shipped watermark.  ``load`` is the matching load generator:
+deterministic mixed queries from ``--clients`` concurrent connections
+(or one connection with ``--mode sequential`` — the per-request
+baseline the benchmarks compare against), optional server-side
+ingestion (``--ingest-events``, backing off on shed batches), an
+optional eviction cycle, and an optional clean shutdown; it prints a
+JSON throughput report.  ``evict`` applies a retention policy offline,
+snapshotting so the eviction is durable.
 """
 
 from __future__ import annotations
@@ -49,8 +58,10 @@ from typing import Any, Dict, List, Optional, Sequence
 from ..api.backend import BACKEND_MODES
 from ..sketches.bottomk import RankMethod
 from .events import read_events, synthetic_feed, write_events
+from .metrics import MetricsHTTPShim
+from .replication import ReplicaFollower
 from .retention import RetentionPolicy, apply_retention
-from .server import ServingClient, ServingError, SketchServer
+from .server import Overloaded, ServingClient, ServingError, SketchServer
 from .store import SERVING_QUERY_KINDS, SketchStore, StoreConfig, merge_stores
 
 __all__ = ["main", "run_load"]
@@ -200,30 +211,86 @@ def _retention_from_args(args: argparse.Namespace) -> Optional[RetentionPolicy]:
     return RetentionPolicy(ttl=args.ttl, max_keys=args.max_keys)
 
 
+def _parse_endpoint(text: str) -> tuple:
+    host, sep, port = text.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    store = SketchStore.open(args.store, config=_config_from_args(args))
+    follow = _parse_endpoint(args.follow) if args.follow else None
 
-    async def run() -> None:
-        server = SketchServer(
-            store,
-            host=args.host,
-            port=args.port,
-            max_batch=args.max_batch,
-            max_delay=args.max_delay_ms / 1000.0,
-            retention=_retention_from_args(args),
-            retention_interval=args.retention_interval,
-        )
-        host, port = await server.start()
-        # Announced (and flushed) so a driver using --port 0 can read the
-        # bound port before sending traffic.
-        print(f"serving {args.store} on {host}:{port}", flush=True)
-        await server.serve_forever()
+    async def run() -> int:
+        config = _config_from_args(args)
+        if follow is not None:
+            # A fresh follower adopts the primary's config before the
+            # store directory is created — coordinated sketches require
+            # identical sampling parameters on both sides.
+            primary = await ServingClient.connect(*follow)
+            try:
+                primary_config = StoreConfig.from_dict(
+                    (await primary.info())["config"]
+                )
+            finally:
+                await primary.close()
+            if config is not None and config != primary_config:
+                raise ValueError(
+                    f"config flags {config} conflict with the primary's "
+                    f"{primary_config}"
+                )
+            config = primary_config
+        store = SketchStore.open(args.store, config=config)
+        try:
+            server = SketchServer(
+                store,
+                host=args.host,
+                port=args.port,
+                max_batch=args.max_batch,
+                max_delay=args.max_delay_ms / 1000.0,
+                retention=_retention_from_args(args),
+                retention_interval=args.retention_interval,
+                max_pending_events=args.max_pending_events,
+                repl_buffer=args.repl_buffer,
+                read_only=follow is not None,
+            )
+            host, port = await server.start()
+            # Announced (and flushed) so a driver using --port 0 can
+            # read the bound port before sending traffic.
+            print(f"serving {args.store} on {host}:{port}", flush=True)
+            shim = None
+            if args.metrics_port is not None:
+                shim = MetricsHTTPShim(
+                    server.metrics, args.host, args.metrics_port
+                )
+                metrics_host, metrics_port = await shim.start()
+                print(
+                    f"metrics on {metrics_host}:{metrics_port}", flush=True
+                )
+            follower_task = None
+            if follow is not None:
+                follower = ReplicaFollower(
+                    store, follow[0], follow[1], metrics=server.metrics
+                )
+                follower_task = asyncio.create_task(follower.run())
+                print(f"following {follow[0]}:{follow[1]}", flush=True)
+            try:
+                await server.serve_forever()
+            finally:
+                if follower_task is not None:
+                    follower_task.cancel()
+                    try:
+                        await follower_task
+                    except asyncio.CancelledError:
+                        pass
+                if shim is not None:
+                    await shim.stop()
+        finally:
+            store.close()
+        return store.events_ingested
 
-    try:
-        asyncio.run(run())
-    finally:
-        store.close()
-    print(f"server stopped at watermark {store.events_ingested}")
+    watermark = asyncio.run(run())
+    print(f"server stopped at watermark {watermark}")
     return 0
 
 
@@ -235,6 +302,10 @@ async def run_load(
     mode: str = "concurrent",
     kinds: Sequence[str] = ("sum", "distinct"),
     backend: Optional[str] = None,
+    ingest_events: int = 0,
+    ingest_batch: int = 100,
+    ingest_seed: int = 0,
+    with_metrics: bool = False,
 ) -> Dict[str, Any]:
     """Drive a running server with a deterministic mixed query workload.
 
@@ -245,9 +316,16 @@ async def run_load(
     baseline.  The request mix is a pure function of the arguments, so
     the two modes answer the identical request multiset.
 
+    With ``ingest_events > 0`` the run first ships that many synthetic
+    events to the server in ``ingest_batch``-sized batches over the
+    probe connection, honouring admission control: a shed batch backs
+    off for the server's ``retry_after`` hint and re-sends, so every
+    event lands even under a tight ``--max-pending-events`` bound (the
+    report counts the sheds it rode out).
+
     Returns a JSON-ready report: request counts, wall seconds,
-    requests/second, error count, and the server's coalescing counters
-    after the run.
+    requests/second, error count, the server's coalescing counters
+    after the run, and (``with_metrics=True``) its metrics snapshot.
     """
     if mode not in ("concurrent", "sequential"):
         raise ValueError(f"unknown load mode {mode!r}")
@@ -255,8 +333,29 @@ async def run_load(
         raise ValueError("clients and requests must be positive")
     if not kinds:
         raise ValueError("at least one query kind is required")
+    if ingest_events < 0 or ingest_batch < 1:
+        raise ValueError("ingest_events/ingest_batch out of range")
     probe = await ServingClient.connect(host, port)
     try:
+        ingested = 0
+        shed_retries = 0
+        if ingest_events:
+            feed = synthetic_feed(
+                num_events=ingest_events,
+                num_keys=max(16, ingest_events // 8),
+                groups=("alpha", "beta"),
+                seed=ingest_seed,
+            )
+            for start_index in range(0, len(feed), ingest_batch):
+                batch = feed[start_index : start_index + ingest_batch]
+                while True:
+                    try:
+                        response = await probe.ingest(batch)
+                        ingested += response["ingested"]
+                        break
+                    except Overloaded as exc:
+                        shed_retries += 1
+                        await asyncio.sleep(exc.retry_after)
         info = await probe.info()
         groups = info["groups"]
         pair = groups[:2] if len(groups) >= 2 else None
@@ -313,7 +412,7 @@ async def run_load(
         seconds = time.perf_counter() - start
         after = await probe.info()
         total = clients * requests_per_client
-        return {
+        report = {
             "mode": mode,
             "clients": clients,
             "requests": total,
@@ -322,7 +421,13 @@ async def run_load(
             "seconds": seconds,
             "requests_per_sec": total / seconds if seconds > 0 else 0.0,
             "coalescing": after["coalescing"],
+            "ingested": ingested,
+            "shed_retries": shed_retries,
+            "watermark": after["events_ingested"],
         }
+        if with_metrics:
+            report["metrics"] = await probe.metrics()
+        return report
     finally:
         await probe.close()
 
@@ -337,6 +442,10 @@ def _cmd_load(args: argparse.Namespace) -> int:
             mode=args.mode,
             kinds=tuple(args.kinds),
             backend=args.backend,
+            ingest_events=args.ingest_events,
+            ingest_batch=args.ingest_batch,
+            ingest_seed=args.ingest_seed,
+            with_metrics=args.with_metrics,
         )
         if args.evict or args.ttl is not None or args.max_keys is not None:
             client = await ServingClient.connect(args.host, args.port)
@@ -466,6 +575,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--retention-interval", type=float, default=None,
         help="seconds between background retention sweeps",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="mount the Prometheus /metrics HTTP shim on this port "
+        "(0 picks a free port)",
+    )
+    serve.add_argument(
+        "--max-pending-events", type=int, default=None,
+        help="ingest admission bound: shed batches past this many "
+        "queued events (default: unbounded, no queue)",
+    )
+    serve.add_argument(
+        "--repl-buffer", type=int, default=1024,
+        help="replication segment buffer capacity (entries)",
+    )
+    serve.add_argument(
+        "--follow", metavar="HOST:PORT", default=None,
+        help="run as a read-only replica of this primary (bootstraps "
+        "from its snapshot, then streams WAL segments)",
+    )
     _add_config_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -486,6 +614,23 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["sum", "distinct", "similarity"],
     )
     load.add_argument("--backend", choices=BACKEND_MODES, default=None)
+    load.add_argument(
+        "--ingest-events", type=int, default=0,
+        help="ship this many synthetic events to the server first "
+        "(backing off on shed batches)",
+    )
+    load.add_argument(
+        "--ingest-batch", type=int, default=100,
+        help="events per ingest request",
+    )
+    load.add_argument(
+        "--ingest-seed", type=int, default=0,
+        help="seed of the synthetic ingest feed",
+    )
+    load.add_argument(
+        "--with-metrics", action="store_true",
+        help="include the server's metrics snapshot in the report",
+    )
     load.add_argument(
         "--evict", action="store_true",
         help="finish with an eviction cycle (server-side policy)",

@@ -1,0 +1,567 @@
+"""Primary/follower replication: WAL-segment shipping over the TCP protocol.
+
+The serving layer's determinism guarantees make replicas *convergent by
+construction*: ingestion folds events into the ledger in arrival order,
+eviction drops victims in a deterministic order, and every sketch view
+is a pure function of ledger content.  A follower that applies the same
+mutation stream therefore holds the same ledger — and answers every
+query **bit-identically** — at the same watermark.  This module ships
+that stream.
+
+Wire protocol (three operations on the existing JSON-lines framing):
+
+``repl_snapshot``
+    Request/response.  Returns the primary's ledger wholesale — config,
+    per-group totals / first-seen / last-seen / event counts — tagged
+    with the event ``watermark`` and the replication ``offset`` it
+    describes.  A cold follower installs this and then streams the tail.
+
+``repl_subscribe {"after_offset": n}``
+    Request/response handshake.  When the primary's in-memory segment
+    buffer still covers ``n`` the response is ``{"mode": "stream",
+    "offset": ..., "watermark": ...}`` and the connection switches to
+    push mode; when the follower is too far behind (the buffer is
+    bounded) the response is ``{"mode": "snapshot", ...}`` — ship a
+    snapshot first.
+
+``repl_segment``
+    Pushed frame (no ``id``): one **sealed segment** — an immutable,
+    offset-stamped entry of the primary's mutation log.  ``kind:
+    "events"`` carries one acknowledged ingest batch (the same batch
+    the primary's write-ahead log sealed, watermark-tagged so the
+    follower can verify contiguity); ``kind: "evict"`` carries one
+    retention report (eviction mutates the ledger without feed events,
+    so it must ship too or followers would diverge).  A frame with
+    ``"reset": true`` tells a subscriber it fell out of the buffer —
+    re-bootstrap from a snapshot.
+
+The mutation log (:class:`ReplicationHub`) is the serving twin of the
+on-disk write-ahead log: the primary appends a sealed entry *after*
+each successful local apply, so a follower can never observe state the
+primary did not durably acknowledge.  The buffer is bounded
+(``capacity`` entries); snapshot shipping covers arbitrary lag, so
+boundedness costs availability nothing.
+
+:class:`ReplicaFollower` is the other half: it bootstraps from a
+snapshot when cold (or whenever its offset is unknown — e.g. after a
+process restart), subscribes, applies segments in offset order with
+contiguity checks, reconnects with exponential backoff when the primary
+dies, and keeps its own store durable (segments it applies to a
+directory-backed store are write-ahead logged locally; applied
+evictions snapshot, exactly as on the primary).  The convergence
+invariant is enforced by ``tests/serving/test_replication.py``:
+after *any* interleaving of ingest / evict / failover, follower
+ledgers, sketch views, and query answers equal the primary's (``==``)
+at the same watermark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from .events import Event
+from .store import SketchStore, StoreConfig
+
+__all__ = [
+    "ReplicaFollower",
+    "ReplicationError",
+    "ReplicationHub",
+    "apply_entry",
+    "install_snapshot",
+    "snapshot_payload",
+]
+
+#: Read-buffer limit for follower connections: snapshot payloads are one
+#: JSON line holding a whole ledger, so the limit must comfortably
+#: exceed the default 64 KiB.
+FOLLOWER_LINE_LIMIT = 2 ** 25
+
+
+class ReplicationError(RuntimeError):
+    """A replication-protocol failure (gap, mismatch, or refusal)."""
+
+
+class ReplicationHub:
+    """The primary's bounded, offset-stamped mutation log.
+
+    Entries are appended by the server *after* each successful local
+    apply — an acknowledged ingest batch or a non-empty retention
+    report — and pushed to subscribers by per-connection pump tasks.
+    The buffer keeps the last ``capacity`` entries; a subscriber asking
+    for older history is redirected to snapshot shipping.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._entries: Deque[Dict[str, Any]] = deque()
+        self._offset = 0
+        self._watermark = 0
+        self._event = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Recording (primary side, called after each successful apply)
+    # ------------------------------------------------------------------
+    @property
+    def offset(self) -> int:
+        """Offset of the newest recorded entry (0 = nothing recorded)."""
+        return self._offset
+
+    @property
+    def watermark(self) -> int:
+        """Event watermark after the newest recorded entry."""
+        return self._watermark
+
+    @property
+    def oldest_offset(self) -> Optional[int]:
+        """Offset of the oldest retained entry, or ``None`` when empty."""
+        return self._entries[0]["offset"] if self._entries else None
+
+    def record_events(self, events: List[Event], watermark: int) -> None:
+        """Seal one acknowledged ingest batch as a segment entry."""
+        if not events:
+            return
+        self._append(
+            {
+                "kind": "events",
+                "events": [event.to_dict() for event in events],
+                "watermark": int(watermark),
+            }
+        )
+
+    def record_evict(
+        self, report: Dict[str, List[str]], watermark: int
+    ) -> None:
+        """Seal one non-empty retention report as a segment entry."""
+        if not report:
+            return
+        self._append(
+            {
+                "kind": "evict",
+                "evictions": {
+                    group: list(keys) for group, keys in report.items()
+                },
+                "watermark": int(watermark),
+            }
+        )
+
+    def _append(self, entry: Dict[str, Any]) -> None:
+        self._offset += 1
+        entry["offset"] = self._offset
+        self._watermark = entry["watermark"]
+        self._entries.append(entry)
+        while len(self._entries) > self.capacity:
+            self._entries.popleft()
+        # Wake every pump waiting for news; each waiter re-arms on the
+        # fresh event, so no notification is ever lost.
+        event, self._event = self._event, asyncio.Event()
+        event.set()
+
+    # ------------------------------------------------------------------
+    # Reading (pump side)
+    # ------------------------------------------------------------------
+    def can_resume_from(self, after_offset: int) -> bool:
+        """Whether the buffer still covers ``after_offset`` onwards."""
+        if after_offset > self._offset:
+            raise ReplicationError(
+                f"subscriber is ahead of the primary "
+                f"({after_offset} > {self._offset})"
+            )
+        if after_offset == self._offset:
+            return True
+        oldest = self.oldest_offset
+        return oldest is not None and oldest <= after_offset + 1
+
+    def entries_after(
+        self, after_offset: int
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Retained entries past ``after_offset``; ``None`` on a gap."""
+        if after_offset == self._offset:
+            return []
+        oldest = self.oldest_offset
+        if oldest is None or oldest > after_offset + 1:
+            return None
+        return [
+            entry
+            for entry in self._entries
+            if entry["offset"] > after_offset
+        ]
+
+    async def wait_beyond(self, offset: int) -> None:
+        """Block until an entry with a larger offset is recorded."""
+        while self._offset <= offset:
+            await self._event.wait()
+
+    def describe(self) -> Dict[str, Any]:
+        """The hub's state for the ``info`` operation."""
+        return {
+            "offset": self._offset,
+            "watermark": self._watermark,
+            "oldest_offset": self.oldest_offset,
+            "buffered_entries": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+
+# ----------------------------------------------------------------------
+# Snapshot shipping
+# ----------------------------------------------------------------------
+def snapshot_payload(store: SketchStore, offset: int) -> Dict[str, Any]:
+    """Serialize a store's ledger for ``repl_snapshot``.
+
+    The payload is a pure function of ledger content (group and key
+    iteration in sorted order), so identical stores ship identical
+    snapshots.  JSON float round-tripping is exact (shortest-repr), so
+    installation reproduces the ledger bit for bit.
+    """
+    return {
+        "config": store.config.to_dict(),
+        "watermark": store.events_ingested,
+        "offset": int(offset),
+        "groups": {
+            group: {
+                "totals": {
+                    key: state.totals[key] for key in sorted(state.totals)
+                },
+                "first_seen": {
+                    key: state.first_seen[key]
+                    for key in sorted(state.first_seen)
+                },
+                "last_seen": {
+                    key: state.last_seen[key]
+                    for key in sorted(state.last_seen)
+                },
+                "events": state.events,
+            }
+            for group in store.groups
+            for state in [store.group_state(group)]
+        },
+    }
+
+
+def install_snapshot(store: SketchStore, payload: Dict[str, Any]) -> int:
+    """Replace a follower store's ledger with a shipped snapshot.
+
+    Returns the snapshot's replication ``offset``.  The store's config
+    must equal the primary's (coordinated sketches require identical
+    sampling parameters).  A directory-backed follower persists the
+    installed state immediately — snapshot + WAL compaction — so a
+    crash right after installation recovers to the installed ledger.
+    """
+    config = StoreConfig.from_dict(payload["config"])
+    if store.config != config:
+        raise ReplicationError(
+            f"follower config {store.config} does not match the "
+            f"primary's {config}"
+        )
+    store._groups.clear()
+    for group, data in payload["groups"].items():
+        state = store.group_state(group)
+        state.totals.update(
+            {str(k): float(v) for k, v in data["totals"].items()}
+        )
+        state.first_seen.update(
+            {str(k): float(v) for k, v in data["first_seen"].items()}
+        )
+        state.last_seen.update(
+            {str(k): float(v) for k, v in data["last_seen"].items()}
+        )
+        state.events = int(data["events"])
+        state.invalidate()
+    store._events = int(payload["watermark"])
+    if store.root is not None:
+        store.snapshot()
+    return int(payload["offset"])
+
+
+def apply_entry(store: SketchStore, entry: Dict[str, Any]) -> None:
+    """Apply one shipped segment entry to a follower store.
+
+    ``events`` entries are verified contiguous — the entry's watermark
+    minus its batch length must equal the store's current watermark —
+    then folded through the ordinary :meth:`SketchStore.ingest` path
+    (write-ahead logged locally when directory-backed).  ``evict``
+    entries drop the named keys and, on a directory-backed store,
+    snapshot so local WAL replay cannot resurrect a victim — the exact
+    durability rule the primary's own retention path follows.
+    """
+    kind = entry.get("kind")
+    if kind == "events":
+        events = [Event.from_dict(item) for item in entry["events"]]
+        expected = int(entry["watermark"]) - len(events)
+        if store.events_ingested != expected:
+            raise ReplicationError(
+                f"segment at watermark {entry['watermark']} is not "
+                f"contiguous with the follower's "
+                f"{store.events_ingested}"
+            )
+        store.ingest(events)
+        return
+    if kind == "evict":
+        if int(entry["watermark"]) != store.events_ingested:
+            raise ReplicationError(
+                f"eviction at watermark {entry['watermark']} does not "
+                f"match the follower's {store.events_ingested}"
+            )
+        for group in sorted(entry["evictions"]):
+            store.group_state(group).drop_keys(entry["evictions"][group])
+        if store.root is not None:
+            store.snapshot()
+        return
+    raise ReplicationError(f"unknown segment kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# The follower
+# ----------------------------------------------------------------------
+class ReplicaFollower:
+    """Keep a local store converged with a primary ``SketchServer``.
+
+    Parameters
+    ----------
+    store:
+        The follower's store (in-memory or directory-backed).  Its
+        config must match the primary's.
+    host, port:
+        The primary's TCP address.
+    backoff, max_backoff:
+        Reconnect delay: starts at ``backoff`` seconds and doubles per
+        consecutive failure up to ``max_backoff``.
+    metrics:
+        Optional :class:`~repro.serving.metrics.MetricsRegistry` for
+        applied/bootstrap/reconnect counters.
+
+    Two driving modes: :meth:`sync_once` connects, catches up to the
+    primary's offset at handshake time, and returns (what the tests and
+    the replication bench use); :meth:`run` follows continuously,
+    re-bootstrapping on resets and reconnecting with backoff when the
+    primary dies (what ``serve --follow`` runs in the background).
+    """
+
+    def __init__(
+        self,
+        store: SketchStore,
+        host: str,
+        port: int,
+        *,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        metrics=None,
+    ) -> None:
+        if backoff <= 0 or max_backoff < backoff:
+            raise ValueError("need 0 < backoff <= max_backoff")
+        self._store = store
+        self._host = host
+        self._port = int(port)
+        self._backoff = float(backoff)
+        self._max_backoff = float(max_backoff)
+        self._metrics = metrics
+        #: Offset of the last applied entry; ``None`` = unknown (cold or
+        #: restarted) — the next connection bootstraps from a snapshot.
+        self.offset: Optional[int] = None
+        self.bootstraps = 0
+        self.reconnects = 0
+        self._next_id = 0
+
+    @property
+    def store(self) -> SketchStore:
+        """The follower's (converging) store."""
+        return self._store
+
+    @property
+    def watermark(self) -> int:
+        """The follower's applied event watermark."""
+        return self._store.events_ingested
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+    async def _connect(self):
+        return await asyncio.open_connection(
+            self._host, self._port, limit=FOLLOWER_LINE_LIMIT
+        )
+
+    async def _request(
+        self, reader, writer, op: str, **fields: Any
+    ) -> Dict[str, Any]:
+        self._next_id += 1
+        request_id = f"repl-{self._next_id}"
+        line = json.dumps({"id": request_id, "op": op, **fields}) + "\n"
+        writer.write(line.encode())
+        await writer.drain()
+        while True:
+            raw = await reader.readline()
+            if not raw:
+                raise ConnectionError("primary closed during handshake")
+            payload = json.loads(raw)
+            if payload.get("id") != request_id:
+                continue  # a stray push frame; handshakes ignore it
+            if not payload.get("ok"):
+                raise ReplicationError(
+                    payload.get("error", f"{op} request failed")
+                )
+            return payload
+
+    async def _bootstrap(self, reader, writer) -> None:
+        """Install the primary's current snapshot (cold / lost-tail start)."""
+        response = await self._request(reader, writer, "repl_snapshot")
+        self.offset = install_snapshot(self._store, response["result"])
+        self.bootstraps += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "serving_repl_bootstraps_total",
+                help="snapshot installations performed by this follower",
+            ).inc()
+
+    async def _subscribe(self, reader, writer) -> Tuple[int, int]:
+        """Handshake to streaming mode; returns (primary offset, watermark).
+
+        Falls back to a snapshot bootstrap — once — whenever the
+        primary's history cannot be trusted to extend ours: it refuses
+        our offset (a restarted primary whose offsets started over), it
+        answers ``mode: "snapshot"`` (we fell out of its buffer), or it
+        claims our exact offset with a *different watermark* (same
+        offset number, different history — the failover ambiguity the
+        watermark tag exists to catch).
+        """
+        for attempt in (0, 1):
+            if self.offset is None:
+                await self._bootstrap(reader, writer)
+            try:
+                response = await self._request(
+                    reader, writer, "repl_subscribe", after_offset=self.offset
+                )
+            except ReplicationError:
+                if attempt:
+                    raise
+                self.offset = None
+                continue
+            if response.get("mode") != "stream":
+                if attempt:
+                    raise ReplicationError(
+                        "primary refused streaming right after a snapshot"
+                    )
+                self.offset = None
+                continue
+            offset = int(response["offset"])
+            watermark = int(response["watermark"])
+            if (
+                offset == self.offset
+                and watermark != self._store.events_ingested
+            ):
+                if attempt:
+                    raise ReplicationError(
+                        "watermark mismatch right after a snapshot"
+                    )
+                self.offset = None
+                continue
+            return offset, watermark
+        raise ReplicationError("unreachable")  # pragma: no cover
+
+    def _apply(self, entry: Dict[str, Any]) -> None:
+        offset = int(entry["offset"])
+        if self.offset is not None and offset != self.offset + 1:
+            raise ReplicationError(
+                f"segment offset {offset} is not contiguous with "
+                f"{self.offset}"
+            )
+        apply_entry(self._store, entry)
+        self.offset = offset
+        if self._metrics is not None:
+            self._metrics.counter(
+                "serving_repl_applied_entries_total",
+                help="segment entries applied by this follower",
+            ).inc()
+            if entry.get("kind") == "events":
+                self._metrics.counter(
+                    "serving_repl_applied_events_total",
+                    help="feed events applied by this follower",
+                ).inc(len(entry["events"]))
+
+    async def _consume(
+        self, reader, until_offset: Optional[int]
+    ) -> bool:
+        """Apply pushed frames; ``True`` when ``until_offset`` reached,
+        ``False`` on a clean disconnect.  Raises on a reset frame."""
+        while True:
+            if until_offset is not None and (
+                self.offset is not None and self.offset >= until_offset
+            ):
+                return True
+            raw = await reader.readline()
+            if not raw:
+                return False
+            payload = json.loads(raw)
+            if payload.get("op") != "repl_segment":
+                continue
+            if payload.get("reset"):
+                # Fell out of the primary's buffer: offset is no longer
+                # meaningful, the next connection must re-bootstrap.
+                self.offset = None
+                raise ReplicationError("primary reset the subscription")
+            self._apply(payload["entry"])
+
+    # ------------------------------------------------------------------
+    # Driving modes
+    # ------------------------------------------------------------------
+    async def sync_once(self) -> int:
+        """Connect, converge to the primary's handshake-time offset,
+        disconnect.  Returns the converged offset."""
+        reader, writer = await self._connect()
+        try:
+            target, _watermark = await self._subscribe(reader, writer)
+            if self.offset is not None and self.offset < target:
+                reached = await self._consume(reader, until_offset=target)
+                if not reached:
+                    raise ConnectionError(
+                        "primary closed before catch-up completed"
+                    )
+            return int(self.offset or 0)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def run(self, stop: Optional[asyncio.Event] = None) -> None:
+        """Follow continuously: stream, re-bootstrap on resets, and
+        reconnect with exponential backoff on connection loss.  Returns
+        when ``stop`` is set (checked between connection attempts)."""
+        delay = self._backoff
+        while stop is None or not stop.is_set():
+            try:
+                reader, writer = await self._connect()
+            except (ConnectionError, OSError):
+                await asyncio.sleep(delay)
+                delay = min(self._max_backoff, delay * 2)
+                self.reconnects += 1
+                continue
+            try:
+                await self._subscribe(reader, writer)
+                delay = self._backoff  # healthy stream: reset the clock
+                await self._consume(reader, until_offset=None)
+            except ReplicationError:
+                # Reset or stream inconsistency: the offset can no
+                # longer be trusted, so the next connection bootstraps.
+                self.offset = None
+            except (ConnectionError, OSError, ValueError):
+                pass
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            self.reconnects += 1
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "serving_repl_reconnects_total",
+                    help="connection attempts after a stream ended",
+                ).inc()
+            await asyncio.sleep(delay)
+            delay = min(self._max_backoff, delay * 2)

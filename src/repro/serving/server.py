@@ -25,7 +25,10 @@ Operations::
     {"id": 5, "op": "ingest", "events": [{...}], "snapshot": false}
     {"id": 6, "op": "evict", "ttl": 3600.0, "max_keys": 512, "now": ...}
     {"id": 7, "op": "info"}
-    {"id": 8, "op": "shutdown"}
+    {"id": 8, "op": "metrics"}
+    {"id": 9, "op": "repl_snapshot"}
+    {"id": 10, "op": "repl_subscribe", "after_offset": 0}
+    {"id": 11, "op": "shutdown"}
 
 Responses are ``{"id": ..., "ok": true, ...}`` or ``{"id": ..., "ok":
 false, "error": "..."}``; per-request failures never tear down the
@@ -34,8 +37,37 @@ mutates only between awaits), and an optional background
 :class:`~repro.serving.retention.RetentionPolicy` keeps the ledger
 bounded while serving.
 
+Three subsystems thread through the server (all optional-by-default
+except metrics, which is always on and nearly free):
+
+* **Observability** — a :class:`~repro.serving.metrics.MetricsRegistry`
+  counts requests/errors per operation and times them in fixed-bucket
+  histograms; ingest, coalescing, retention, and replication feed the
+  same registry.  The ``metrics`` op returns its snapshot; mount a
+  :class:`~repro.serving.metrics.MetricsHTTPShim` on the registry for a
+  Prometheus ``/metrics`` scrape endpoint.
+* **Admission control** — with ``max_pending_events`` set, ingest
+  batches flow through a bounded queue drained by one pump task; a
+  batch that would overflow the bound is *shed*: answered immediately
+  with ``{"ok": false, "shed": true, "retry_after": ...}`` and never
+  applied, so overload degrades deterministically instead of growing
+  memory (see :mod:`repro.serving.admission`).
+* **Replication** — every applied mutation (acknowledged ingest batch,
+  non-empty retention report) is sealed into the
+  :class:`~repro.serving.replication.ReplicationHub`; ``repl_subscribe``
+  switches a connection to push mode and a per-subscriber pump ships
+  segments, ``repl_snapshot`` bootstraps cold followers (see
+  :mod:`repro.serving.replication`).  ``read_only=True`` makes the
+  server a *follower* front-end: it serves queries but rejects client
+  ``ingest``/``evict``, so the replication stream is the only writer.
+
 :class:`ServingClient` is the matching asyncio client — used by the
 load-generating CLI subcommand, the benchmarks, and the stress tests.
+It reconnects with exponential backoff when the connection drops
+mid-request (retrying *read-only* operations only — an ingest is never
+silently re-sent), and raises :class:`ProtocolError` with the offending
+line when the server (or an impostor) answers with something that is
+not a JSON object.
 """
 
 from __future__ import annotations
@@ -45,15 +77,56 @@ import json
 import time
 from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
+from .admission import AdmissionController
 from .batcher import QueryBatcher, QueryRequest
 from .events import Event
+from .metrics import MetricsRegistry
+from .replication import ReplicationError, ReplicationHub, snapshot_payload
 from .retention import RetentionPolicy, apply_retention
 
-__all__ = ["ServingClient", "ServingError", "SketchServer"]
+__all__ = [
+    "ConnectionLost",
+    "Overloaded",
+    "ProtocolError",
+    "ServingClient",
+    "ServingError",
+    "SketchServer",
+]
+
+#: Default cap on one request line, bytes.  Anything longer is answered
+#: with an error and the connection is closed — an unframed blob cannot
+#: be resynchronised.
+DEFAULT_LINE_LIMIT = 2 ** 20
 
 
 class ServingError(RuntimeError):
     """A server-side request failure, re-raised by :class:`ServingClient`."""
+
+
+class ConnectionLost(ServingError):
+    """The connection dropped before a response arrived.
+
+    Raised by :class:`ServingClient` when the transport dies with
+    requests in flight.  Read-only operations are retried transparently
+    (reconnect + exponential backoff); mutating operations surface this
+    so the caller decides whether re-sending is safe.
+    """
+
+
+class ProtocolError(ServingError):
+    """The peer sent bytes that are not the JSON-lines protocol."""
+
+
+class Overloaded(ServingError):
+    """The server shed an ingest batch under admission control.
+
+    Carries the server's ``retry_after`` hint (seconds) so a
+    well-behaved producer can back off precisely.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
 
 
 class SketchServer:
@@ -79,6 +152,19 @@ class SketchServer:
         happens on explicit ``evict`` requests.
     clock:
         Time source for background sweeps (overridable in tests).
+    metrics:
+        The :class:`~repro.serving.metrics.MetricsRegistry` to
+        instrument into; a fresh registry by default.
+    max_pending_events:
+        Ingest admission bound (events queued but not yet applied);
+        ``None`` keeps the legacy direct-apply path with no queue.
+    repl_buffer:
+        Capacity (entries) of the replication segment buffer.
+    read_only:
+        Reject client ``ingest``/``evict`` — the follower front-end
+        mode, where the replication stream is the only writer.
+    line_limit:
+        Per-request line cap in bytes.
     """
 
     def __init__(
@@ -92,6 +178,11 @@ class SketchServer:
         retention: Optional[RetentionPolicy] = None,
         retention_interval: Optional[float] = None,
         clock=time.time,
+        metrics: Optional[MetricsRegistry] = None,
+        max_pending_events: Optional[int] = None,
+        repl_buffer: int = 1024,
+        read_only: bool = False,
+        line_limit: int = DEFAULT_LINE_LIMIT,
     ) -> None:
         if retention is not None and not retention.bounded:
             raise ValueError("the server's retention policy must be bounded")
@@ -102,17 +193,34 @@ class SketchServer:
                 )
             if retention_interval <= 0:
                 raise ValueError("retention_interval must be positive")
+        if line_limit <= 0:
+            raise ValueError("line_limit must be positive")
         self._store = store
         self._host = host
         self._port = port
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._batcher = QueryBatcher(
-            store, max_batch=max_batch, max_delay=max_delay
+            store,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            metrics=self._metrics,
         )
         self._retention = retention
         self._retention_interval = retention_interval
         self._clock = clock
+        self._admission = (
+            None
+            if max_pending_events is None
+            else AdmissionController(max_pending_events)
+        )
+        self._hub = ReplicationHub(capacity=repl_buffer)
+        self._read_only = bool(read_only)
+        self._line_limit = int(line_limit)
         self._server: Optional[asyncio.AbstractServer] = None
         self._retention_task: Optional[asyncio.Task] = None
+        self._ingest_queue: Optional[asyncio.Queue] = None
+        self._ingest_pump: Optional[asyncio.Task] = None
+        self._repl_pumps: Dict[Any, set] = {}
         self._stop_event: Optional[asyncio.Event] = None
         self._connections: set = set()
         self._closed = False
@@ -126,6 +234,26 @@ class SketchServer:
     def stats(self):
         """The coalescing counters of the underlying batcher."""
         return self._batcher.stats
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The server's metrics registry (shared with the HTTP shim)."""
+        return self._metrics
+
+    @property
+    def admission(self) -> Optional[AdmissionController]:
+        """The ingest admission controller (``None`` = unbounded)."""
+        return self._admission
+
+    @property
+    def replication(self) -> ReplicationHub:
+        """The replication segment buffer."""
+        return self._hub
+
+    @property
+    def read_only(self) -> bool:
+        """Whether client ``ingest``/``evict`` are rejected."""
+        return self._read_only
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -143,12 +271,18 @@ class SketchServer:
             raise RuntimeError("server is already started")
         self._stop_event = asyncio.Event()
         self._server = await asyncio.start_server(
-            self._on_connection, self._host, self._port
+            self._on_connection,
+            self._host,
+            self._port,
+            limit=self._line_limit,
         )
         if self._retention is not None and self._retention_interval:
             self._retention_task = asyncio.create_task(
                 self._retention_loop()
             )
+        if self._admission is not None:
+            self._ingest_queue = asyncio.Queue()
+            self._ingest_pump = asyncio.create_task(self._pump_ingest())
         return self.address
 
     async def serve_forever(self) -> None:
@@ -165,12 +299,25 @@ class SketchServer:
         self._closed = True
         if self._stop_event is not None:
             self._stop_event.set()
-        if self._retention_task is not None:
-            self._retention_task.cancel()
-            try:
-                await self._retention_task
-            except asyncio.CancelledError:
-                pass
+        for task in (self._retention_task, self._ingest_pump):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        if self._ingest_queue is not None:
+            while not self._ingest_queue.empty():
+                events, _snapshot, future = self._ingest_queue.get_nowait()
+                self._admission.release(len(events))
+                if not future.done():
+                    future.set_exception(
+                        OSError("server stopped before applying the batch")
+                    )
+        for tasks in list(self._repl_pumps.values()):
+            for task in list(tasks):
+                task.cancel()
+        self._repl_pumps.clear()
         self._batcher.flush()
         if self._server is not None:
             self._server.close()
@@ -188,7 +335,107 @@ class SketchServer:
     async def _retention_loop(self) -> None:
         while True:
             await asyncio.sleep(self._retention_interval)
-            apply_retention(self._store, self._retention, now=self._clock())
+            self._run_retention(self._retention, now=self._clock())
+
+    # ------------------------------------------------------------------
+    # Mutation paths (shared by direct / queued / background callers)
+    # ------------------------------------------------------------------
+    def _apply_ingest(self, events, snapshot: bool) -> int:
+        """Apply one ingest batch, record its segment, instrument it."""
+        with self._metrics.histogram(
+            "serving_ingest_apply_seconds",
+            help="wall seconds applying one ingest batch to the store",
+        ).time():
+            count = self._store.ingest(events)
+        self._metrics.counter(
+            "serving_ingest_events_total",
+            help="feed events folded into the ledger",
+        ).inc(count)
+        self._hub.record_events(events, self._store.events_ingested)
+        if snapshot and self._store.root is not None:
+            self._store.snapshot()
+        return count
+
+    def _run_retention(
+        self,
+        policy: RetentionPolicy,
+        now: Optional[float],
+        snapshot: bool = True,
+    ) -> Dict[str, list]:
+        """Apply retention, record its segment, instrument it."""
+        with self._metrics.histogram(
+            "serving_retention_seconds",
+            help="wall seconds per retention sweep",
+        ).time():
+            report = apply_retention(
+                self._store, policy, now=now, snapshot=snapshot
+            )
+        self._metrics.counter(
+            "serving_retention_sweeps_total",
+            help="retention sweeps executed",
+        ).inc()
+        evicted = {group: keys for group, keys in report.items() if keys}
+        self._metrics.counter(
+            "serving_retention_evicted_keys_total",
+            help="keys evicted by retention sweeps",
+        ).inc(sum(len(keys) for keys in evicted.values()))
+        self._hub.record_evict(evicted, self._store.events_ingested)
+        return report
+
+    async def _pump_ingest(self) -> None:
+        """Drain the admission queue, applying batches one at a time."""
+        while True:
+            events, snapshot, future = await self._ingest_queue.get()
+            start = time.perf_counter()
+            try:
+                count = self._apply_ingest(events, snapshot)
+            except Exception as exc:
+                self._admission.release(len(events))
+                if not future.done():
+                    future.set_exception(exc)
+                continue
+            self._admission.note_applied(
+                len(events), time.perf_counter() - start
+            )
+            if not future.done():
+                future.set_result((count, self._store.events_ingested))
+
+    async def _ingest_op(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        events = [
+            Event.from_dict(entry) for entry in payload.get("events", [])
+        ]
+        snapshot = bool(payload.get("snapshot"))
+        if self._admission is None:
+            count = self._apply_ingest(events, snapshot)
+            return {
+                "ok": True,
+                "ingested": count,
+                "watermark": self._store.events_ingested,
+            }
+        if not self._admission.try_admit(len(events)):
+            retry_after = self._admission.retry_after()
+            self._metrics.counter(
+                "serving_ingest_shed_batches_total",
+                help="ingest batches shed by admission control",
+            ).inc()
+            self._metrics.counter(
+                "serving_ingest_shed_events_total",
+                help="feed events shed by admission control",
+            ).inc(len(events))
+            return {
+                "ok": False,
+                "error": (
+                    f"overloaded: {self._admission.pending_events} events "
+                    f"pending against a bound of "
+                    f"{self._admission.max_pending_events}"
+                ),
+                "shed": True,
+                "retry_after": retry_after,
+            }
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._ingest_queue.put_nowait((events, snapshot, future))
+        count, watermark = await future
+        return {"ok": True, "ingested": count, "watermark": watermark}
 
     # ------------------------------------------------------------------
     # Protocol
@@ -198,7 +445,38 @@ class SketchServer:
         tasks: set = set()
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # The peer sent a line past the limit; answer once
+                    # and drop the connection — an unframed stream
+                    # cannot be resynchronised.
+                    self._metrics.counter(
+                        "serving_errors_total",
+                        help="requests answered with ok=false",
+                        op="oversized",
+                    ).inc()
+                    writer.write(
+                        (
+                            json.dumps(
+                                {
+                                    "id": None,
+                                    "ok": False,
+                                    "error": (
+                                        "request line exceeds "
+                                        f"{self._line_limit} bytes"
+                                    ),
+                                },
+                                sort_keys=True,
+                            )
+                            + "\n"
+                        ).encode()
+                    )
+                    try:
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                    break
                 if not line:
                     break
                 if not line.strip():
@@ -213,25 +491,51 @@ class SketchServer:
             # connected) — close out quietly; cleanup happens below.
             pass
         finally:
+            for pump in self._repl_pumps.pop(id(writer), ()):
+                pump.cancel()
             self._connections.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
     async def _serve_line(self, line: bytes, writer) -> None:
         request_id = None
         op = None
+        start = time.perf_counter()
         try:
             payload = json.loads(line)
             if not isinstance(payload, dict):
                 raise ValueError("request must be a JSON object")
             request_id = payload.get("id")
             op = payload.get("op")
-            response = await self._dispatch(payload)
-        except (ValueError, KeyError, TypeError, OSError) as exc:
+            response = await self._dispatch(payload, writer)
+        except (
+            ValueError,
+            KeyError,
+            TypeError,
+            OSError,
+            ReplicationError,
+        ) as exc:
             response = {"ok": False, "error": f"{exc}"}
+        label = op if isinstance(op, str) and op else "invalid"
+        self._metrics.counter(
+            "serving_requests_total",
+            help="requests served, by operation",
+            op=label,
+        ).inc()
+        if not response.get("ok"):
+            self._metrics.counter(
+                "serving_errors_total",
+                help="requests answered with ok=false",
+                op=label,
+            ).inc()
+        self._metrics.histogram(
+            "serving_request_seconds",
+            help="request wall seconds, by operation",
+            op=label,
+        ).observe(time.perf_counter() - start)
         response["id"] = request_id
         writer.write((json.dumps(response, sort_keys=True) + "\n").encode())
         try:
@@ -241,7 +545,9 @@ class SketchServer:
         if op == "shutdown" and response.get("ok"):
             self._stop_event.set()
 
-    async def _dispatch(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    async def _dispatch(
+        self, payload: Dict[str, Any], writer
+    ) -> Dict[str, Any]:
         op = payload.get("op")
         if op == "ping":
             return {"ok": True, "result": "pong"}
@@ -250,18 +556,18 @@ class SketchServer:
             result, watermark = await self._batcher.submit(request)
             return {"ok": True, "result": result, "watermark": watermark}
         if op == "ingest":
-            events = [
-                Event.from_dict(entry) for entry in payload.get("events", [])
-            ]
-            count = self._store.ingest(events)
-            if payload.get("snapshot") and self._store.root is not None:
-                self._store.snapshot()
-            return {
-                "ok": True,
-                "ingested": count,
-                "watermark": self._store.events_ingested,
-            }
+            if self._read_only:
+                raise ValueError(
+                    "server is read-only (replica follower); ingest on "
+                    "the primary"
+                )
+            return await self._ingest_op(payload)
         if op == "evict":
+            if self._read_only:
+                raise ValueError(
+                    "server is read-only (replica follower); evict on "
+                    "the primary"
+                )
             if payload.get("ttl") is None and payload.get("max_keys") is None:
                 policy = self._retention
             else:
@@ -272,8 +578,7 @@ class SketchServer:
                     "retention policy)"
                 )
             now = payload.get("now")
-            report = apply_retention(
-                self._store,
+            report = self._run_retention(
                 policy,
                 now=None if now is None else float(now),
                 snapshot=bool(payload.get("snapshot", True)),
@@ -285,12 +590,87 @@ class SketchServer:
             }
         if op == "info":
             return {"ok": True, "result": self.describe()}
+        if op == "metrics":
+            return {"ok": True, "result": self._metrics.snapshot()}
+        if op == "repl_snapshot":
+            self._metrics.counter(
+                "serving_repl_snapshots_shipped_total",
+                help="ledger snapshots shipped to followers",
+            ).inc()
+            return {
+                "ok": True,
+                "result": snapshot_payload(self._store, self._hub.offset),
+            }
+        if op == "repl_subscribe":
+            after = int(payload.get("after_offset", 0))
+            if self._hub.can_resume_from(after):
+                # The pump task cannot run before this response line is
+                # queued: _serve_line writes it synchronously after this
+                # return, with no intervening await.
+                pump = asyncio.create_task(self._pump_segments(writer, after))
+                self._repl_pumps.setdefault(id(writer), set()).add(pump)
+                mode = "stream"
+            else:
+                mode = "snapshot"
+            return {
+                "ok": True,
+                "mode": mode,
+                "offset": self._hub.offset,
+                "watermark": self._hub.watermark,
+            }
         if op == "shutdown":
             return {"ok": True, "result": "bye"}
         raise ValueError(f"unknown op {op!r}")
 
+    async def _pump_segments(self, writer, after_offset: int) -> None:
+        """Push segment entries past ``after_offset`` to one subscriber."""
+        shipped = self._metrics.counter(
+            "serving_repl_segments_shipped_total",
+            help="segment entries pushed to subscribers",
+        )
+        offset = after_offset
+        try:
+            while True:
+                entries = self._hub.entries_after(offset)
+                if entries is None:
+                    # The subscriber fell out of the bounded buffer —
+                    # tell it to re-bootstrap and drop the stream.
+                    writer.write(
+                        (
+                            json.dumps(
+                                {
+                                    "op": "repl_segment",
+                                    "reset": True,
+                                    "oldest_offset": self._hub.oldest_offset,
+                                },
+                                sort_keys=True,
+                            )
+                            + "\n"
+                        ).encode()
+                    )
+                    await writer.drain()
+                    return
+                for entry in entries:
+                    writer.write(
+                        (
+                            json.dumps(
+                                {"op": "repl_segment", "entry": entry},
+                                sort_keys=True,
+                            )
+                            + "\n"
+                        ).encode()
+                    )
+                    offset = entry["offset"]
+                    shipped.inc()
+                await writer.drain()
+                await self._hub.wait_beyond(offset)
+        except (ConnectionError, OSError):
+            return
+        except asyncio.CancelledError:
+            return
+
     def describe(self) -> Dict[str, Any]:
-        """The ``info`` payload: store summary plus coalescing counters."""
+        """The ``info`` payload: store summary plus subsystem counters."""
         store = self._store
         return {
             "groups": store.groups,
@@ -305,6 +685,11 @@ class SketchServer:
                 None if self._retention is None else self._retention.to_dict()
             ),
             "coalescing": self._batcher.stats.to_dict(),
+            "replication": self._hub.describe(),
+            "admission": (
+                None if self._admission is None else self._admission.describe()
+            ),
+            "read_only": self._read_only,
         }
 
 
@@ -315,55 +700,171 @@ class ServingClient:
     a background reader task matches responses back by ``id``, so many
     requests may be awaited concurrently over one connection.  Methods
     return the full response payload (so callers can read the
-    ``watermark``) and raise :class:`ServingError` on ``ok: false``.
+    ``watermark``) and raise :class:`ServingError` on ``ok: false`` —
+    :class:`Overloaded` (with the ``retry_after`` hint) when the server
+    shed an ingest batch under admission control.
+
+    Robustness: when the connection drops mid-request the pending
+    request fails with :class:`ConnectionLost`; *read-only* operations
+    (``ping``/``query``/``info``/``metrics``) are then retried
+    transparently — reconnect with exponential backoff, up to
+    ``max_retries`` attempts — while mutating operations surface the
+    error (re-sending an ``ingest`` whose fate is unknown could apply
+    it twice).  A response line that is not a JSON object fails every
+    pending request with :class:`ProtocolError` naming the offending
+    bytes, and is never retried.
     """
 
-    def __init__(self, reader, writer) -> None:
+    #: Operations safe to re-send after a connection drop: they do not
+    #: mutate the store, so at-least-once delivery cannot corrupt it.
+    RETRYABLE_OPS = frozenset({"ping", "query", "info", "metrics"})
+
+    def __init__(
+        self,
+        reader,
+        writer,
+        *,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be nonnegative")
+        if backoff <= 0:
+            raise ValueError("backoff must be positive")
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
+        self._max_retries = int(max_retries)
+        self._backoff = float(backoff)
         self._pending: Dict[str, asyncio.Future] = {}
         self._next_id = 0
         self._reader_task = asyncio.create_task(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServingClient":
-        """Open a connection to a running server."""
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+    ) -> "ServingClient":
+        """Open a connection to a running server.
+
+        Clients built this way remember the address and can reconnect;
+        clients built directly from a ``(reader, writer)`` pair cannot.
+        """
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(
+            reader,
+            writer,
+            host=host,
+            port=port,
+            max_retries=max_retries,
+            backoff=backoff,
+        )
 
     async def _read_loop(self) -> None:
+        error: ServingError = ConnectionLost("server closed the connection")
         try:
             while True:
                 line = await self._reader.readline()
                 if not line:
                     break
-                payload = json.loads(line)
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    error = ProtocolError(
+                        f"malformed response line: {line[:120]!r}"
+                    )
+                    break
+                if not isinstance(payload, dict):
+                    error = ProtocolError(
+                        f"response is not a JSON object: {line[:120]!r}"
+                    )
+                    break
                 future = self._pending.pop(str(payload.get("id")), None)
                 if future is not None and not future.done():
                     future.set_result(payload)
-        except (ConnectionError, OSError, ValueError):
-            pass
+        except (ConnectionError, OSError) as exc:
+            error = ConnectionLost(f"connection lost: {exc}")
         finally:
             for future in self._pending.values():
                 if not future.done():
-                    future.set_exception(
-                        ServingError("server closed the connection")
-                    )
+                    future.set_exception(error)
             self._pending.clear()
 
-    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """Send one operation and await its response payload."""
+    async def _reconnect(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        reader, writer = await asyncio.open_connection(self._host, self._port)
+        self._reader = reader
+        self._writer = writer
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def _roundtrip(self, op: str, fields: Dict[str, Any]) -> Dict[str, Any]:
+        if self._writer.is_closing():
+            raise ConnectionLost("connection is closed")
         self._next_id += 1
         request_id = str(self._next_id)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         line = json.dumps({"id": request_id, "op": op, **fields}) + "\n"
-        self._writer.write(line.encode())
-        await self._writer.drain()
-        response = await future
-        if not response.get("ok"):
-            raise ServingError(response.get("error", "request failed"))
-        return response
+        try:
+            self._writer.write(line.encode())
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            raise ConnectionLost(f"connection lost while sending: {exc}")
+        return await future
+
+    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one operation and await its response payload."""
+        attempt = 0
+        while True:
+            try:
+                response = await self._roundtrip(op, fields)
+            except ConnectionLost:
+                if (
+                    op not in self.RETRYABLE_OPS
+                    or self._host is None
+                    or attempt >= self._max_retries
+                ):
+                    raise
+                while True:
+                    attempt += 1
+                    await asyncio.sleep(
+                        self._backoff * (2 ** (attempt - 1))
+                    )
+                    try:
+                        await self._reconnect()
+                        break
+                    except (ConnectionError, OSError):
+                        if attempt >= self._max_retries:
+                            raise ConnectionLost(
+                                f"could not reconnect to "
+                                f"{self._host}:{self._port}"
+                            )
+                continue
+            if not response.get("ok"):
+                message = response.get("error", "request failed")
+                if response.get("shed"):
+                    raise Overloaded(
+                        message, float(response.get("retry_after", 0.0))
+                    )
+                raise ServingError(message)
+            return response
 
     async def ping(self) -> Dict[str, Any]:
         """Round-trip liveness check."""
@@ -393,7 +894,12 @@ class ServingClient:
     async def ingest(
         self, events: Iterable[Event], snapshot: bool = False
     ) -> Dict[str, Any]:
-        """Ship a batch of events; the response acknowledges the count."""
+        """Ship a batch of events; the response acknowledges the count.
+
+        Raises :class:`Overloaded` (with ``retry_after``) when the
+        server sheds the batch under admission control — the batch was
+        *not* applied and may be re-sent after backing off.
+        """
         return await self.request(
             "ingest",
             events=[event.to_dict() for event in events],
@@ -420,6 +926,10 @@ class ServingClient:
     async def info(self) -> Dict[str, Any]:
         """The server's ``info`` payload."""
         return (await self.request("info"))["result"]
+
+    async def metrics(self) -> Dict[str, Any]:
+        """The server's metrics snapshot (counters + histograms)."""
+        return (await self.request("metrics"))["result"]
 
     async def shutdown(self) -> Dict[str, Any]:
         """Ask the server to stop (after acknowledging)."""

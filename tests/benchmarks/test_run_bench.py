@@ -97,16 +97,19 @@ class TestValidator:
         # deliberate.
         assert {"moments_ablation", "moments_dominance", "simulate_grid",
                 "batch_sum", "store_serve", "store_ingest_parallel",
+                "store_replication",
                 } <= set(run_bench.SUITE)
 
 
-def _payload(run_bench, speedups, smoke=False):
+def _payload(run_bench, speedups, smoke=False, params=None):
     """A schema-valid payload whose benches carry the given speedups
-    (``None`` = no baseline measured)."""
+    (``None`` = no baseline measured); ``params`` maps bench name to a
+    params dict for benches that need one."""
     benches = []
     for name, speedup in speedups.items():
         bench = {
-            "name": name, "params": {}, "items": 10, "repeats": 3,
+            "name": name, "params": (params or {}).get(name, {}),
+            "items": 10, "repeats": 3,
             "wall_s": {"median": 0.1, "min": 0.09, "mean": 0.11},
             "items_per_sec": 100.0, "backend_decision": "auto",
         }
@@ -178,40 +181,59 @@ class TestCompare:
         gone = _payload(run_bench, {})
         assert run_bench.compare_payloads(old, gone, band=0.5)[0] == []
 
+    def test_cpu_count_mismatch_is_warned_and_skipped(self, run_bench):
+        # A multi-process speedup from an 8-core runner must not gate a
+        # 1-core rerun: the drop is the hardware, not the code.
+        old = _payload(
+            run_bench, {"par": 6.0}, params={"par": {"cpu_count": 8}}
+        )
+        collapsed = _payload(
+            run_bench, {"par": 1.0}, params={"par": {"cpu_count": 1}}
+        )
+        regressions, notes = run_bench.compare_payloads(
+            old, collapsed, band=0.5
+        )
+        assert regressions == []
+        assert any(
+            "cpu_count" in note and "skipping" in note for note in notes
+        )
+        # One side missing the record counts as differing too.
+        unrecorded = _payload(run_bench, {"par": 1.0})
+        regressions, notes = run_bench.compare_payloads(
+            old, unrecorded, band=0.5
+        )
+        assert regressions == []
+        assert any("cpu_count" in note for note in notes)
+        # Same count on both sides: the normal gate applies.
+        same = _payload(
+            run_bench, {"par": 1.0}, params={"par": {"cpu_count": 8}}
+        )
+        regressions, _notes = run_bench.compare_payloads(old, same, band=0.5)
+        assert len(regressions) == 1
+
     def test_band_must_be_a_fraction(self, run_bench):
         payload = _payload(run_bench, {"a": 1.0})
         with pytest.raises(ValueError):
             run_bench.compare_payloads(payload, payload, band=1.0)
 
-    def test_cli_compare_exit_codes(self, run_bench, tmp_path):
+    def test_cli_compare_exit_codes(self, run_bench, tmp_path, capsys):
+        # main() in-process rather than one subprocess per invocation:
+        # same argv parsing and exit codes, without paying interpreter
+        # plus numpy start-up four times (tier-1 runtime budget).
         old = tmp_path / "old.json"
         new = tmp_path / "new.json"
         old.write_text(json.dumps(_payload(run_bench, {"a": 4.0})))
         new.write_text(json.dumps(_payload(run_bench, {"a": 1.0})))
-        env = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
-        args = [sys.executable, str(BENCHMARKS / "run_bench.py"), "--compare"]
-        ok = subprocess.run(
-            args + [str(old), str(old)],
-            capture_output=True, text=True, cwd=REPO, env=env, timeout=60,
-        )
-        assert ok.returncode == 0, ok.stderr
-        assert "ok" in ok.stdout
-        bad = subprocess.run(
-            args + [str(old), str(new)],
-            capture_output=True, text=True, cwd=REPO, env=env, timeout=60,
-        )
-        assert bad.returncode == 1
-        assert "regression" in bad.stderr
-        loose = subprocess.run(
-            args + [str(old), str(new), "--band", "0.9"],
-            capture_output=True, text=True, cwd=REPO, env=env, timeout=60,
-        )
-        assert loose.returncode == 0, loose.stderr
-        missing = subprocess.run(
-            args + [str(old), str(tmp_path / "nope.json")],
-            capture_output=True, text=True, cwd=REPO, env=env, timeout=60,
-        )
-        assert missing.returncode == 2
+        assert run_bench.main(["--compare", str(old), str(old)]) == 0
+        assert "ok" in capsys.readouterr().out
+        assert run_bench.main(["--compare", str(old), str(new)]) == 1
+        assert "regression" in capsys.readouterr().err
+        assert run_bench.main(
+            ["--compare", str(old), str(new), "--band", "0.9"]
+        ) == 0
+        assert run_bench.main(
+            ["--compare", str(old), str(tmp_path / "nope.json")]
+        ) == 2
 
 
 class TestEndToEnd:
@@ -242,15 +264,8 @@ class TestEndToEnd:
         assert check.returncode == 0, check.stderr
         assert "ok" in check.stdout
 
-    def test_check_rejects_truncated_payload(self, tmp_path):
+    def test_check_rejects_truncated_payload(self, run_bench, tmp_path, capsys):
         bad = tmp_path / "bad.json"
         bad.write_text('{"schema": "repro-bench/1"')
-        proc = subprocess.run(
-            [sys.executable, str(BENCHMARKS / "run_bench.py"),
-             "--check", str(bad)],
-            capture_output=True, text=True, cwd=REPO,
-            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
-            timeout=60,
-        )
-        assert proc.returncode == 2
-        assert "error" in proc.stderr
+        assert run_bench.main(["--check", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err

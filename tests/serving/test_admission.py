@@ -1,0 +1,185 @@
+"""Admission control: deterministic shedding and server-level backpressure.
+
+The controller admits a batch iff the pending total plus the batch fits
+inside ``max_pending_events`` — a pure function of the accounting state,
+so the unit tests below need no clock.  The server-level tests then pin
+the protocol outcome: a bound small enough to shed answers the shed
+batch with ``shed: true`` plus a ``retry_after`` hint (surfaced as
+:class:`~repro.serving.server.Overloaded` client-side), every admitted
+event is applied exactly once, and a polite retry loop eventually lands
+all events.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serving import (
+    AdmissionController,
+    Overloaded,
+    ServingClient,
+    SketchServer,
+    SketchStore,
+    StoreConfig,
+    synthetic_feed,
+)
+
+CONFIG = StoreConfig(k=16, tau_star=0.75, salt="admission")
+
+
+class TestAdmissionController:
+    def test_admits_longest_prefix_that_fits(self):
+        controller = AdmissionController(100)
+        assert controller.try_admit(60)
+        assert controller.try_admit(40)  # exactly at the bound
+        assert not controller.try_admit(1)
+        assert controller.pending_events == 100
+        assert controller.admitted_batches == 2
+        assert controller.admitted_events == 100
+        assert controller.shed_batches == 1
+        assert controller.shed_events == 1
+
+    def test_empty_batches_always_fit(self):
+        controller = AdmissionController(1)
+        assert controller.try_admit(1)
+        assert controller.try_admit(0)
+        assert controller.pending_batches == 2
+
+    def test_note_applied_releases_and_measures(self):
+        controller = AdmissionController(100)
+        controller.try_admit(50)
+        controller.note_applied(50, 0.5)  # 100 events/sec
+        assert controller.pending_events == 0
+        controller.try_admit(50)
+        # Backlog of 50 at 100 ev/s -> 0.5s hint, inside the clamp.
+        assert controller.retry_after() == pytest.approx(0.5)
+
+    def test_retry_after_clamps(self):
+        controller = AdmissionController(10_000, min_hint=0.01, max_hint=5.0)
+        assert controller.retry_after() == 0.01  # unmeasured
+        controller.try_admit(10)
+        controller.note_applied(10, 0.001)  # 10k ev/s
+        assert controller.retry_after() == 0.01  # empty queue
+        controller.try_admit(1)
+        assert controller.retry_after() == 0.01  # tiny backlog clamps up
+        controller.try_admit(9_999)
+        controller._rate = 1.0  # force a slow measured rate
+        assert controller.retry_after() == 5.0  # huge backlog clamps down
+
+    def test_release_does_not_touch_rate(self):
+        controller = AdmissionController(100)
+        controller.try_admit(10)
+        controller.release(10)
+        assert controller.pending_events == 0
+        assert controller.retry_after() == 0.01  # still unmeasured
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+        with pytest.raises(ValueError):
+            AdmissionController(10, min_hint=2.0, max_hint=1.0)
+        with pytest.raises(ValueError):
+            AdmissionController(10, ewma_alpha=0.0)
+        controller = AdmissionController(10)
+        with pytest.raises(ValueError):
+            controller.try_admit(-1)
+
+    def test_describe_round_trips_counters(self):
+        controller = AdmissionController(10)
+        controller.try_admit(4)
+        controller.try_admit(8)
+        description = controller.describe()
+        assert description["max_pending_events"] == 10
+        assert description["pending_events"] == 4
+        assert description["admitted_events"] == 4
+        assert description["shed_events"] == 8
+
+
+def batches(total, batch, seed=3):
+    events = synthetic_feed(
+        total, num_keys=max(16, total // 4), groups=("a", "b"), seed=seed
+    )
+    return [events[i : i + batch] for i in range(0, len(events), batch)]
+
+
+class TestServerBackpressure:
+    def test_small_bound_sheds_with_retry_after(self):
+        async def run():
+            store = SketchStore(CONFIG)
+            async with SketchServer(store, max_pending_events=50) as server:
+                host, port = server.address
+                client = await ServingClient.connect(host, port)
+                # Pipeline more events than the bound in one burst: the
+                # requests all parse before the pump drains, so at least
+                # one batch must shed.
+                sends = [
+                    asyncio.ensure_future(client.ingest(chunk))
+                    for chunk in batches(300, 50)
+                ]
+                results = await asyncio.gather(*sends, return_exceptions=True)
+                shed = [r for r in results if isinstance(r, Overloaded)]
+                ok = [r for r in results if not isinstance(r, Exception)]
+                assert shed, "expected at least one shed batch"
+                for error in shed:
+                    assert error.retry_after > 0
+                # Everything admitted was applied exactly once.
+                applied = sum(r["ingested"] for r in ok)
+                assert store.events_ingested == applied
+                snapshot = await client.metrics()
+                counters = snapshot["counters"]
+                assert counters["serving_ingest_shed_batches_total"] == len(
+                    shed
+                )
+                assert counters["serving_ingest_shed_events_total"] == 50 * len(
+                    shed
+                )
+                info = await client.info()
+                assert info["admission"]["shed_batches"] == len(shed)
+                await client.close()
+
+        asyncio.run(run())
+
+    def test_polite_retry_lands_every_event(self):
+        async def run():
+            store = SketchStore(CONFIG)
+            async with SketchServer(store, max_pending_events=40) as server:
+                host, port = server.address
+                client = await ServingClient.connect(host, port)
+                for chunk in batches(400, 40, seed=9):
+                    while True:
+                        try:
+                            await client.ingest(chunk)
+                            break
+                        except Overloaded as error:
+                            await asyncio.sleep(min(error.retry_after, 0.05))
+                assert store.events_ingested == 400
+                await client.close()
+
+            # The admitted stream is the full feed in order, so the
+            # served state matches a direct single-store ingest.
+            reference = SketchStore(CONFIG)
+            reference.ingest(
+                [e for chunk in batches(400, 40, seed=9) for e in chunk]
+            )
+            assert store.query("sum", "a") == reference.query("sum", "a")
+            assert store.query("distinct", "b") == reference.query(
+                "distinct", "b"
+            )
+
+        asyncio.run(run())
+
+    def test_no_admission_keeps_direct_path(self):
+        async def run():
+            store = SketchStore(CONFIG)
+            async with SketchServer(store) as server:
+                host, port = server.address
+                assert server.admission is None
+                client = await ServingClient.connect(host, port)
+                for chunk in batches(200, 50, seed=5):
+                    await client.ingest(chunk)
+                assert store.events_ingested == 200
+                info = await client.info()
+                assert info["admission"] is None
+                await client.close()
+
+        asyncio.run(run())

@@ -1,0 +1,229 @@
+"""Metrics: deterministic registry semantics and the Prometheus surface.
+
+Two properties anchor the suite: (1) the registry's snapshot and text
+rendering are pure functions of the observation sequence — two
+registries fed the same sequence serialise identically — and (2) the
+instrumented server actually feeds the registry: one loaded server
+exposes query / ingest / coalescing / retention counters through both
+the ``metrics`` op and the HTTP shim's ``/metrics`` scrape.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serving import (
+    MetricsHTTPShim,
+    MetricsRegistry,
+    ServingClient,
+    SketchServer,
+    SketchStore,
+    StoreConfig,
+    synthetic_feed,
+)
+from repro.serving.metrics import Counter, Histogram
+
+CONFIG = StoreConfig(k=16, tau_star=0.75, salt="metrics")
+
+
+class TestCounter:
+    def test_monotone(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram([0.1, 1.0])
+        for value in (0.05, 0.1, 0.5, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.counts == [2, 1, 2]  # <=0.1, <=1.0, +Inf
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(5.65)
+        assert histogram.cumulative() == [
+            ("0.1", 2),
+            ("1", 3),
+            ("+Inf", 5),
+        ]
+
+    def test_time_context_manager_uses_injected_clock(self):
+        ticks = iter([10.0, 10.25])
+        histogram = Histogram([0.1, 1.0])
+        with histogram.time(clock=lambda: next(ticks)):
+            pass
+        assert histogram.counts == [0, 1, 0]
+        assert histogram.sum == pytest.approx(0.25)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+        with pytest.raises(ValueError):
+            Histogram([1.0, 0.5])
+        with pytest.raises(ValueError):
+            Histogram([1.0, 1.0])
+
+
+class TestRegistry:
+    def test_snapshot_is_deterministic_across_registries(self):
+        def drive(registry):
+            registry.counter("requests_total", op="query").inc(3)
+            registry.counter("requests_total", op="ingest").inc()
+            registry.histogram("latency_seconds", buckets=[0.1, 1.0]).observe(
+                0.2
+            )
+            return registry
+
+        a, b = drive(MetricsRegistry()), drive(MetricsRegistry())
+        assert a.snapshot() == b.snapshot()
+        assert a.render_prometheus() == b.render_prometheus()
+
+    def test_series_are_keyed_by_sorted_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", b="2", a="1").inc()
+        assert list(registry.snapshot()["counters"]) == [
+            'hits_total{a="1",b="2"}'
+        ]
+
+    def test_kind_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="counter"):
+            registry.histogram("x_total")
+
+    def test_bucket_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.histogram("y_seconds", buckets=[0.1, 1.0])
+        with pytest.raises(ValueError, match="buckets"):
+            registry.histogram("y_seconds", buckets=[0.5])
+
+    def test_prometheus_rendering_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", help="requests", op="query").inc(7)
+        registry.histogram(
+            "lat_seconds", buckets=[0.5], help="latency", op="query"
+        ).observe(0.2)
+        text = registry.render_prometheus()
+        lines = text.splitlines()
+        assert "# HELP req_total requests" in lines
+        assert "# TYPE req_total counter" in lines
+        assert 'req_total{op="query"} 7' in lines
+        assert "# TYPE lat_seconds histogram" in lines
+        assert 'lat_seconds_bucket{le="0.5",op="query"} 1' in lines
+        assert 'lat_seconds_bucket{le="+Inf",op="query"} 1' in lines
+        assert 'lat_seconds_sum{op="query"} 0.2' in lines
+        assert 'lat_seconds_count{op="query"} 1' in lines
+        assert text.endswith("\n")
+
+
+async def scrape(host, port, path="/metrics", request_line=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    if request_line is None:
+        request_line = f"GET {path} HTTP/1.1"
+    writer.write(f"{request_line}\r\nHost: test\r\n\r\n".encode())
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = data.decode().partition("\r\n\r\n")
+    return head, body
+
+
+class TestHTTPShim:
+    def test_scrape_health_and_errors(self):
+        async def run():
+            registry = MetricsRegistry()
+            registry.counter("up_total").inc()
+            shim = MetricsHTTPShim(registry)
+            host, port = await shim.start()
+            try:
+                head, body = await scrape(host, port)
+                assert "200 OK" in head
+                assert "text/plain; version=0.0.4" in head
+                assert "up_total 1" in body
+
+                head, body = await scrape(host, port, "/healthz")
+                assert "200 OK" in head and body.strip() == "ok"
+
+                head, _ = await scrape(host, port, "/nowhere")
+                assert "404" in head
+
+                head, _ = await scrape(
+                    host, port, request_line="POST /metrics HTTP/1.1"
+                )
+                assert "405" in head
+            finally:
+                await shim.stop()
+
+        asyncio.run(run())
+
+
+class TestServerInstrumentation:
+    def test_loaded_server_exposes_all_subsystem_series(self):
+        async def run():
+            store = SketchStore(CONFIG)
+            async with SketchServer(store, max_pending_events=10_000) as server:
+                host, port = server.address
+                shim = MetricsHTTPShim(server.metrics)
+                mhost, mport = await shim.start()
+                client = await ServingClient.connect(host, port)
+                events = synthetic_feed(
+                    120, num_keys=30, groups=("a", "b"), seed=1
+                )
+                await client.ingest(events)
+                await client.query("sum")
+                await client.query("distinct")
+                await client.evict(max_keys=10)
+                try:
+                    await client.request("bogus_op")
+                except Exception:
+                    pass
+
+                snapshot = await client.metrics()
+                counters = snapshot["counters"]
+                assert counters['serving_requests_total{op="ingest"}'] == 1
+                assert counters['serving_requests_total{op="query"}'] == 2
+                assert counters['serving_errors_total{op="bogus_op"}'] == 1
+                assert counters["serving_ingest_events_total"] == 120
+                assert counters["serving_coalesce_requests_total"] == 2
+                assert counters["serving_retention_sweeps_total"] == 1
+                assert counters["serving_retention_evicted_keys_total"] > 0
+                histograms = snapshot["histograms"]
+                assert (
+                    histograms['serving_request_seconds{op="query"}']["count"]
+                    == 2
+                )
+                assert histograms["serving_ingest_apply_seconds"]["count"] == 1
+
+                _head, body = await scrape(mhost, mport)
+                for family in (
+                    "serving_requests_total",
+                    "serving_request_seconds_bucket",
+                    "serving_ingest_events_total",
+                    "serving_coalesce_requests_total",
+                    "serving_retention_sweeps_total",
+                ):
+                    assert family in body
+                await shim.stop()
+                await client.close()
+
+        asyncio.run(run())
+
+    def test_metrics_op_and_scrape_agree(self):
+        async def run():
+            store = SketchStore(CONFIG)
+            async with SketchServer(store) as server:
+                host, port = server.address
+                client = await ServingClient.connect(host, port)
+                await client.ping()
+                snapshot = await client.metrics()
+                rendered = server.metrics.render_prometheus()
+                for key, value in snapshot["counters"].items():
+                    if key.startswith("serving_requests_total"):
+                        assert f"{key} {int(value)}" in rendered
+                await client.close()
+
+        asyncio.run(run())

@@ -1,0 +1,230 @@
+"""Server error paths and client resilience (satellite coverage).
+
+The protocol's per-request error isolation only matters under fault, so
+this suite injects the faults directly: request lines past the server's
+``line_limit``, unknown operations, a peer that disconnects while its
+query is still parked in the :class:`QueryBatcher`, a server that
+answers garbage instead of JSON, and a server that drops every
+connection.  In each case the contract is the same — the *other*
+requests and connections keep working, and the client surfaces a typed
+error (:class:`ProtocolError`, :class:`ConnectionLost`) rather than a
+hang or a stack trace.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serving import (
+    ConnectionLost,
+    ProtocolError,
+    ServingClient,
+    ServingError,
+    SketchServer,
+    SketchStore,
+    StoreConfig,
+    synthetic_feed,
+)
+
+CONFIG = StoreConfig(k=16, tau_star=0.75, salt="errors")
+
+
+def make_store(events=200, seed=11):
+    store = SketchStore(CONFIG)
+    store.ingest(
+        synthetic_feed(events, num_keys=40, groups=("g1", "g2"), seed=seed)
+    )
+    return store
+
+
+class TestOversizedRequests:
+    def test_oversized_line_is_answered_then_dropped(self):
+        async def run():
+            store = make_store()
+            async with SketchServer(store, line_limit=256) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b'{"id": 1, "op": "ping", "pad": "' + b"x" * 512)
+                writer.write(b'"}\n')
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["ok"] is False
+                assert response["id"] is None
+                assert "exceeds 256 bytes" in response["error"]
+                # The connection is unrecoverable and gets closed...
+                assert await reader.readline() == b""
+                writer.close()
+                await writer.wait_closed()
+                # ...but the server and fresh connections are fine.
+                client = await ServingClient.connect(host, port)
+                assert (await client.ping())["result"] == "pong"
+                snapshot = await client.metrics()
+                assert (
+                    snapshot["counters"][
+                        'serving_errors_total{op="oversized"}'
+                    ]
+                    == 1
+                )
+                await client.close()
+
+        asyncio.run(run())
+
+    def test_line_limit_validation(self):
+        with pytest.raises(ValueError, match="line_limit"):
+            SketchServer(make_store(0), line_limit=0)
+
+
+class TestBadRequests:
+    def test_unknown_op_and_malformed_line_are_isolated(self):
+        async def run():
+            store = make_store()
+            async with SketchServer(store) as server:
+                host, port = server.address
+                client = await ServingClient.connect(host, port)
+                with pytest.raises(ServingError, match="unknown op"):
+                    await client.request("frobnicate")
+                # Raw garbage on a second connection: answered with an
+                # error line, not a dropped connection.
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"this is not json\n")
+                writer.write(b'"a bare string"\n')
+                await writer.drain()
+                for _ in range(2):
+                    response = json.loads(await reader.readline())
+                    assert response["ok"] is False
+                writer.close()
+                await writer.wait_closed()
+                # The client connection sharing the server still works.
+                assert (await client.ping())["result"] == "pong"
+                snapshot = await client.metrics()
+                assert (
+                    snapshot["counters"]['serving_requests_total{op="invalid"}']
+                    == 2
+                )
+                await client.close()
+
+        asyncio.run(run())
+
+
+class TestDisconnectMidFlush:
+    def test_peer_gone_before_flush_does_not_starve_others(self):
+        async def run():
+            store = make_store()
+            # A long coalescing window guarantees the disconnecting
+            # peer's query is still parked when the socket dies.
+            async with SketchServer(store, max_delay=0.05) as server:
+                host, port = server.address
+                _reader, doomed = await asyncio.open_connection(host, port)
+                doomed.write(
+                    json.dumps(
+                        {"id": 1, "op": "query", "kind": "sum"}
+                    ).encode()
+                    + b"\n"
+                )
+                await doomed.drain()
+                doomed.close()
+                await doomed.wait_closed()
+
+                client = await ServingClient.connect(host, port)
+                answer = await client.query("sum")
+                assert answer["result"] == store.query("sum")
+                assert (await client.ping())["result"] == "pong"
+                await client.close()
+
+        asyncio.run(run())
+
+
+async def fake_server(handler):
+    """Start a throwaway asyncio server; returns (server, host, port)."""
+    server = await asyncio.start_server(handler, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    return server, host, port
+
+
+class TestClientResilience:
+    def test_malformed_response_raises_protocol_error(self):
+        async def run():
+            async def handler(reader, writer):
+                await reader.readline()
+                writer.write(b"definitely-not-json\n")
+                await writer.drain()
+
+            server, host, port = await fake_server(handler)
+            client = await ServingClient.connect(host, port)
+            with pytest.raises(ProtocolError, match="definitely-not-json"):
+                await client.ping()
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_non_object_response_raises_protocol_error(self):
+        async def run():
+            async def handler(reader, writer):
+                await reader.readline()
+                writer.write(b"[1, 2, 3]\n")
+                await writer.drain()
+
+            server, host, port = await fake_server(handler)
+            client = await ServingClient.connect(host, port)
+            with pytest.raises(ProtocolError):
+                await client.ping()
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_retryable_op_reconnects_after_drop(self):
+        async def run():
+            store = make_store()
+            async with SketchServer(store) as server:
+                host, port = server.address
+                client = await ServingClient.connect(
+                    host, port, backoff=0.01
+                )
+                assert (await client.ping())["result"] == "pong"
+                # Kill the transport under the client: the next ping
+                # sees a closed writer, reconnects, and succeeds.
+                client._writer.close()
+                assert (await client.ping())["result"] == "pong"
+                await client.close()
+
+        asyncio.run(run())
+
+    def test_mutating_op_is_never_retried(self):
+        async def run():
+            store = make_store(0)
+            async with SketchServer(store) as server:
+                host, port = server.address
+                client = await ServingClient.connect(
+                    host, port, backoff=0.01
+                )
+                client._writer.close()
+                events = synthetic_feed(
+                    10, num_keys=4, groups=("g1",), seed=2
+                )
+                with pytest.raises(ConnectionLost):
+                    await client.ingest(events)
+                assert store.events_ingested == 0
+
+        asyncio.run(run())
+
+    def test_reconnect_gives_up_after_max_retries(self):
+        async def run():
+            async def handler(reader, writer):
+                writer.close()
+
+            server, host, port = await fake_server(handler)
+            client = await ServingClient.connect(
+                host, port, max_retries=2, backoff=0.01
+            )
+            with pytest.raises(ConnectionLost):
+                await client.ping()
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(run())
