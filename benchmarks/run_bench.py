@@ -432,6 +432,89 @@ def _bench_store_replication(smoke: bool):
     )
 
 
+def _bench_store_router(smoke: bool):
+    import asyncio
+    import os
+
+    from repro.serving import (
+        ServingClient,
+        ShardRouter,
+        SketchServer,
+        SketchStore,
+        StoreConfig,
+        synthetic_feed,
+    )
+    from repro.serving.cli import run_load
+
+    n = 4_000 if smoke else 16_000
+    batch = 500
+    shards = 2
+    clients = 8
+    per_client = 2 if smoke else 4
+    config = StoreConfig(k=512, tau_star=0.5, salt="bench-router")
+    feed = synthetic_feed(n, num_keys=n // 3, groups=("u", "v"), seed=41)
+    chunks = [feed[i : i + batch] for i in range(0, n, batch)]
+    kinds = ("sum", "distinct", "similarity")
+
+    async def load_against(host: str, port: int):
+        client = await ServingClient.connect(host, port)
+        for chunk in chunks:
+            await client.ingest(chunk)
+        await client.close()
+        report = await run_load(
+            host,
+            port,
+            clients=clients,
+            requests_per_client=per_client,
+            kinds=kinds,
+        )
+        if report["errors"]:
+            raise RuntimeError(f"load errors: {report['errors']}")
+        return report["requests_per_sec"]
+
+    async def drive_router():
+        servers = [
+            SketchServer(SketchStore(config)) for _ in range(shards)
+        ]
+        for server in servers:
+            await server.start()
+        router = ShardRouter([[server.address] for server in servers])
+        await router.start()
+        try:
+            return await load_against(*router.address)
+        finally:
+            await router.stop()
+            for server in servers:
+                await server.stop()
+
+    async def drive_single():
+        async with SketchServer(SketchStore(config)) as server:
+            return await load_against(*server.address)
+
+    return (
+        # Wire ingest plus the mixed query load, everything through the
+        # 2-shard router: key-split ingest fan-out, but every query pays
+        # view gather + fuse, so expect an honest sub-1x "speedup" on a
+        # query-heavy mix — the router buys capacity, not latency.
+        lambda: asyncio.run(drive_router()),
+        n + clients * per_client,
+        {
+            "num_events": n,
+            "batch": batch,
+            "shards": shards,
+            "clients": clients,
+            "requests_per_client": per_client,
+            "kinds": list(kinds),
+            # Scatter-gather concurrency is core-bound; a 1-CPU host
+            # serialises the shard servers on one loop anyway.
+            "cpu_count": os.cpu_count(),
+        },
+        n,
+        # The identical workload against one direct unsharded server.
+        ("single-server", lambda: asyncio.run(drive_single())),
+    )
+
+
 def _bench_runner_smoke_batch(smoke: bool):
     from repro.api.experiments import ExperimentRunner
 
@@ -462,6 +545,7 @@ SUITE: Dict[str, Tuple[Callable, object]] = {
     "store_serve": (_bench_store_serve, "custom"),
     "store_ingest_parallel": (_bench_store_ingest_parallel, "custom"),
     "store_replication": (_bench_store_replication, "custom"),
+    "store_router": (_bench_store_router, "custom"),
     "runner_smoke_batch": (_bench_runner_smoke_batch, False),
 }
 

@@ -72,13 +72,30 @@ distinct-count queries) use them:
     (:class:`~repro.serving.admission.AdmissionController`), so
     overload degrades deterministically instead of growing memory.
 
+:mod:`repro.serving.router`
+    Scale-out sharding: a :class:`~repro.serving.router.ShardRouter`
+    front-end routing ingest by the same key hash ``shard_events``
+    pins and answering ``sum`` / ``distinct`` / ``similarity`` by
+    scatter-gathering serialized sketch views and fusing them —
+    bit-identical to an unsharded store — with per-shard watermark
+    vectors and failover re-targeting across each shard's endpoint
+    chain.
+
+:mod:`repro.serving.promotion`
+    Failover promotion: :func:`~repro.serving.promotion.promote_follower`
+    and :class:`~repro.serving.promotion.PromotableReplica` rewire a
+    replica follower into primary mode at its shipped watermark,
+    answerable over the wire (``promote``) so the router — or one JSON
+    line from an operator — can fail a shard over.
+
 :mod:`repro.serving.cli`
     ``python -m repro.serving`` — ``synth`` / ``ingest`` / ``query`` /
     ``snapshot`` / ``merge`` / ``info`` subcommands over a store
     directory, plus ``serve`` (the asyncio server; ``--follow`` runs a
-    read-only replica, ``--metrics-port`` mounts the scrape endpoint),
-    ``load`` (a load-generating client) and ``evict`` (offline
-    retention).
+    read-only replica — promotable with ``--promotable`` — ``--router``
+    runs the shard router, ``--metrics-port`` mounts the scrape
+    endpoint), ``load`` (a load-generating client) and ``evict``
+    (offline retention).
 """
 
 from .admission import AdmissionController
@@ -86,31 +103,39 @@ from .batcher import QueryBatcher, QueryRequest
 from .events import Event, read_events, shard_events, synthetic_feed, write_events
 from .ingest import ParallelIngestor
 from .metrics import MetricsHTTPShim, MetricsRegistry
+from .promotion import PromotableReplica, promote_follower
 from .replication import ReplicaFollower, ReplicationError, ReplicationHub
 from .retention import RetentionPolicy, apply_retention
+from .router import ShardRouter, ShardSlot
 from .server import (
     ConnectionLost,
+    JSONLinesServer,
     Overloaded,
     ProtocolError,
     ServingClient,
     ServingError,
+    ShardUnavailable,
     SketchServer,
 )
 from .store import (
     SERVING_QUERY_KINDS,
     SketchStore,
     StoreConfig,
+    merge_sketch_views,
     merge_stores,
+    sketch_view_payload,
 )
 
 __all__ = [
     "AdmissionController",
     "ConnectionLost",
     "Event",
+    "JSONLinesServer",
     "MetricsHTTPShim",
     "MetricsRegistry",
     "Overloaded",
     "ParallelIngestor",
+    "PromotableReplica",
     "ProtocolError",
     "QueryBatcher",
     "QueryRequest",
@@ -120,8 +145,12 @@ __all__ = [
     "RetentionPolicy",
     "ServingClient",
     "ServingError",
+    "ShardRouter",
+    "ShardSlot",
+    "ShardUnavailable",
     "SketchServer",
     "apply_retention",
+    "promote_follower",
     "read_events",
     "shard_events",
     "synthetic_feed",
@@ -129,5 +158,7 @@ __all__ = [
     "SERVING_QUERY_KINDS",
     "SketchStore",
     "StoreConfig",
+    "merge_sketch_views",
     "merge_stores",
+    "sketch_view_payload",
 ]

@@ -35,7 +35,14 @@ growing memory); ``--follow HOST:PORT`` starts the server as a
 *read-only replica* of a running primary — it bootstraps from the
 primary's snapshot (adopting its config on first start), streams sealed
 WAL segments, and serves queries bit-identical to the primary's at the
-shipped watermark.  ``load`` is the matching load generator:
+shipped watermark; with ``--promotable`` the replica also answers the
+wire ``promote`` operation, rewiring itself into primary mode at that
+watermark (the router's failover path).  ``serve --router SPEC...``
+runs the store-less shard router instead: one
+``HOST:PORT[,HOST:PORT...]`` endpoint chain per shard, key-routed
+ingest, scatter-gather queries bit-identical to an unsharded store,
+and automatic failover along each chain (``--health-interval`` adds
+background health sweeps).  ``load`` is the matching load generator:
 deterministic mixed queries from ``--clients`` concurrent connections
 (or one connection with ``--mode sequential`` — the per-request
 baseline the benchmarks compare against), optional server-side
@@ -59,8 +66,10 @@ from ..api.backend import BACKEND_MODES
 from ..sketches.bottomk import RankMethod
 from .events import read_events, synthetic_feed, write_events
 from .metrics import MetricsHTTPShim
+from .promotion import PromotableReplica
 from .replication import ReplicaFollower
 from .retention import RetentionPolicy, apply_retention
+from .router import ShardRouter
 from .server import Overloaded, ServingClient, ServingError, SketchServer
 from .store import SERVING_QUERY_KINDS, SketchStore, StoreConfig, merge_stores
 
@@ -218,7 +227,58 @@ def _parse_endpoint(text: str) -> tuple:
     return host, int(port)
 
 
+def _serve_router(args: argparse.Namespace) -> int:
+    """Run the shard router: ``serve --router SPEC [SPEC ...]``.
+
+    Each SPEC is one shard's endpoint chain —
+    ``HOST:PORT[,HOST:PORT...]``, preferred primary first, fallbacks
+    (typically the shard's followers) after.  The shards must already
+    be serving: the router pins their shared config at start.
+    """
+    shards = [
+        [_parse_endpoint(part) for part in spec.split(",") if part]
+        for spec in args.router
+    ]
+
+    async def run() -> int:
+        router = ShardRouter(
+            shards,
+            host=args.host,
+            port=args.port,
+            health_interval=args.health_interval,
+        )
+        host, port = await router.start()
+        print(f"routing {len(shards)} shard(s) on {host}:{port}", flush=True)
+        shim = None
+        if args.metrics_port is not None:
+            shim = MetricsHTTPShim(
+                router.metrics, args.host, args.metrics_port
+            )
+            metrics_host, metrics_port = await shim.start()
+            print(f"metrics on {metrics_host}:{metrics_port}", flush=True)
+        try:
+            await router.serve_forever()
+        finally:
+            if shim is not None:
+                await shim.stop()
+        return sum(slot.watermark for slot in router.slots)
+
+    watermark = asyncio.run(run())
+    print(f"router stopped at watermark {watermark}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.router:
+        if args.store is not None or args.follow:
+            raise ValueError(
+                "--router runs store-less; drop --store/--follow"
+            )
+        return _serve_router(args)
+    if args.store is None:
+        raise ValueError("serve needs --store (or --router)")
+    if args.promotable and not args.follow:
+        raise ValueError("--promotable requires --follow")
     follow = _parse_endpoint(args.follow) if args.follow else None
 
     async def run() -> int:
@@ -242,19 +302,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             config = primary_config
         store = SketchStore.open(args.store, config=config)
         try:
-            server = SketchServer(
-                store,
-                host=args.host,
-                port=args.port,
+            server_kwargs = dict(
                 max_batch=args.max_batch,
                 max_delay=args.max_delay_ms / 1000.0,
                 retention=_retention_from_args(args),
                 retention_interval=args.retention_interval,
                 max_pending_events=args.max_pending_events,
                 repl_buffer=args.repl_buffer,
-                read_only=follow is not None,
             )
-            host, port = await server.start()
+            replica = None
+            follower_task = None
+            if follow is not None and args.promotable:
+                replica = PromotableReplica(
+                    store,
+                    follow[0],
+                    follow[1],
+                    host=args.host,
+                    port=args.port,
+                    **server_kwargs,
+                )
+                server = replica.server
+                host, port = await replica.start()
+            else:
+                server = SketchServer(
+                    store,
+                    host=args.host,
+                    port=args.port,
+                    read_only=follow is not None,
+                    **server_kwargs,
+                )
+                host, port = await server.start()
             # Announced (and flushed) so a driver using --port 0 can
             # read the bound port before sending traffic.
             print(f"serving {args.store} on {host}:{port}", flush=True)
@@ -267,13 +344,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 print(
                     f"metrics on {metrics_host}:{metrics_port}", flush=True
                 )
-            follower_task = None
             if follow is not None:
-                follower = ReplicaFollower(
-                    store, follow[0], follow[1], metrics=server.metrics
-                )
-                follower_task = asyncio.create_task(follower.run())
-                print(f"following {follow[0]}:{follow[1]}", flush=True)
+                if replica is None:
+                    follower = ReplicaFollower(
+                        store, follow[0], follow[1], metrics=server.metrics
+                    )
+                    follower_task = asyncio.create_task(follower.run())
+                    print(f"following {follow[0]}:{follow[1]}", flush=True)
+                else:
+                    print(
+                        f"following {follow[0]}:{follow[1]} (promotable)",
+                        flush=True,
+                    )
             try:
                 await server.serve_forever()
             finally:
@@ -283,6 +365,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         await follower_task
                     except asyncio.CancelledError:
                         pass
+                if replica is not None:
+                    await replica.stop()
                 if shim is not None:
                     await shim.stop()
         finally:
@@ -550,7 +634,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve", help="serve a store over the JSON-lines TCP protocol"
     )
-    serve.add_argument("--store", required=True, help="store directory")
+    serve.add_argument(
+        "--store", default=None,
+        help="store directory (required unless --router)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=0, help="0 picks a free port"
@@ -593,6 +680,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--follow", metavar="HOST:PORT", default=None,
         help="run as a read-only replica of this primary (bootstraps "
         "from its snapshot, then streams WAL segments)",
+    )
+    serve.add_argument(
+        "--promotable", action="store_true",
+        help="with --follow: answer the wire 'promote' op by rewiring "
+        "into primary mode at the shipped watermark",
+    )
+    serve.add_argument(
+        "--router", metavar="HOST:PORT[,HOST:PORT...]", nargs="+",
+        default=None,
+        help="run the store-less shard router instead: one endpoint "
+        "chain per shard (preferred primary first, failover fallbacks "
+        "after); shard order defines the key partition",
+    )
+    serve.add_argument(
+        "--health-interval", type=float, default=None,
+        help="router: seconds between background shard health sweeps "
+        "(default: failures detected on routed traffic only)",
     )
     _add_config_flags(serve)
     serve.set_defaults(func=_cmd_serve)

@@ -20,7 +20,20 @@ Two export surfaces share the one registry:
   listener in front of the TCP server that renders the registry in the
   Prometheus text exposition format on ``GET /metrics`` (plus a
   ``/healthz`` liveness probe) — the scrape endpoint the
-  ``replication-smoke`` CI job curls.
+  ``replication-smoke`` and ``router-smoke`` CI jobs curl.
+
+Series families, by emitter: the protocol shell counts
+``serving_requests_total`` / ``serving_errors_total`` and times
+``serving_request_seconds`` per operation on *every* front-end (store
+servers and the shard router alike); store servers add the ingest /
+coalescing / retention / replication / admission families; the shard
+router adds ``router_shard_requests_total{shard=,op=}`` and
+``router_routed_events_total{shard=}`` (per-shard routed-op counters),
+``router_gather_seconds{kind=}`` (scatter-gather latency),
+``router_view_cache_hits_total{shard=}``,
+``router_failovers_total{shard=}`` / ``router_promotions_total{shard=}``
+(re-targeting), and ``router_unavailable_total``; a promotable replica
+counts ``serving_promotions_total`` when its hand-over runs.
 
 The registry is wholly synchronous and allocation-light: instruments are
 created on first use and cached, so the hot path is a dict lookup and an

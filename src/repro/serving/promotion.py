@@ -1,0 +1,208 @@
+"""Failover promotion: rewire a replica follower into a shard primary.
+
+A shard's follower (PR 8's ``serve --follow``) is two cooperating
+pieces: a read-only :class:`~repro.serving.server.SketchServer`
+front-end and a :class:`~repro.serving.replication.ReplicaFollower`
+applying the primary's shipped segments to the shared store.
+*Promotion* is the controlled hand-over when the primary dies:
+
+1. stop the follow loop (so the store has exactly one writer again),
+2. flip the front-end writable (:meth:`SketchServer.make_writable`),
+   which also seeds the — necessarily still pristine — replication hub
+   with the store's shipped watermark,
+3. answer with that watermark/offset so the caller (typically the
+   shard router's failover scan, via the wire ``promote`` operation)
+   knows the cut the new primary starts from.
+
+The promoted primary's history is the follower's **shipped** prefix:
+with asynchronous replication, a batch the dead primary acknowledged
+but had not yet shipped is *lost* — the convergence the promotion test
+battery pins is "every batch durably acknowledged *and shipped*
+survives", and the operational remedy (quiesce ingest, let followers
+drain, then fail over) lives in the runbook in ``docs/serving.md``.
+Offsets restart from 0 under the new primary; sibling followers of the
+dead one detect the discontinuity through the watermark cross-check in
+their ``repl_subscribe`` handshake and re-bootstrap against the
+promoted server.
+
+:class:`PromotableReplica` bundles the pieces for in-process use and
+for ``serve --follow ... --promotable``: a follower whose server
+answers the wire ``promote`` operation, so a router (or an operator
+with one JSON line) can fail over without touching the follower's
+process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .replication import ReplicaFollower
+from .server import SketchServer
+
+__all__ = ["PromotableReplica", "promote_follower"]
+
+
+def promote_follower(server: SketchServer) -> Dict[str, Any]:
+    """Flip a read-only follower front-end into primary mode.
+
+    The caller must have stopped the replication follow loop first —
+    promotion makes client ingest the store's writer, and two writers
+    (an ingest path racing late segment applies) would corrupt the
+    ledger.  Returns the promotion payload: the ``watermark`` (shipped
+    events the new primary starts from) and its hub ``offset`` (0 —
+    offsets restart under a new primary).
+    """
+    server.make_writable()
+    return {
+        "watermark": server.store.events_ingested,
+        "offset": server.replication.offset,
+    }
+
+
+class PromotableReplica:
+    """A shard follower that can be promoted to primary over the wire.
+
+    Runs a read-only :class:`~repro.serving.server.SketchServer` and a
+    :class:`~repro.serving.replication.ReplicaFollower` over one store,
+    sharing one metrics registry.  The server's ``promote`` operation
+    (and the local :meth:`promote`) performs the hand-over described in
+    the module docstring; promotion is idempotent — repeated calls
+    return the same payload without re-running the hand-over, so a
+    router's concurrent failover scans cannot double-promote.
+
+    Parameters
+    ----------
+    store:
+        The replica store (in-memory or directory-backed).
+    primary_host, primary_port:
+        The primary to follow until promotion.
+    host, port:
+        Bind address of the replica's own front-end.
+    metrics:
+        Shared registry for the server's and follower's series; a fresh
+        registry by default.
+    backoff, max_backoff:
+        The follow loop's reconnect backoff window.
+    server_kwargs:
+        Extra :class:`~repro.serving.server.SketchServer` keyword
+        arguments (``max_batch``, ``line_limit``, ...).
+    """
+
+    def __init__(
+        self,
+        store,
+        primary_host: str,
+        primary_port: int,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        **server_kwargs: Any,
+    ) -> None:
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._server = SketchServer(
+            store,
+            host,
+            port,
+            read_only=True,
+            promoter=self.promote,
+            metrics=self._metrics,
+            **server_kwargs,
+        )
+        self._follower = ReplicaFollower(
+            store,
+            primary_host,
+            primary_port,
+            backoff=backoff,
+            max_backoff=max_backoff,
+            metrics=self._metrics,
+        )
+        self._stop: Optional[asyncio.Event] = None
+        self._follow_task: Optional[asyncio.Task] = None
+        self._promoted = False
+
+    @property
+    def server(self) -> SketchServer:
+        """The replica's protocol front-end."""
+        return self._server
+
+    @property
+    def follower(self) -> ReplicaFollower:
+        """The replication follow loop's state (offset, counters)."""
+        return self._follower
+
+    @property
+    def store(self):
+        """The replica store."""
+        return self._server.store
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The front-end's bound ``(host, port)`` (after :meth:`start`)."""
+        return self._server.address
+
+    @property
+    def promoted(self) -> bool:
+        """Whether the hand-over has run."""
+        return self._promoted
+
+    async def start(self) -> Tuple[str, int]:
+        """Start the front-end and the follow loop; returns the address."""
+        address = await self._server.start()
+        self._stop = asyncio.Event()
+        self._follow_task = asyncio.create_task(
+            self._follower.run(stop=self._stop)
+        )
+        return address
+
+    async def promote(self) -> Dict[str, Any]:
+        """Stop following and flip the front-end writable (idempotent).
+
+        Safe against a mid-stream cancel: the follow loop mutates the
+        store only inside synchronous segment applies, so cancelling at
+        an await point never leaves a half-applied entry.
+        """
+        if not self._promoted:
+            self._promoted = True
+            if self._stop is not None:
+                self._stop.set()
+            if self._follow_task is not None:
+                self._follow_task.cancel()
+                try:
+                    await self._follow_task
+                except asyncio.CancelledError:
+                    pass
+                self._follow_task = None
+            promote_follower(self._server)
+            self._metrics.counter(
+                "serving_promotions_total",
+                help="follower front-ends promoted to primary",
+            ).inc()
+        return {
+            "watermark": self._server.store.events_ingested,
+            "offset": self._server.replication.offset,
+        }
+
+    async def stop(self) -> None:
+        """Stop the follow loop (if still running) and the front-end."""
+        if self._stop is not None:
+            self._stop.set()
+        if self._follow_task is not None:
+            self._follow_task.cancel()
+            try:
+                await self._follow_task
+            except asyncio.CancelledError:
+                pass
+            self._follow_task = None
+        await self._server.stop()
+
+    async def __aenter__(self) -> "PromotableReplica":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()

@@ -121,6 +121,24 @@ class ReplicationHub:
         """Offset of the oldest retained entry, or ``None`` when empty."""
         return self._entries[0]["offset"] if self._entries else None
 
+    def reseed(self, watermark: int) -> None:
+        """Adopt a store's event watermark before any entry is recorded.
+
+        A hub always starts at watermark 0, but the store it fronts may
+        be warm — recovered from a snapshot, or a promoted follower's
+        replica.  Subscribers cross-check the hub's advertised watermark
+        against their own ``events_ingested`` right after bootstrap, so
+        an untruthful 0 would force them into a re-bootstrap loop.  The
+        server calls this at start (and promotion) when the hub is still
+        pristine; reseeding after entries exist would falsify offsets,
+        so that is refused.
+        """
+        if self._entries or self._offset:
+            raise ReplicationError(
+                "cannot reseed a hub that has recorded entries"
+            )
+        self._watermark = int(watermark)
+
     def record_events(self, events: List[Event], watermark: int) -> None:
         """Seal one acknowledged ingest batch as a segment entry."""
         if not events:

@@ -7,6 +7,14 @@ by a newline, every response one JSON object echoing the request's
 its own task, so a client may keep many in flight and responses may
 return out of order (the ``id`` is the correlation handle).
 
+The framing, per-request error isolation, and request metrics live in
+:class:`JSONLinesServer`, which :class:`SketchServer` and the shard
+router (:class:`~repro.serving.router.ShardRouter`) both extend — any
+front-end speaking the protocol inherits the same guarantees: malformed
+lines and unknown operations are answered with per-request errors on
+the offending connection, oversized lines are answered once and the
+connection dropped, and no fault on one connection wedges another.
+
 Concurrent ``query`` requests — across requests of one connection and
 across connections — funnel through a
 :class:`~repro.serving.batcher.QueryBatcher`, so a burst of clients
@@ -28,7 +36,9 @@ Operations::
     {"id": 8, "op": "metrics"}
     {"id": 9, "op": "repl_snapshot"}
     {"id": 10, "op": "repl_subscribe", "after_offset": 0}
-    {"id": 11, "op": "shutdown"}
+    {"id": 11, "op": "shard_view", "groups": null, "kinds": ["pps"]}
+    {"id": 12, "op": "promote"}
+    {"id": 13, "op": "shutdown"}
 
 Responses are ``{"id": ..., "ok": true, ...}`` or ``{"id": ..., "ok":
 false, "error": "..."}``; per-request failures never tear down the
@@ -36,6 +46,15 @@ connection.  Ingestion is serialized by the event loop (the store
 mutates only between awaits), and an optional background
 :class:`~repro.serving.retention.RetentionPolicy` keeps the ledger
 bounded while serving.
+
+``shard_view`` serves the store's serialized sketch views
+(:func:`~repro.serving.store.sketch_view_payload`) tagged with the
+replication offset and event watermark — the scatter-gather substrate
+of the shard router, with an ``unchanged`` short-circuit so routers can
+cache views against the ``(offset, watermark)`` tag.  ``promote``
+rewires a read-only follower front-end into primary mode through its
+``promoter`` hook (see :mod:`repro.serving.promotion`); on a server
+that is already writable it is an acknowledged no-op.
 
 Three subsystems thread through the server (all optional-by-default
 except metrics, which is always on and nearly free):
@@ -62,12 +81,14 @@ except metrics, which is always on and nearly free):
   ``ingest``/``evict``, so the replication stream is the only writer.
 
 :class:`ServingClient` is the matching asyncio client — used by the
-load-generating CLI subcommand, the benchmarks, and the stress tests.
-It reconnects with exponential backoff when the connection drops
-mid-request (retrying *read-only* operations only — an ingest is never
-silently re-sent), and raises :class:`ProtocolError` with the offending
-line when the server (or an impostor) answers with something that is
-not a JSON object.
+load-generating CLI subcommand, the benchmarks, the shard router, and
+the stress tests.  It reconnects with exponential backoff when the
+connection drops mid-request (retrying *read-only* operations only — an
+ingest is never silently re-sent), raises :class:`ProtocolError` with
+the offending line when the server (or an impostor) answers with
+something that is not a JSON object, and treats a router's
+``shard_unavailable`` response like a shed: idempotent operations are
+retried with backoff before :class:`ShardUnavailable` surfaces.
 """
 
 from __future__ import annotations
@@ -75,7 +96,7 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+from typing import Any, Awaitable, Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 from .admission import AdmissionController
 from .batcher import QueryBatcher, QueryRequest
@@ -83,13 +104,16 @@ from .events import Event
 from .metrics import MetricsRegistry
 from .replication import ReplicationError, ReplicationHub, snapshot_payload
 from .retention import RetentionPolicy, apply_retention
+from .store import sketch_view_payload
 
 __all__ = [
     "ConnectionLost",
+    "JSONLinesServer",
     "Overloaded",
     "ProtocolError",
     "ServingClient",
     "ServingError",
+    "ShardUnavailable",
     "SketchServer",
 ]
 
@@ -129,7 +153,242 @@ class Overloaded(ServingError):
         self.retry_after = float(retry_after)
 
 
-class SketchServer:
+class ShardUnavailable(ServingError):
+    """A routed request could not reach its shard.
+
+    The shard router answers ``{"ok": false, "shard_unavailable": true,
+    "retry_after": ...}`` when a shard's primary *and* every fallback
+    endpoint are down.  :class:`ServingClient` treats this like
+    :class:`Overloaded` for idempotent operations — sleep for the hint
+    and retry, up to ``max_retries`` — and surfaces it immediately for
+    mutating ones (a routed ingest may have partially applied on the
+    healthy shards, so blind re-sends are the caller's decision).
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class JSONLinesServer:
+    """The protocol shell every serving front-end shares.
+
+    Owns the TCP listener, the per-connection read loop, per-request
+    task fan-out, request/error/latency metrics, and the shutdown
+    handshake.  Subclasses implement :meth:`_dispatch` (one request
+    payload in, one response payload out) and may hook
+    :meth:`_post_start` / :meth:`_pre_close` for background tasks and
+    :meth:`_cleanup_connection` for per-connection state.
+
+    The error contract — what the protocol-fuzz suite pins for every
+    subclass — lives here: a malformed or unknown-op line is answered
+    with ``ok: false`` on its own connection and nothing else; a line
+    past ``line_limit`` is answered once and the connection dropped (an
+    unframed stream cannot be resynchronised); faults on one connection
+    never starve another.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        line_limit: int = DEFAULT_LINE_LIMIT,
+    ) -> None:
+        if line_limit <= 0:
+            raise ValueError("line_limit must be positive")
+        self._host = host
+        self._port = port
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._line_limit = int(line_limit)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._connections: set = set()
+        self._closed = False
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The server's metrics registry (shared with the HTTP shim)."""
+        return self._metrics
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting connections; returns the address."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self._host,
+            self._port,
+            limit=self._line_limit,
+        )
+        await self._post_start()
+        return self.address
+
+    async def _post_start(self) -> None:
+        """Subclass hook: start background tasks after binding."""
+
+    async def serve_forever(self) -> None:
+        """Serve until a ``shutdown`` request (or :meth:`stop`) arrives."""
+        if self._stop_event is None:
+            raise RuntimeError("server is not started")
+        await self._stop_event.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Stop accepting, run subclass teardown, close connections."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._stop_event is not None:
+            self._stop_event.set()
+        await self._pre_close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._connections):
+            writer.close()
+
+    async def _pre_close(self) -> None:
+        """Subclass hook: cancel background tasks, flush pending work."""
+
+    async def __aenter__(self) -> "JSONLinesServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def _cleanup_connection(self, writer) -> None:
+        """Subclass hook: drop per-connection state when the peer goes."""
+
+    async def _on_connection(self, reader, writer) -> None:
+        self._connections.add(writer)
+        tasks: set = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # The peer sent a line past the limit; answer once
+                    # and drop the connection — an unframed stream
+                    # cannot be resynchronised.
+                    self._metrics.counter(
+                        "serving_errors_total",
+                        help="requests answered with ok=false",
+                        op="oversized",
+                    ).inc()
+                    writer.write(
+                        (
+                            json.dumps(
+                                {
+                                    "id": None,
+                                    "ok": False,
+                                    "error": (
+                                        "request line exceeds "
+                                        f"{self._line_limit} bytes"
+                                    ),
+                                },
+                                sort_keys=True,
+                            )
+                            + "\n"
+                        ).encode()
+                    )
+                    try:
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(self._serve_line(line, writer))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        except asyncio.CancelledError:
+            # Loop teardown mid-read (shutdown with the peer still
+            # connected) — close out quietly; cleanup happens below.
+            pass
+        finally:
+            self._cleanup_connection(writer)
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _serve_line(self, line: bytes, writer) -> None:
+        request_id = None
+        op = None
+        start = time.perf_counter()
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = payload.get("id")
+            op = payload.get("op")
+            response = await self._dispatch(payload, writer)
+        except (
+            ValueError,
+            KeyError,
+            TypeError,
+            OSError,
+            ReplicationError,
+            ServingError,
+        ) as exc:
+            response = {"ok": False, "error": f"{exc}"}
+        label = op if isinstance(op, str) and op else "invalid"
+        self._metrics.counter(
+            "serving_requests_total",
+            help="requests served, by operation",
+            op=label,
+        ).inc()
+        if not response.get("ok"):
+            self._metrics.counter(
+                "serving_errors_total",
+                help="requests answered with ok=false",
+                op=label,
+            ).inc()
+        self._metrics.histogram(
+            "serving_request_seconds",
+            help="request wall seconds, by operation",
+            op=label,
+        ).observe(time.perf_counter() - start)
+        response["id"] = request_id
+        writer.write((json.dumps(response, sort_keys=True) + "\n").encode())
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return
+        if op == "shutdown" and response.get("ok"):
+            self._stop_event.set()
+
+    async def _dispatch(
+        self, payload: Dict[str, Any], writer
+    ) -> Dict[str, Any]:
+        """Serve one request payload; subclasses must implement this."""
+        raise NotImplementedError
+
+
+class SketchServer(JSONLinesServer):
     """Serve one sketch store over a JSON-lines TCP protocol.
 
     Parameters
@@ -163,6 +422,11 @@ class SketchServer:
     read_only:
         Reject client ``ingest``/``evict`` — the follower front-end
         mode, where the replication stream is the only writer.
+    promoter:
+        Optional async callable behind the ``promote`` operation of a
+        read-only server: it must stop the replication follow loop,
+        call :meth:`make_writable`, and return the promotion payload
+        (see :class:`~repro.serving.promotion.PromotableReplica`).
     line_limit:
         Per-request line cap in bytes.
     """
@@ -182,6 +446,7 @@ class SketchServer:
         max_pending_events: Optional[int] = None,
         repl_buffer: int = 1024,
         read_only: bool = False,
+        promoter: Optional[Callable[[], Awaitable[Dict[str, Any]]]] = None,
         line_limit: int = DEFAULT_LINE_LIMIT,
     ) -> None:
         if retention is not None and not retention.bounded:
@@ -193,12 +458,8 @@ class SketchServer:
                 )
             if retention_interval <= 0:
                 raise ValueError("retention_interval must be positive")
-        if line_limit <= 0:
-            raise ValueError("line_limit must be positive")
+        super().__init__(host, port, metrics=metrics, line_limit=line_limit)
         self._store = store
-        self._host = host
-        self._port = port
-        self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._batcher = QueryBatcher(
             store,
             max_batch=max_batch,
@@ -215,15 +476,11 @@ class SketchServer:
         )
         self._hub = ReplicationHub(capacity=repl_buffer)
         self._read_only = bool(read_only)
-        self._line_limit = int(line_limit)
-        self._server: Optional[asyncio.AbstractServer] = None
+        self._promoter = promoter
         self._retention_task: Optional[asyncio.Task] = None
         self._ingest_queue: Optional[asyncio.Queue] = None
         self._ingest_pump: Optional[asyncio.Task] = None
         self._repl_pumps: Dict[Any, set] = {}
-        self._stop_event: Optional[asyncio.Event] = None
-        self._connections: set = set()
-        self._closed = False
 
     @property
     def store(self):
@@ -234,11 +491,6 @@ class SketchServer:
     def stats(self):
         """The coalescing counters of the underlying batcher."""
         return self._batcher.stats
-
-    @property
-    def metrics(self) -> MetricsRegistry:
-        """The server's metrics registry (shared with the HTTP shim)."""
-        return self._metrics
 
     @property
     def admission(self) -> Optional[AdmissionController]:
@@ -255,27 +507,21 @@ class SketchServer:
         """Whether client ``ingest``/``evict`` are rejected."""
         return self._read_only
 
-    @property
-    def address(self) -> Tuple[str, int]:
-        """The bound ``(host, port)`` (after :meth:`start`)."""
-        if self._server is None:
-            raise RuntimeError("server is not started")
-        return self._server.sockets[0].getsockname()[:2]
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    async def _post_start(self) -> None:
+        """Start retention/admission pumps; seed the hub watermark.
 
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-    async def start(self) -> Tuple[str, int]:
-        """Bind and start accepting connections; returns the address."""
-        if self._server is not None:
-            raise RuntimeError("server is already started")
-        self._stop_event = asyncio.Event()
-        self._server = await asyncio.start_server(
-            self._on_connection,
-            self._host,
-            self._port,
-            limit=self._line_limit,
-        )
+        A server started over a warm (recovered) store has a fresh hub
+        whose watermark would otherwise read 0 while the store sits at
+        ``events_ingested > 0`` — a fresh follower would then trip the
+        watermark cross-check in its subscribe handshake and loop on
+        bootstraps.  Adopting the store's watermark up front keeps the
+        hub's advertised cut truthful from the first handshake.
+        """
+        if self._hub.offset == 0:
+            self._hub.reseed(self._store.events_ingested)
         if self._retention is not None and self._retention_interval:
             self._retention_task = asyncio.create_task(
                 self._retention_loop()
@@ -283,22 +529,9 @@ class SketchServer:
         if self._admission is not None:
             self._ingest_queue = asyncio.Queue()
             self._ingest_pump = asyncio.create_task(self._pump_ingest())
-        return self.address
 
-    async def serve_forever(self) -> None:
-        """Serve until a ``shutdown`` request (or :meth:`stop`) arrives."""
-        if self._stop_event is None:
-            raise RuntimeError("server is not started")
-        await self._stop_event.wait()
-        await self.stop()
-
-    async def stop(self) -> None:
-        """Stop accepting, flush pending queries, close connections."""
-        if self._closed:
-            return
-        self._closed = True
-        if self._stop_event is not None:
-            self._stop_event.set()
+    async def _pre_close(self) -> None:
+        """Cancel pumps, fail queued batches, flush the query window."""
         for task in (self._retention_task, self._ingest_pump):
             if task is not None:
                 task.cancel()
@@ -319,23 +552,32 @@ class SketchServer:
                 task.cancel()
         self._repl_pumps.clear()
         self._batcher.flush()
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-        for writer in list(self._connections):
-            writer.close()
 
-    async def __aenter__(self) -> "SketchServer":
-        await self.start()
-        return self
-
-    async def __aexit__(self, *exc_info) -> None:
-        await self.stop()
+    def _cleanup_connection(self, writer) -> None:
+        for pump in self._repl_pumps.pop(id(writer), ()):
+            pump.cancel()
 
     async def _retention_loop(self) -> None:
         while True:
             await asyncio.sleep(self._retention_interval)
             self._run_retention(self._retention, now=self._clock())
+
+    def make_writable(self) -> None:
+        """Rewire a read-only follower front-end into primary mode.
+
+        Called by the promotion path after the follow loop has stopped:
+        client ``ingest``/``evict`` are accepted from here on, and the
+        (necessarily empty — the follow loop wrote to the store, never
+        through this server) replication hub adopts the store's shipped
+        watermark so new followers subscribe against a truthful cut.
+        Offsets restart from 0 under the promoted primary; subscribers
+        of the dead one detect the discontinuity through the existing
+        watermark cross-check in their subscribe handshake and
+        re-bootstrap.
+        """
+        self._read_only = False
+        if self._hub.offset == 0:
+            self._hub.reseed(self._store.events_ingested)
 
     # ------------------------------------------------------------------
     # Mutation paths (shared by direct / queued / background callers)
@@ -438,116 +680,12 @@ class SketchServer:
         return {"ok": True, "ingested": count, "watermark": watermark}
 
     # ------------------------------------------------------------------
-    # Protocol
+    # Dispatch
     # ------------------------------------------------------------------
-    async def _on_connection(self, reader, writer) -> None:
-        self._connections.add(writer)
-        tasks: set = set()
-        try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except ValueError:
-                    # The peer sent a line past the limit; answer once
-                    # and drop the connection — an unframed stream
-                    # cannot be resynchronised.
-                    self._metrics.counter(
-                        "serving_errors_total",
-                        help="requests answered with ok=false",
-                        op="oversized",
-                    ).inc()
-                    writer.write(
-                        (
-                            json.dumps(
-                                {
-                                    "id": None,
-                                    "ok": False,
-                                    "error": (
-                                        "request line exceeds "
-                                        f"{self._line_limit} bytes"
-                                    ),
-                                },
-                                sort_keys=True,
-                            )
-                            + "\n"
-                        ).encode()
-                    )
-                    try:
-                        await writer.drain()
-                    except (ConnectionError, OSError):
-                        pass
-                    break
-                if not line:
-                    break
-                if not line.strip():
-                    continue
-                task = asyncio.create_task(self._serve_line(line, writer))
-                tasks.add(task)
-                task.add_done_callback(tasks.discard)
-            if tasks:
-                await asyncio.gather(*tasks, return_exceptions=True)
-        except asyncio.CancelledError:
-            # Loop teardown mid-read (shutdown with the peer still
-            # connected) — close out quietly; cleanup happens below.
-            pass
-        finally:
-            for pump in self._repl_pumps.pop(id(writer), ()):
-                pump.cancel()
-            self._connections.discard(writer)
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError, asyncio.CancelledError):
-                pass
-
-    async def _serve_line(self, line: bytes, writer) -> None:
-        request_id = None
-        op = None
-        start = time.perf_counter()
-        try:
-            payload = json.loads(line)
-            if not isinstance(payload, dict):
-                raise ValueError("request must be a JSON object")
-            request_id = payload.get("id")
-            op = payload.get("op")
-            response = await self._dispatch(payload, writer)
-        except (
-            ValueError,
-            KeyError,
-            TypeError,
-            OSError,
-            ReplicationError,
-        ) as exc:
-            response = {"ok": False, "error": f"{exc}"}
-        label = op if isinstance(op, str) and op else "invalid"
-        self._metrics.counter(
-            "serving_requests_total",
-            help="requests served, by operation",
-            op=label,
-        ).inc()
-        if not response.get("ok"):
-            self._metrics.counter(
-                "serving_errors_total",
-                help="requests answered with ok=false",
-                op=label,
-            ).inc()
-        self._metrics.histogram(
-            "serving_request_seconds",
-            help="request wall seconds, by operation",
-            op=label,
-        ).observe(time.perf_counter() - start)
-        response["id"] = request_id
-        writer.write((json.dumps(response, sort_keys=True) + "\n").encode())
-        try:
-            await writer.drain()
-        except (ConnectionError, OSError):
-            return
-        if op == "shutdown" and response.get("ok"):
-            self._stop_event.set()
-
     async def _dispatch(
         self, payload: Dict[str, Any], writer
     ) -> Dict[str, Any]:
+        """Serve one request against the store and its subsystems."""
         op = payload.get("op")
         if op == "ping":
             return {"ok": True, "result": "pong"}
@@ -592,6 +730,26 @@ class SketchServer:
             return {"ok": True, "result": self.describe()}
         if op == "metrics":
             return {"ok": True, "result": self._metrics.snapshot()}
+        if op == "shard_view":
+            return self._shard_view_op(payload)
+        if op == "promote":
+            if not self._read_only:
+                # Already a primary (e.g. promoted earlier, or the
+                # original primary came back): acknowledged no-op, so a
+                # router's failover scan can adopt it idempotently.
+                return {
+                    "ok": True,
+                    "promoted": False,
+                    "watermark": self._store.events_ingested,
+                    "offset": self._hub.offset,
+                }
+            if self._promoter is None:
+                raise ValueError(
+                    "server is read-only with no promoter; start the "
+                    "follower with promotion enabled (--promotable)"
+                )
+            result = await self._promoter()
+            return {"ok": True, "promoted": True, **result}
         if op == "repl_snapshot":
             self._metrics.counter(
                 "serving_repl_snapshots_shipped_total",
@@ -621,6 +779,42 @@ class SketchServer:
         if op == "shutdown":
             return {"ok": True, "result": "bye"}
         raise ValueError(f"unknown op {op!r}")
+
+    def _shard_view_op(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve serialized sketch views tagged with the mutation cut.
+
+        The tag is the ``(replication offset, event watermark)`` pair:
+        the offset advances on *every* mutation (ingest and eviction
+        both), the watermark only on ingest, so together they identify
+        the store's content cut across restarts far more robustly than
+        either alone.  When the caller's ``since_offset`` /
+        ``since_watermark`` match, the response is a bare ``unchanged``
+        acknowledgement — the router's view cache rides on this.
+        """
+        offset = self._hub.offset
+        watermark = self._store.events_ingested
+        response: Dict[str, Any] = {
+            "ok": True,
+            "offset": offset,
+            "watermark": watermark,
+        }
+        since_offset = payload.get("since_offset")
+        since_watermark = payload.get("since_watermark")
+        if (
+            since_offset is not None
+            and since_watermark is not None
+            and int(since_offset) == offset
+            and int(since_watermark) == watermark
+        ):
+            response["unchanged"] = True
+            return response
+        kinds = payload.get("kinds")
+        response["view"] = sketch_view_payload(
+            self._store,
+            groups=payload.get("groups"),
+            kinds=tuple(kinds) if kinds else ("pps", "ads"),
+        )
+        return response
 
     async def _pump_segments(self, writer, after_offset: int) -> None:
         """Push segment entries past ``after_offset`` to one subscriber."""
@@ -690,12 +884,15 @@ class SketchServer:
                 None if self._admission is None else self._admission.describe()
             ),
             "read_only": self._read_only,
+            "promotable": self._promoter is not None,
         }
 
 
 class ServingClient:
-    """Asyncio client for :class:`SketchServer`'s JSON-lines protocol.
+    """Asyncio client for the JSON-lines serving protocol.
 
+    Speaks to a :class:`SketchServer` or a
+    :class:`~repro.serving.router.ShardRouter` interchangeably.
     Supports pipelining: every request gets a fresh ``id`` and a future;
     a background reader task matches responses back by ``id``, so many
     requests may be awaited concurrently over one connection.  Methods
@@ -710,9 +907,13 @@ class ServingClient:
     transparently — reconnect with exponential backoff, up to
     ``max_retries`` attempts — while mutating operations surface the
     error (re-sending an ``ingest`` whose fate is unknown could apply
-    it twice).  A response line that is not a JSON object fails every
-    pending request with :class:`ProtocolError` naming the offending
-    bytes, and is never retried.
+    it twice).  A router's ``shard_unavailable`` answer follows the
+    same split: idempotent operations sleep for the ``retry_after``
+    hint and retry (the router may promote a fallback in the meantime),
+    mutating ones raise :class:`ShardUnavailable` at once.  A response
+    line that is not a JSON object fails every pending request with
+    :class:`ProtocolError` naming the offending bytes, and is never
+    retried.
     """
 
     #: Operations safe to re-send after a connection drop: they do not
@@ -728,6 +929,7 @@ class ServingClient:
         port: Optional[int] = None,
         max_retries: int = 2,
         backoff: float = 0.05,
+        limit: int = DEFAULT_LINE_LIMIT,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be nonnegative")
@@ -739,6 +941,7 @@ class ServingClient:
         self._port = port
         self._max_retries = int(max_retries)
         self._backoff = float(backoff)
+        self._limit = int(limit)
         self._pending: Dict[str, asyncio.Future] = {}
         self._next_id = 0
         self._reader_task = asyncio.create_task(self._read_loop())
@@ -751,13 +954,20 @@ class ServingClient:
         *,
         max_retries: int = 2,
         backoff: float = 0.05,
+        limit: int = DEFAULT_LINE_LIMIT,
     ) -> "ServingClient":
         """Open a connection to a running server.
 
         Clients built this way remember the address and can reconnect;
         clients built directly from a ``(reader, writer)`` pair cannot.
+        ``limit`` caps the response line the client will buffer — it
+        defaults to the protocol's line limit rather than asyncio's
+        64 KiB stream default, because one ``shard_view`` or ``metrics``
+        response line can easily outgrow the latter.
         """
-        reader, writer = await asyncio.open_connection(host, port)
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=limit
+        )
         return cls(
             reader,
             writer,
@@ -765,6 +975,7 @@ class ServingClient:
             port=port,
             max_retries=max_retries,
             backoff=backoff,
+            limit=limit,
         )
 
     async def _read_loop(self) -> None:
@@ -791,6 +1002,10 @@ class ServingClient:
                     future.set_result(payload)
         except (ConnectionError, OSError) as exc:
             error = ConnectionLost(f"connection lost: {exc}")
+        except ValueError as exc:
+            # readline() past the stream limit; the frame cannot be
+            # resynchronised, so the connection is done for.
+            error = ProtocolError(f"response line exceeds the limit: {exc}")
         finally:
             for future in self._pending.values():
                 if not future.done():
@@ -808,13 +1023,19 @@ class ServingClient:
             await self._writer.wait_closed()
         except (ConnectionError, OSError):
             pass
-        reader, writer = await asyncio.open_connection(self._host, self._port)
+        reader, writer = await asyncio.open_connection(
+            self._host, self._port, limit=self._limit
+        )
         self._reader = reader
         self._writer = writer
         self._reader_task = asyncio.create_task(self._read_loop())
 
     async def _roundtrip(self, op: str, fields: Dict[str, Any]) -> Dict[str, Any]:
-        if self._writer.is_closing():
+        # The writer of a connection the *server* closed often still
+        # accepts buffered writes, so the reader task's liveness is the
+        # authoritative signal: once it has exited (failing all pending
+        # futures), a new future would never be resolved.
+        if self._writer.is_closing() or self._reader_task.done():
             raise ConnectionLost("connection is closed")
         self._next_id += 1
         request_id = str(self._next_id)
@@ -863,6 +1084,19 @@ class ServingClient:
                     raise Overloaded(
                         message, float(response.get("retry_after", 0.0))
                     )
+                if response.get("shard_unavailable"):
+                    retry_after = float(response.get("retry_after", 0.0))
+                    if (
+                        op in self.RETRYABLE_OPS
+                        and attempt < self._max_retries
+                    ):
+                        attempt += 1
+                        await asyncio.sleep(
+                            retry_after
+                            or self._backoff * (2 ** (attempt - 1))
+                        )
+                        continue
+                    raise ShardUnavailable(message, retry_after)
                 raise ServingError(message)
             return response
 

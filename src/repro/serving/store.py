@@ -56,7 +56,9 @@ __all__ = [
     "SERVING_QUERY_KINDS",
     "SketchStore",
     "StoreConfig",
+    "merge_sketch_views",
     "merge_stores",
+    "sketch_view_payload",
 ]
 
 #: Registry of serving query kinds; ``sum`` / ``similarity`` /
@@ -662,6 +664,118 @@ def merge_stores(store_a: SketchStore, store_b: SketchStore) -> SketchStore:
             target.invalidate()
     merged._events = store_a.events_ingested + store_b.events_ingested
     return merged
+
+
+# ----------------------------------------------------------------------
+# Sketch-view shipping (the shard router's scatter-gather substrate)
+# ----------------------------------------------------------------------
+#: Deserializers for shipped sketch views, by kind.
+_VIEW_SKETCH_KINDS = {
+    "pps": PPSSample.from_dict,
+    "ads": AllDistancesSketch.from_dict,
+    "bottomk": BottomKSketch.from_dict,
+}
+
+
+def sketch_view_payload(
+    store: SketchStore,
+    groups: Optional[Sequence[str]] = None,
+    kinds: Sequence[str] = ("pps", "ads"),
+) -> Dict[str, Any]:
+    """Serialize a store's sketch views for cross-shard shipping.
+
+    The payload carries the config (so a receiver can refuse mismatched
+    sampling schemes), the event watermark the views describe, and one
+    serialized sketch per requested ``(group, kind)``.  Requested groups
+    the store has never ingested are *omitted* — on a key-routed shard
+    most groups hold only part of the key space and absent means
+    "nothing here", which the merge treats as the empty sketch.
+
+    The router gathers these from every shard and merges them with
+    :func:`merge_sketch_views`; because coordinated sketches over
+    disjoint key populations merge exactly, the merged views equal the
+    unsharded store's bit for bit.
+    """
+    if groups is None:
+        selected = store.groups
+    else:
+        selected = [group for group in groups if group in store._groups]
+    for kind in kinds:
+        if kind not in _VIEW_SKETCH_KINDS:
+            raise ValueError(
+                f"unknown sketch kind {kind!r}; expected one of "
+                f"{sorted(_VIEW_SKETCH_KINDS)}"
+            )
+    return {
+        "config": store.config.to_dict(),
+        "watermark": store.events_ingested,
+        "groups": {
+            group: {
+                kind: store.sketch(group, kind).to_dict() for kind in kinds
+            }
+            for group in selected
+        },
+    }
+
+
+def merge_sketch_views(
+    config: StoreConfig, views: Sequence[Mapping[str, Any]]
+) -> SketchStore:
+    """Fuse shipped sketch views into a transient, queryable store.
+
+    Per group and kind, the shards' sketches are merged with the
+    sketch-level merge operations (exact over key-routed — hence
+    disjoint — populations).  Merged PPS entries/seeds are rebuilt in
+    sorted-key order, the order an unsharded store feeds its weights in,
+    so the fused views are *dict-equal* to the unsharded ones — not just
+    equal as sets.  The result is an in-memory :class:`SketchStore`
+    whose ledger is empty but whose sketch caches are primed with the
+    fused views and whose watermark is the sum of the shards'; queries
+    against it run the identical reduction code path as against any
+    other store, which is what makes routed answers bit-identical.
+
+    Raises
+    ------
+    ValueError
+        When a view's config differs from ``config`` (different
+        sampling schemes are not mergeable).
+    """
+    fused: Dict[str, Dict[str, Any]] = {}
+    watermark = 0
+    for view in views:
+        if StoreConfig.from_dict(view["config"]) != config:
+            raise ValueError(
+                "cannot merge sketch views with mismatched configs: "
+                f"{view['config']} != {config.to_dict()}"
+            )
+        watermark += int(view["watermark"])
+        for group, sketches in view["groups"].items():
+            target = fused.setdefault(group, {})
+            for kind, payload in sketches.items():
+                sketch = _VIEW_SKETCH_KINDS[kind](payload)
+                prior = target.get(kind)
+                target[kind] = (
+                    sketch if prior is None else prior.merge(sketch)
+                )
+    store = SketchStore(config)
+    store._events = watermark
+    for group, sketches in fused.items():
+        state = store.group_state(group)
+        for kind, sketch in sketches.items():
+            if kind == "pps":
+                sketch = PPSSample(
+                    tau_star=sketch.tau_star,
+                    entries={
+                        key: sketch.entries[key]
+                        for key in sorted(sketch.entries)
+                    },
+                    seeds={
+                        key: sketch.seeds[key]
+                        for key in sorted(sketch.seeds)
+                    },
+                )
+            state._cache[kind] = sketch
+    return store
 
 
 # ----------------------------------------------------------------------

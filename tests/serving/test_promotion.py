@@ -1,0 +1,267 @@
+"""Failover promotion battery: kill a shard primary, promote, converge.
+
+The contract under fault: when a shard primary dies, the router's next
+request against that shard re-scans the endpoint chain, promotes the
+shard's (converged) promotable replica over the wire, and keeps
+serving — with **every durably-acknowledged batch intact**, pinned by
+bit-identical query parity against an unsharded store holding exactly
+the acknowledged events.  The tests converge the replica before the
+kill, which is what makes "acknowledged" and "shipped" coincide (the
+asynchronous-replication caveat the promotion runbook documents).
+
+Also pinned: the typed ``ShardUnavailable`` a client sees when a
+shard's *whole* chain is down (double failure) — with a ``retry_after``
+hint and without wedging the router for other operations — promotion
+idempotence under the router's concurrent failover scans, the refusal
+of ``promote`` on a follower not started promotable, and the
+warm-start hub reseed that keeps followers of a restarted (or
+promoted) primary from looping on bootstraps.
+"""
+
+import asyncio
+from contextlib import asynccontextmanager
+
+import pytest
+
+from repro.serving import (
+    PromotableReplica,
+    ReplicaFollower,
+    ServingClient,
+    ServingError,
+    ShardRouter,
+    ShardUnavailable,
+    SketchServer,
+    SketchStore,
+    StoreConfig,
+    promote_follower,
+    synthetic_feed,
+)
+
+CONFIG = StoreConfig(k=16, tau_star=0.75, salt="promotion")
+
+
+async def wait_for(predicate, timeout=5.0, interval=0.01):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        if predicate():
+            return
+        if asyncio.get_running_loop().time() >= deadline:
+            raise AssertionError("condition never became true")
+        await asyncio.sleep(interval)
+
+
+@asynccontextmanager
+async def failover_cluster():
+    """Two shards behind a router; shard 0 has a promotable replica."""
+    primary0 = SketchServer(SketchStore(CONFIG))
+    primary1 = SketchServer(SketchStore(CONFIG))
+    await primary0.start()
+    await primary1.start()
+    replica = PromotableReplica(
+        SketchStore(CONFIG), *primary0.address, backoff=0.01
+    )
+    await replica.start()
+    router = ShardRouter(
+        [[primary0.address, replica.address], [primary1.address]],
+        retry_after=0.02,
+        backoff=0.01,
+    )
+    await router.start()
+    client = await ServingClient.connect(*router.address, backoff=0.01)
+    try:
+        yield client, router, primary0, primary1, replica
+    finally:
+        await client.close()
+        await router.stop()
+        await replica.stop()
+        await primary1.stop()
+        await primary0.stop()
+
+
+async def assert_routed_parity(client, events):
+    baseline = SketchStore(CONFIG)
+    baseline.ingest(events)
+    for kind in ("sum", "distinct"):
+        routed = await client.query(kind)
+        assert routed["result"] == baseline.query(kind), kind
+        assert routed["watermark"] == baseline.events_ingested
+    routed = await client.query("similarity", groups=["g1", "g2"])
+    assert routed["result"] == baseline.query(
+        "similarity", groups=["g1", "g2"]
+    )
+
+
+class TestFailoverPromotion:
+    def test_killed_primary_promotes_and_loses_no_acked_batch(self):
+        async def run():
+            feed = synthetic_feed(
+                300, num_keys=50, groups=("g1", "g2"), seed=21
+            )
+            async with failover_cluster() as (
+                client,
+                router,
+                primary0,
+                _primary1,
+                replica,
+            ):
+                # Acknowledge a prefix through the router, then let the
+                # replica converge to the primary's shipped watermark.
+                acked = feed[:200]
+                for start in range(0, len(acked), 40):
+                    await client.ingest(acked[start : start + 40])
+                await wait_for(
+                    lambda: replica.store.events_ingested
+                    == primary0.store.events_ingested
+                )
+                # Kill shard 0's primary between batches (its socket
+                # dies with every connection, like a kill -9 would).
+                await primary0.stop()
+                # The next routed ingest hits the dead primary, fails
+                # over along the chain, promotes the replica, and
+                # re-sends — mid-stream ingest keeps flowing.
+                for start in range(200, len(feed), 40):
+                    await client.ingest(feed[start : start + 40])
+                assert replica.promoted
+                assert replica.server.read_only is False
+                # No acknowledged batch was lost: answers are
+                # bit-identical to an unsharded store holding exactly
+                # the acknowledged events.
+                await assert_routed_parity(client, feed)
+                info = await client.info()
+                assert info["events_ingested"] == len(feed)
+                assert info["shards"][0]["failovers"] == 1
+                snapshot = router.metrics.snapshot()
+                assert (
+                    snapshot["counters"][
+                        'router_promotions_total{shard="0"}'
+                    ]
+                    == 1
+                )
+
+        asyncio.run(run())
+
+    def test_double_failure_is_typed_unavailability_not_a_wedge(self):
+        async def run():
+            feed = synthetic_feed(
+                100, num_keys=20, groups=("g1", "g2"), seed=22
+            )
+            async with failover_cluster() as (
+                client,
+                router,
+                primary0,
+                _primary1,
+                replica,
+            ):
+                await client.ingest(feed)
+                await wait_for(
+                    lambda: replica.store.events_ingested
+                    == primary0.store.events_ingested
+                )
+                # Both of shard 0's endpoints die: primary and replica.
+                await primary0.stop()
+                await replica.stop()
+                with pytest.raises(ShardUnavailable) as excinfo:
+                    await client.query("sum")
+                assert excinfo.value.retry_after > 0
+                assert "shard 0" in str(excinfo.value)
+                # The router itself is not wedged: it still answers
+                # non-routed operations and counts the refusals.
+                assert (await client.ping())["result"] == "pong"
+                snapshot = router.metrics.snapshot()
+                assert (
+                    snapshot["counters"]["router_unavailable_total"] >= 1
+                )
+
+        asyncio.run(run())
+
+
+class TestPromotionMechanics:
+    def test_promote_is_idempotent(self):
+        async def run():
+            primary = SketchServer(SketchStore(CONFIG))
+            await primary.start()
+            feed = synthetic_feed(80, num_keys=16, groups=("g1",), seed=23)
+            pclient = await ServingClient.connect(*primary.address)
+            await pclient.ingest(feed)
+            replica = PromotableReplica(
+                SketchStore(CONFIG), *primary.address, backoff=0.01
+            )
+            await replica.start()
+            await wait_for(
+                lambda: replica.store.events_ingested == len(feed)
+            )
+            first = await replica.promote()
+            second = await replica.promote()
+            assert first == second == {"watermark": len(feed), "offset": 0}
+            # Over the wire, a promoted (writable) server acknowledges
+            # without re-promoting — the router's concurrent failover
+            # scans rely on this.
+            rclient = await ServingClient.connect(*replica.address)
+            response = await rclient.request("promote")
+            assert response["promoted"] is False
+            assert response["watermark"] == len(feed)
+            # The promoted front-end accepts ingest now.
+            more = synthetic_feed(10, num_keys=4, groups=("g1",), seed=24)
+            assert (await rclient.ingest(more))["watermark"] == len(feed) + 10
+            await rclient.close()
+            await pclient.close()
+            await replica.stop()
+            await primary.stop()
+
+        asyncio.run(run())
+
+    def test_promote_refused_without_a_promoter(self):
+        async def run():
+            primary = SketchServer(SketchStore(CONFIG))
+            await primary.start()
+            follower_server = SketchServer(SketchStore(CONFIG), read_only=True)
+            await follower_server.start()
+            client = await ServingClient.connect(*follower_server.address)
+            with pytest.raises(ServingError, match="no promoter"):
+                await client.request("promote")
+            await client.close()
+            await follower_server.stop()
+            await primary.stop()
+
+        asyncio.run(run())
+
+    def test_promote_follower_reseeds_the_hub(self):
+        async def run():
+            store = SketchStore(CONFIG)
+            store.ingest(
+                synthetic_feed(60, num_keys=12, groups=("g1",), seed=25)
+            )
+            server = SketchServer(store, read_only=True)
+            # Before start the hub is pristine; make_writable via
+            # promote_follower must adopt the store's watermark so new
+            # followers subscribe against a truthful cut.
+            payload = promote_follower(server)
+            assert payload == {"watermark": 60, "offset": 0}
+            assert server.replication.watermark == 60
+            assert server.read_only is False
+
+        asyncio.run(run())
+
+
+class TestWarmStartReseed:
+    def test_follower_of_a_warm_started_primary_converges(self):
+        async def run():
+            # A primary started over a recovered (warm) store: without
+            # the start-time hub reseed its watermark would read 0
+            # against a store at 120, and a fresh follower would loop
+            # on bootstraps until ReplicationError.
+            store = SketchStore(CONFIG)
+            store.ingest(
+                synthetic_feed(120, num_keys=24, groups=("g1", "g2"), seed=26)
+            )
+            async with SketchServer(store) as primary:
+                assert primary.replication.watermark == 120
+                follower = ReplicaFollower(
+                    SketchStore(CONFIG), *primary.address, backoff=0.01
+                )
+                await follower.sync_once()
+                assert follower.store.events_ingested == 120
+                for kind in ("sum", "distinct"):
+                    assert follower.store.query(kind) == store.query(kind)
+
+        asyncio.run(run())

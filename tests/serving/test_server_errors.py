@@ -13,6 +13,7 @@ hang or a stack trace.
 
 import asyncio
 import json
+from contextlib import asynccontextmanager
 
 import pytest
 
@@ -21,6 +22,8 @@ from repro.serving import (
     ProtocolError,
     ServingClient,
     ServingError,
+    ShardRouter,
+    ShardUnavailable,
     SketchServer,
     SketchStore,
     StoreConfig,
@@ -223,6 +226,209 @@ class TestClientResilience:
             )
             with pytest.raises(ConnectionLost):
                 await client.ping()
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(run())
+
+
+@asynccontextmanager
+async def fuzz_router(num_shards=2, **router_kwargs):
+    """``num_shards`` live primaries behind a router, for fault injection."""
+    servers = [
+        SketchServer(SketchStore(CONFIG)) for _ in range(num_shards)
+    ]
+    for server in servers:
+        await server.start()
+    router = ShardRouter(
+        [[server.address] for server in servers], **router_kwargs
+    )
+    await router.start()
+    try:
+        yield router, servers
+    finally:
+        await router.stop()
+        for server in servers:
+            await server.stop()
+
+
+class TestRouterProtocolFuzz:
+    """Malformed frames through the router never wedge scatter-gather.
+
+    The router shares the protocol shell with ``SketchServer``, but a
+    wedge here would be worse — one stuck connection would starve every
+    shard's gather — so the regressions are pinned against the router
+    directly, with live shards behind it.
+    """
+
+    def test_garbage_frames_are_isolated_per_request(self):
+        async def run():
+            feed = synthetic_feed(
+                120, num_keys=24, groups=("g1", "g2"), seed=31
+            )
+            baseline = SketchStore(CONFIG)
+            baseline.ingest(feed)
+            async with fuzz_router() as (router, _servers):
+                host, port = router.address
+                client = await ServingClient.connect(host, port)
+                await client.ingest(feed)
+                # Raw garbage, a non-object frame, and an unknown op on
+                # a second connection: three error answers, no drop.
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"not json at all\n")
+                writer.write(b'[{"op": "query"}]\n')
+                writer.write(b'{"id": 9, "op": "warp_core_breach"}\n')
+                await writer.drain()
+                for _ in range(3):
+                    response = json.loads(await reader.readline())
+                    assert response["ok"] is False
+                # Scatter-gather on the first connection is unharmed,
+                # and still bit-identical to the unsharded store.
+                for kind in ("sum", "distinct"):
+                    routed = await client.query(kind)
+                    assert routed["result"] == baseline.query(kind)
+                    assert routed["watermark"] == 120
+                writer.close()
+                await writer.wait_closed()
+                await client.close()
+
+        asyncio.run(run())
+
+    def test_oversized_frame_drops_only_its_connection(self):
+        async def run():
+            feed = synthetic_feed(80, num_keys=16, groups=("g1",), seed=32)
+            async with fuzz_router(line_limit=4096) as (router, _servers):
+                host, port = router.address
+                client = await ServingClient.connect(host, port)
+                # Batches sized to stay under the router's line limit.
+                for start in range(0, len(feed), 10):
+                    await client.ingest(feed[start : start + 10])
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(
+                    b'{"id": 1, "op": "query", "pad": "' + b"y" * 8192
+                )
+                writer.write(b'"}\n')
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["ok"] is False
+                assert "exceeds 4096 bytes" in response["error"]
+                assert await reader.readline() == b""
+                writer.close()
+                await writer.wait_closed()
+                # The routed path still answers at the full watermark.
+                assert (await client.query("sum"))["watermark"] == 80
+                snapshot = router.metrics.snapshot()
+                assert (
+                    snapshot["counters"][
+                        'serving_errors_total{op="oversized"}'
+                    ]
+                    == 1
+                )
+                await client.close()
+
+        asyncio.run(run())
+
+    def test_malformed_query_fields_do_not_wedge_later_gathers(self):
+        async def run():
+            feed = synthetic_feed(60, num_keys=12, groups=("g1",), seed=33)
+            async with fuzz_router() as (router, _servers):
+                client = await ServingClient.connect(*router.address)
+                await client.ingest(feed)
+                # Field-level fuzz: wrong types and impossible values
+                # must come back as per-request errors.
+                for fields in (
+                    {"kind": "sum", "until": "yesterday"},
+                    {"kind": "similarity", "groups": ["g1"]},
+                    {"kind": None},
+                    {"kind": "sum", "groups": "g1"},
+                ):
+                    with pytest.raises(ServingError):
+                        await client.request("query", **fields)
+                assert (await client.query("sum"))["watermark"] == 60
+                await client.close()
+
+        asyncio.run(run())
+
+
+class TestShardUnavailableRetry:
+    """The client treats ``shard_unavailable`` like ``Overloaded``:
+    idempotent operations back off and retry (the router may promote a
+    fallback meanwhile); mutating ones surface :class:`ShardUnavailable`
+    at once, because re-sending an ingest of unknown fate could
+    double-apply."""
+
+    @staticmethod
+    async def flaky_router_stub(unavailable_responses):
+        """A stub that answers ``shard_unavailable`` N times, then ok."""
+        seen = []
+
+        async def handler(reader, writer):
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                payload = json.loads(line)
+                seen.append(payload["op"])
+                if len(seen) <= unavailable_responses:
+                    response = {
+                        "id": payload["id"],
+                        "ok": False,
+                        "error": "shard 0 is unavailable",
+                        "shard_unavailable": True,
+                        "retry_after": 0.01,
+                    }
+                else:
+                    response = {
+                        "id": payload["id"],
+                        "ok": True,
+                        "result": {"g1": 1.0},
+                        "watermark": 7,
+                    }
+                writer.write((json.dumps(response) + "\n").encode())
+                await writer.drain()
+
+        server, host, port = await fake_server(handler)
+        return server, host, port, seen
+
+    def test_idempotent_op_retries_through_unavailability(self):
+        async def run():
+            server, host, port, seen = await self.flaky_router_stub(1)
+            client = await ServingClient.connect(host, port, backoff=0.01)
+            response = await client.query("sum")
+            assert response["result"] == {"g1": 1.0}
+            assert seen == ["query", "query"]
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_retries_exhaust_into_typed_error(self):
+        async def run():
+            server, host, port, seen = await self.flaky_router_stub(100)
+            client = await ServingClient.connect(
+                host, port, max_retries=2, backoff=0.01
+            )
+            with pytest.raises(ShardUnavailable) as excinfo:
+                await client.query("sum")
+            assert excinfo.value.retry_after == 0.01
+            assert seen == ["query", "query", "query"]
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_mutating_op_raises_immediately(self):
+        async def run():
+            server, host, port, seen = await self.flaky_router_stub(100)
+            client = await ServingClient.connect(host, port, backoff=0.01)
+            events = synthetic_feed(5, num_keys=2, groups=("g1",), seed=3)
+            with pytest.raises(ShardUnavailable) as excinfo:
+                await client.ingest(events)
+            assert excinfo.value.retry_after == 0.01
+            assert seen == ["ingest"]  # exactly one attempt, no re-send
             await client.close()
             server.close()
             await server.wait_closed()
