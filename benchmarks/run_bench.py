@@ -432,6 +432,72 @@ def _bench_store_replication(smoke: bool):
     )
 
 
+def _bench_store_sync_ack(smoke: bool):
+    import asyncio
+
+    from repro.serving import (
+        ReplicaFollower,
+        ServingClient,
+        SketchServer,
+        SketchStore,
+        StoreConfig,
+        synthetic_feed,
+    )
+
+    n = 4_000 if smoke else 16_000
+    batch = 500
+    config = StoreConfig(k=512, tau_star=0.5, salt="bench-ack")
+    feed = synthetic_feed(n, num_keys=n // 3, groups=("u", "v"), seed=43)
+    chunks = [feed[i : i + batch] for i in range(0, n, batch)]
+
+    async def drive(sync_ack: bool):
+        store = SketchStore(config)
+        kwargs = {"sync_ack": 1, "ack_timeout": 10.0} if sync_ack else {}
+        async with SketchServer(store, **kwargs) as server:
+            host, port = server.address
+            fstore = SketchStore(config)
+            follower = ReplicaFollower(fstore, host, port)
+            task = asyncio.create_task(follower.run())
+            try:
+                while not server.acks.subscribers:
+                    await asyncio.sleep(0.005)
+                client = await ServingClient.connect(host, port)
+                durable = 0
+                for chunk in chunks:
+                    response = await client.ingest(chunk)
+                    if response.get("durable"):
+                        durable += 1
+                await client.close()
+                if sync_ack and durable != len(chunks):
+                    raise RuntimeError(
+                        f"only {durable}/{len(chunks)} batches confirmed durably"
+                    )
+            finally:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        if fstore.events_ingested != n:
+            raise RuntimeError("follower did not converge")
+        return store.events_ingested
+
+    return (
+        # Wire ingest where every ack waits for a live follower to
+        # confirm the covering segment offset: the price of closing the
+        # async-replication durability window.
+        lambda: asyncio.run(drive(True)),
+        n,
+        {"num_events": n, "batch": batch, "sync_ack": 1, "groups": 2},
+        n,
+        # The identical ingest with the same follower attached but
+        # asynchronous acks — isolates the quorum wait itself, so the
+        # "speedup" reads as sync-ack's overhead (expect near or below
+        # 1x; informational in --compare).
+        ("async-ack", lambda: asyncio.run(drive(False))),
+    )
+
+
 def _bench_store_router(smoke: bool):
     import asyncio
     import os
@@ -545,6 +611,7 @@ SUITE: Dict[str, Tuple[Callable, object]] = {
     "store_serve": (_bench_store_serve, "custom"),
     "store_ingest_parallel": (_bench_store_ingest_parallel, "custom"),
     "store_replication": (_bench_store_replication, "custom"),
+    "store_sync_ack": (_bench_store_sync_ack, "custom"),
     "store_router": (_bench_store_router, "custom"),
     "runner_smoke_batch": (_bench_runner_smoke_batch, False),
 }

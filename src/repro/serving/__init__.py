@@ -54,9 +54,11 @@ distinct-count queries) use them:
     Primary/follower replication: a bounded
     :class:`~repro.serving.replication.ReplicationHub` of sealed WAL
     segments shipped over the TCP protocol, snapshot shipping for cold
-    followers, and a :class:`~repro.serving.replication.ReplicaFollower`
+    followers, a :class:`~repro.serving.replication.ReplicaFollower`
     whose ledger — and every query answer — converges bit-identically
-    to the primary's at the same watermark.
+    to the primary's at the same watermark, and the
+    :class:`~repro.serving.replication.AckTracker` counting follower
+    ``repl_ack`` confirmations for synchronous-ack quorum waits.
 
 :mod:`repro.serving.metrics`
     Observability: a deterministic
@@ -81,6 +83,23 @@ distinct-count queries) use them:
     vectors and failover re-targeting across each shard's endpoint
     chain.
 
+:mod:`repro.serving.resilience`
+    The one retry/timeout policy behind every serving-layer retry loop:
+    :class:`~repro.serving.resilience.RetryPolicy` (capped exponential
+    backoff, seeded deterministic jitter, ``retry_after`` hints clamped
+    to the cap), :class:`~repro.serving.resilience.BackoffTimer` for
+    open-ended reconnect loops, and
+    :class:`~repro.serving.resilience.VirtualClock` so those loops run
+    in virtual time under test.
+
+:mod:`repro.serving.chaos`
+    The deterministic chaos harness: a seeded
+    :class:`~repro.serving.chaos.ChaosSchedule` of per-link frame fates
+    driven through a fault-injecting
+    :class:`~repro.serving.chaos.ChaosProxy`, torn-WAL-tail and
+    kill-mid-quorum helpers — the machinery behind the invariant that
+    no ``durable: true`` ack is ever lost across failover.
+
 :mod:`repro.serving.promotion`
     Failover promotion: :func:`~repro.serving.promotion.promote_follower`
     and :class:`~repro.serving.promotion.PromotableReplica` rewire a
@@ -93,18 +112,26 @@ distinct-count queries) use them:
     ``snapshot`` / ``merge`` / ``info`` subcommands over a store
     directory, plus ``serve`` (the asyncio server; ``--follow`` runs a
     read-only replica — promotable with ``--promotable`` — ``--router``
-    runs the shard router, ``--metrics-port`` mounts the scrape
-    endpoint), ``load`` (a load-generating client) and ``evict``
-    (offline retention).
+    runs the shard router, ``--sync-ack N`` holds ingest acks for a
+    follower quorum, ``--metrics-port`` mounts the scrape endpoint),
+    ``load`` (a load-generating client) and ``evict`` (offline
+    retention).
 """
 
 from .admission import AdmissionController
 from .batcher import QueryBatcher, QueryRequest
+from .chaos import ChaosProxy, ChaosSchedule, crash_server, tear_wal_tail
 from .events import Event, read_events, shard_events, synthetic_feed, write_events
 from .ingest import ParallelIngestor
 from .metrics import MetricsHTTPShim, MetricsRegistry
 from .promotion import PromotableReplica, promote_follower
-from .replication import ReplicaFollower, ReplicationError, ReplicationHub
+from .replication import (
+    AckTracker,
+    ReplicaFollower,
+    ReplicationError,
+    ReplicationHub,
+)
+from .resilience import BackoffTimer, RetryPolicy, VirtualClock
 from .retention import RetentionPolicy, apply_retention
 from .router import ShardRouter, ShardSlot
 from .server import (
@@ -127,7 +154,11 @@ from .store import (
 )
 
 __all__ = [
+    "AckTracker",
     "AdmissionController",
+    "BackoffTimer",
+    "ChaosProxy",
+    "ChaosSchedule",
     "ConnectionLost",
     "Event",
     "JSONLinesServer",
@@ -143,17 +174,21 @@ __all__ = [
     "ReplicationError",
     "ReplicationHub",
     "RetentionPolicy",
+    "RetryPolicy",
     "ServingClient",
     "ServingError",
     "ShardRouter",
     "ShardSlot",
     "ShardUnavailable",
     "SketchServer",
+    "VirtualClock",
     "apply_retention",
+    "crash_server",
     "promote_follower",
     "read_events",
     "shard_events",
     "synthetic_feed",
+    "tear_wal_tail",
     "write_events",
     "SERVING_QUERY_KINDS",
     "SketchStore",

@@ -1,0 +1,419 @@
+"""Deterministic chaos harness: seeded faults for the serving stack.
+
+The serving layer's durability contract — *no event acked ``durable:
+true`` is ever absent after any failover/recovery path, and survivors
+converge bit-identical* — is only worth stating if it holds under the
+failures that actually happen: connections that drop mid-segment,
+frames that arrive late, twice, or out of order, write-ahead logs torn
+mid-line by a crash, and primaries killed outright while a quorum wait
+is in flight.  This module injects exactly those faults,
+**deterministically**: every decision is drawn from a
+:class:`random.Random` stream seeded from ``(seed, link)``, consumed in
+frame order, so a failing schedule replays bit-for-bit from its seed.
+
+Pieces:
+
+:class:`ChaosSchedule`
+    The seeded fault plan.  Per link (a named direction of one proxied
+    connection) it yields one :class:`FrameFate` per frame — drop,
+    duplicate, hold-for-reorder, delay, or cut — with independent
+    per-link streams, so adding a follower never perturbs the faults
+    another link sees.
+
+:class:`ChaosProxy`
+    A TCP proxy speaking raw JSON lines.  Put one between a follower
+    and its primary (or a client and a server) and every frame in both
+    directions flows through the schedule.  Replication survives all of
+    it by construction: duplicated or reordered segments break the
+    follower's contiguity check, which raises, resets the offset, and
+    re-bootstraps — the chaos tests assert convergence *through* those
+    recoveries, not around them.
+
+:func:`tear_wal_tail`
+    Mangle a store directory's write-ahead log the way a crash mid-write
+    does: append a torn (newline-less, half-JSON) record, optionally
+    truncating real bytes first.  Recovery must stop at the tear and
+    keep every acknowledged batch before it.
+
+:func:`crash_server`
+    Kill a serving front-end the unfriendly way — abort every open
+    connection's transport mid-frame, then tear the listener down — so
+    in-process tests exercise the same "primary vanished mid-quorum"
+    path the ``chaos-smoke`` CI job drives with real ``kill -9``.
+
+``tests/serving/test_chaos.py`` is the matching battery; the invariant
+it pins is the acceptance criterion of the durability subsystem.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .replication import FOLLOWER_LINE_LIMIT
+
+__all__ = [
+    "ChaosProxy",
+    "ChaosSchedule",
+    "FrameFate",
+    "crash_server",
+    "tear_wal_tail",
+]
+
+
+@dataclass(frozen=True)
+class FrameFate:
+    """What the schedule decided for one frame on one link."""
+
+    #: Abort the whole proxied connection before forwarding this frame.
+    cut: bool = False
+    #: Swallow the frame entirely.
+    drop: bool = False
+    #: Forward the frame twice back to back.
+    duplicate: bool = False
+    #: Hold the frame and emit it *after* the next one (adjacent swap).
+    hold: bool = False
+    #: Sleep this long (seconds) before forwarding.
+    delay: float = 0.0
+
+    @property
+    def action(self) -> str:
+        """The fate's dominant action label (for the chaos metrics)."""
+        if self.cut:
+            return "cut"
+        if self.drop:
+            return "drop"
+        if self.duplicate:
+            return "duplicate"
+        if self.hold:
+            return "reorder"
+        if self.delay:
+            return "delay"
+        return "forward"
+
+
+@dataclass
+class ChaosSchedule:
+    """A seeded, per-link deterministic fault plan.
+
+    Each probability is evaluated independently per frame, in priority
+    order ``cut > drop > duplicate > hold > delay``, from a
+    :class:`random.Random` stream seeded with ``f"{seed}:{link}"``
+    (string seeding is stable across processes and hash
+    randomisation).  The stream is consumed once per frame in arrival
+    order, so a link's fate sequence is a pure function of ``(seed,
+    link)`` — the property :func:`fates` exposes and the tests pin.
+    """
+
+    seed: int = 0
+    #: Probability a frame is swallowed.
+    drop: float = 0.0
+    #: Probability a frame is forwarded twice.
+    duplicate: float = 0.0
+    #: Probability a frame is held past its successor (adjacent swap).
+    reorder: float = 0.0
+    #: Probability a frame is delayed by :attr:`delay_seconds`.
+    delay: float = 0.0
+    #: The delay applied to delayed frames, seconds.
+    delay_seconds: float = 0.002
+    #: Probability the connection is aborted at a frame boundary.
+    cut: float = 0.0
+    _streams: Dict[str, random.Random] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "reorder", "delay", "cut"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be nonnegative")
+
+    def _stream(self, link: str) -> random.Random:
+        stream = self._streams.get(link)
+        if stream is None:
+            stream = self._streams[link] = random.Random(
+                f"{self.seed}:{link}"
+            )
+        return stream
+
+    def next_fate(self, link: str) -> FrameFate:
+        """Draw the next frame's fate on ``link`` (consumes the stream).
+
+        Exactly five draws happen per call regardless of the outcome,
+        so the fates of later frames never depend on which faults fired
+        earlier — schedules stay comparable across probability knobs.
+        """
+        stream = self._stream(link)
+        draws = [stream.random() for _ in range(5)]
+        if draws[0] < self.cut:
+            return FrameFate(cut=True)
+        if draws[1] < self.drop:
+            return FrameFate(drop=True)
+        if draws[2] < self.duplicate:
+            return FrameFate(duplicate=True)
+        if draws[3] < self.reorder:
+            return FrameFate(hold=True)
+        if draws[4] < self.delay:
+            return FrameFate(delay=self.delay_seconds)
+        return FrameFate()
+
+    def fates(self, link: str, count: int) -> List[FrameFate]:
+        """The first ``count`` fates of ``link`` from a *fresh* stream
+        (does not consume this schedule's live streams)."""
+        probe = ChaosSchedule(
+            seed=self.seed,
+            drop=self.drop,
+            duplicate=self.duplicate,
+            reorder=self.reorder,
+            delay=self.delay,
+            delay_seconds=self.delay_seconds,
+            cut=self.cut,
+        )
+        return [probe.next_fate(link) for _ in range(count)]
+
+
+class ChaosProxy:
+    """A fault-injecting TCP proxy for the JSON-lines protocol.
+
+    Accepts connections on its own port and pipes each to ``upstream``,
+    pushing every line in both directions through the
+    :class:`ChaosSchedule`.  Connection ``n``'s directions are the
+    links ``c{n}>`` (toward upstream) and ``c{n}<`` (back); connection
+    numbering is per proxy in accept order, so a test driving one
+    follower through one proxy sees a reproducible link naming even
+    across the follower's reconnects.
+
+    The proxy is transparent to the protocol: it frames on newlines
+    (with the replication-sized line limit, so snapshot payloads fit)
+    and chaos is applied to *frames*, exactly the unit the replication
+    contiguity checks defend.  One deliberate asymmetry: the lossy
+    faults (drop, duplicate, reorder) apply only to **push frames** —
+    lines without an ``id``, i.e. ``repl_segment`` and ``repl_ack`` —
+    because request/response exchanges block on ``readline`` and a
+    silently swallowed response would wedge the peer forever instead of
+    exercising a recovery path.  Requests and responses still suffer
+    ``delay`` and ``cut`` (both of which the retry loops absorb), and
+    every frame consumes the schedule stream either way, so fate
+    sequences stay a pure function of ``(seed, link)``.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        schedule: ChaosSchedule,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._upstream = (upstream_host, int(upstream_port))
+        self._schedule = schedule
+        self._host = host
+        self._port = int(port)
+        self._metrics = metrics
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections = 0
+        self._writers: List = []
+        self._tasks: set = set()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The proxy's bound ``(host, port)`` (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("proxy is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def connections(self) -> int:
+        """Connections accepted so far."""
+        return self._connections
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start proxying; returns the bound address."""
+        if self._server is not None:
+            raise RuntimeError("proxy is already started")
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self._host,
+            self._port,
+            limit=FOLLOWER_LINE_LIMIT,
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        """Stop accepting and abort every proxied connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.cut_all()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    def cut_all(self) -> None:
+        """Abort every live proxied connection (a scripted link cut)."""
+        for writer in self._writers:
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        self._writers.clear()
+
+    async def __aenter__(self) -> "ChaosProxy":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    def _count(self, action: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                "chaos_frames_total",
+                help="frames through the chaos proxy, by applied action",
+                action=action,
+            ).inc()
+
+    async def _on_connection(self, down_reader, down_writer) -> None:
+        index = self._connections
+        self._connections += 1
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                *self._upstream, limit=FOLLOWER_LINE_LIMIT
+            )
+        except (ConnectionError, OSError):
+            down_writer.close()
+            return
+        self._writers.extend([down_writer, up_writer])
+        forward = asyncio.create_task(
+            self._pump(down_reader, up_writer, f"c{index}>")
+        )
+        backward = asyncio.create_task(
+            self._pump(up_reader, down_writer, f"c{index}<")
+        )
+        self._tasks.update({forward, backward})
+        forward.add_done_callback(self._tasks.discard)
+        backward.add_done_callback(self._tasks.discard)
+        # Either direction dying ends the connection: abort both sides
+        # so the peers see a hard drop, the failure the retry loops and
+        # contiguity checks are built to absorb.
+        await asyncio.wait(
+            {forward, backward}, return_when=asyncio.FIRST_COMPLETED
+        )
+        for writer in (down_writer, up_writer):
+            if writer in self._writers:
+                self._writers.remove(writer)
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        forward.cancel()
+        backward.cancel()
+
+    @staticmethod
+    def _is_push_frame(line: bytes) -> bool:
+        """Whether ``line`` is a fire-and-forget push frame (no ``id``).
+
+        Push frames (``repl_segment``, ``repl_ack``) are safe to lose —
+        the contiguity checks and quorum timeouts recover.  Correlated
+        request/response frames are not: swallowing one wedges a peer
+        blocked on ``readline``, which is a harness bug, not a fault
+        worth injecting.  Unparseable lines count as correlated (never
+        lossy-faulted) so the proxy stays transparent to junk.
+        """
+        try:
+            return "id" not in json.loads(line)
+        except ValueError:
+            return False
+
+    async def _pump(self, reader, writer, link: str) -> None:
+        held: Optional[bytes] = None
+
+        async def emit(frame: bytes) -> None:
+            writer.write(frame)
+            await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                fate = self._schedule.next_fate(link)
+                if not self._is_push_frame(line) and (
+                    fate.drop or fate.duplicate or fate.hold
+                ):
+                    fate = FrameFate(delay=fate.delay)
+                self._count(fate.action)
+                if fate.cut:
+                    transport = writer.transport
+                    if transport is not None:
+                        transport.abort()
+                    return
+                if fate.drop:
+                    continue
+                if fate.hold and held is None:
+                    held = line
+                    continue
+                if fate.delay:
+                    await asyncio.sleep(fate.delay)
+                await emit(line)
+                if fate.duplicate:
+                    await emit(line)
+                if held is not None:
+                    swapped, held = held, None
+                    await emit(swapped)
+            if held is not None:
+                # Stream ended with a frame still held: emit it rather
+                # than silently dropping (reorder is not loss).
+                await emit(held)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            return
+
+
+def tear_wal_tail(
+    root,
+    *,
+    truncate: int = 0,
+    garbage: bytes = b'{"kind": "events", "torn": ',
+) -> Path:
+    """Mangle a store directory's WAL tail like a crash mid-write.
+
+    Optionally truncates the last ``truncate`` bytes (tearing the final
+    record mid-line), then appends ``garbage`` without a newline — the
+    shape an interrupted ``write()`` leaves behind.  Recovery replay
+    stops at the first malformed line, so everything before the tear
+    survives and nothing after it is invented.  Returns the WAL path.
+    """
+    path = Path(root) / "events.jsonl"
+    data = path.read_bytes() if path.exists() else b""
+    if truncate > 0:
+        data = data[: max(0, len(data) - truncate)]
+    path.write_bytes(data + garbage)
+    return path
+
+
+async def crash_server(server) -> None:
+    """Kill a serving front-end abruptly (the in-process ``kill -9``).
+
+    Aborts every open connection's transport — peers see the stream die
+    mid-frame, with no graceful close — then stops the listener.  The
+    store is left exactly as the last applied batch wrote it: no final
+    snapshot, no flush, which is what a real SIGKILL leaves on disk.
+    """
+    for writer in list(server._connections):
+        transport = writer.transport
+        if transport is not None:
+            transport.abort()
+    await server.stop()
+
+
+def _json_frames(lines: List[bytes]) -> List[dict]:
+    """Parse proxied frames for assertions (test helper)."""
+    return [json.loads(line) for line in lines if line.strip()]

@@ -31,7 +31,11 @@ a store directory (announcing the bound address on stdout — with
 arrives.  ``--metrics-port`` mounts the Prometheus ``/metrics`` HTTP
 shim next to the TCP server; ``--max-pending-events`` bounds the ingest
 queue (overload then sheds with a ``retry_after`` hint instead of
-growing memory); ``--follow HOST:PORT`` starts the server as a
+growing memory); ``--sync-ack N`` holds each ingest ack until ``N``
+followers confirm the covering replication offset (degrading to an
+explicit ``durable: false`` after ``--ack-timeout`` seconds, so a
+client always learns whether its batch outlives the primary);
+``--follow HOST:PORT`` starts the server as a
 *read-only replica* of a running primary — it bootstraps from the
 primary's snapshot (adopting its config on first start), streams sealed
 WAL segments, and serves queries bit-identical to the primary's at the
@@ -70,6 +74,7 @@ from .promotion import PromotableReplica
 from .replication import ReplicaFollower
 from .retention import RetentionPolicy, apply_retention
 from .router import ShardRouter
+from .resilience import RetryPolicy
 from .server import Overloaded, ServingClient, ServingError, SketchServer
 from .store import SERVING_QUERY_KINDS, SketchStore, StoreConfig, merge_stores
 
@@ -309,6 +314,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 retention_interval=args.retention_interval,
                 max_pending_events=args.max_pending_events,
                 repl_buffer=args.repl_buffer,
+                sync_ack=args.sync_ack,
+                ack_timeout=args.ack_timeout,
             )
             replica = None
             follower_task = None
@@ -405,7 +412,9 @@ async def run_load(
     probe connection, honouring admission control: a shed batch backs
     off for the server's ``retry_after`` hint and re-sends, so every
     event lands even under a tight ``--max-pending-events`` bound (the
-    report counts the sheds it rode out).
+    report counts the sheds it rode out).  Against a ``--sync-ack``
+    server the report also splits the ingest acks into ``durable_acks``
+    and ``degraded_acks``.
 
     Returns a JSON-ready report: request counts, wall seconds,
     requests/second, error count, the server's coalescing counters
@@ -423,6 +432,8 @@ async def run_load(
     try:
         ingested = 0
         shed_retries = 0
+        durable_acks = 0
+        degraded_acks = 0
         if ingest_events:
             feed = synthetic_feed(
                 num_events=ingest_events,
@@ -430,16 +441,26 @@ async def run_load(
                 groups=("alpha", "beta"),
                 seed=ingest_seed,
             )
+            # Shed batches back off through the shared policy: the
+            # server's retry_after hint is honoured but clamped, and a
+            # hintless shed escalates the capped exponential schedule.
+            shed_timer = RetryPolicy(base=0.01, cap=2.0).timer()
             for start_index in range(0, len(feed), ingest_batch):
                 batch = feed[start_index : start_index + ingest_batch]
                 while True:
                     try:
                         response = await probe.ingest(batch)
                         ingested += response["ingested"]
+                        durable = response.get("durable")
+                        if durable is True:
+                            durable_acks += 1
+                        elif durable is False:
+                            degraded_acks += 1
+                        shed_timer.reset()
                         break
                     except Overloaded as exc:
                         shed_retries += 1
-                        await asyncio.sleep(exc.retry_after)
+                        await shed_timer.pause(retry_after=exc.retry_after)
         info = await probe.info()
         groups = info["groups"]
         pair = groups[:2] if len(groups) >= 2 else None
@@ -507,6 +528,8 @@ async def run_load(
             "coalescing": after["coalescing"],
             "ingested": ingested,
             "shed_retries": shed_retries,
+            "durable_acks": durable_acks,
+            "degraded_acks": degraded_acks,
             "watermark": after["events_ingested"],
         }
         if with_metrics:
@@ -675,6 +698,17 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--repl-buffer", type=int, default=1024,
         help="replication segment buffer capacity (entries)",
+    )
+    serve.add_argument(
+        "--sync-ack", type=int, default=None, metavar="N",
+        help="hold each ingest ack until N followers confirm the "
+        "covering segment offset; replies report durable: true/false "
+        "(default: acknowledge as soon as the batch is applied)",
+    )
+    serve.add_argument(
+        "--ack-timeout", type=float, default=1.0,
+        help="with --sync-ack: seconds to wait for the quorum before "
+        "degrading the ack to durable: false",
     )
     serve.add_argument(
         "--follow", metavar="HOST:PORT", default=None,

@@ -33,7 +33,14 @@ router adds ``router_shard_requests_total{shard=,op=}`` and
 ``router_view_cache_hits_total{shard=}``,
 ``router_failovers_total{shard=}`` / ``router_promotions_total{shard=}``
 (re-targeting), and ``router_unavailable_total``; a promotable replica
-counts ``serving_promotions_total`` when its hand-over runs.
+counts ``serving_promotions_total`` when its hand-over runs.  The
+synchronous-ack path adds its own family on both ends of the wire: a
+``--sync-ack`` primary counts ``serving_repl_acks_total`` (``repl_ack``
+frames received), ``serving_durable_acks_total`` /
+``serving_degraded_acks_total`` (quorum met vs. timed out) and times
+``serving_ack_wait_seconds``; followers count
+``serving_repl_acks_sent_total``; and the chaos harness's proxy counts
+``chaos_frames_total{action=}`` when handed a registry.
 
 The registry is wholly synchronous and allocation-light: instruments are
 created on first use and cached, so the hot path is a dict lookup and an

@@ -15,11 +15,17 @@ applying the primary's shipped segments to the shared store.
    knows the cut the new primary starts from.
 
 The promoted primary's history is the follower's **shipped** prefix:
-with asynchronous replication, a batch the dead primary acknowledged
+with *asynchronous* replication, a batch the dead primary acknowledged
 but had not yet shipped is *lost* — the convergence the promotion test
 battery pins is "every batch durably acknowledged *and shipped*
 survives", and the operational remedy (quiesce ingest, let followers
 drain, then fail over) lives in the runbook in ``docs/serving.md``.
+Synchronous-ack mode (``serve --sync-ack N``) closes that window for
+acks that came back ``durable: true``: such a batch was applied by at
+least ``N`` followers before the client saw the ack, so promoting the
+most-advanced survivor (what the router's failover scan does) can
+never lose it — the invariant ``tests/serving/test_chaos.py`` pins
+under seeded fault schedules.
 Offsets restart from 0 under the new primary; sibling followers of the
 dead one detect the discontinuity through the watermark cross-check in
 their ``repl_subscribe`` handshake and re-bootstrap against the
@@ -85,6 +91,9 @@ class PromotableReplica:
         registry by default.
     backoff, max_backoff:
         The follow loop's reconnect backoff window.
+    retry:
+        A :class:`~repro.serving.resilience.RetryPolicy` for the follow
+        loop, overriding the backoff shorthand (virtual-time tests).
     server_kwargs:
         Extra :class:`~repro.serving.server.SketchServer` keyword
         arguments (``max_batch``, ``line_limit``, ...).
@@ -101,6 +110,7 @@ class PromotableReplica:
         metrics: Optional[MetricsRegistry] = None,
         backoff: float = 0.05,
         max_backoff: float = 2.0,
+        retry=None,
         **server_kwargs: Any,
     ) -> None:
         self._metrics = metrics if metrics is not None else MetricsRegistry()
@@ -119,6 +129,7 @@ class PromotableReplica:
             primary_port,
             backoff=backoff,
             max_backoff=max_backoff,
+            retry=retry,
             metrics=self._metrics,
         )
         self._stop: Optional[asyncio.Event] = None

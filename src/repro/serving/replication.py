@@ -8,7 +8,7 @@ mutation stream therefore holds the same ledger — and answers every
 query **bit-identically** — at the same watermark.  This module ships
 that stream.
 
-Wire protocol (three operations on the existing JSON-lines framing):
+Wire protocol (four operations on the existing JSON-lines framing):
 
 ``repl_snapshot``
     Request/response.  Returns the primary's ledger wholesale — config,
@@ -34,6 +34,19 @@ Wire protocol (three operations on the existing JSON-lines framing):
     so it must ship too or followers would diverge).  A frame with
     ``"reset": true`` tells a subscriber it fell out of the buffer —
     re-bootstrap from a snapshot.
+
+``repl_ack {"offset": n}``
+    Pushed *upstream* (follower to primary, no ``id``, no reply) on the
+    subscription connection: the follower has **applied** every entry
+    through offset ``n`` — to its write-ahead log when directory-backed,
+    so the acknowledged prefix survives the follower's own crash.  Acks
+    are cumulative and monotone; the primary's :class:`AckTracker`
+    keeps one high-water mark per subscriber.  In synchronous-ack mode
+    (``serve --sync-ack N``) the primary holds each ingest reply until
+    ``N`` subscribers have acked the batch's covering offset — the
+    reply then carries ``"durable": true`` — or a bounded ack-wait
+    timeout expires, which degrades the reply to an explicit
+    ``"durable": false`` instead of wedging the producer.
 
 The mutation log (:class:`ReplicationHub`) is the serving twin of the
 on-disk write-ahead log: the primary appends a sealed entry *after*
@@ -63,9 +76,11 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from .events import Event
+from .resilience import RetryPolicy
 from .store import SketchStore, StoreConfig
 
 __all__ = [
+    "AckTracker",
     "ReplicaFollower",
     "ReplicationError",
     "ReplicationHub",
@@ -225,6 +240,77 @@ class ReplicationHub:
         }
 
 
+class AckTracker:
+    """Per-subscriber replication acknowledgement high-water marks.
+
+    The primary's side of synchronous-ack mode: every streaming
+    subscriber is registered under an opaque key (the server uses
+    ``id(writer)`` of its connection), each ``repl_ack`` frame raises
+    that subscriber's acked offset (acks are cumulative, so marks only
+    move forward), and the ingest path blocks in :meth:`wait_for` until
+    a quorum of subscribers have acked the batch's covering offset — or
+    the bounded timeout expires.  Subscriber death wakes every waiter
+    (the quorum they are waiting for may have just become impossible;
+    they keep waiting until the timeout rules).
+    """
+
+    def __init__(self) -> None:
+        self._acked: Dict[Any, int] = {}
+        self._event = asyncio.Event()
+
+    def register(self, subscriber: Any) -> None:
+        """Track a new streaming subscriber (acked offset starts at 0)."""
+        self._acked.setdefault(subscriber, 0)
+
+    def unregister(self, subscriber: Any) -> None:
+        """Drop a dead subscriber and wake every quorum waiter."""
+        if self._acked.pop(subscriber, None) is not None:
+            self._wake()
+
+    def ack(self, subscriber: Any, offset: int) -> None:
+        """Record a cumulative ack; marks are monotone per subscriber."""
+        current = self._acked.get(subscriber, 0)
+        if offset > current:
+            self._acked[subscriber] = int(offset)
+            self._wake()
+
+    def count_at(self, offset: int) -> int:
+        """Subscribers whose acked offset covers ``offset``."""
+        return sum(1 for mark in self._acked.values() if mark >= offset)
+
+    @property
+    def subscribers(self) -> int:
+        """Currently registered streaming subscribers."""
+        return len(self._acked)
+
+    async def wait_for(
+        self, offset: int, quorum: int, timeout: float
+    ) -> bool:
+        """Block until ``quorum`` subscribers ack ``offset``; ``False``
+        when the timeout expires first (the degraded-ack path)."""
+        try:
+            await asyncio.wait_for(self._wait(offset, quorum), timeout)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    async def _wait(self, offset: int, quorum: int) -> None:
+        while self.count_at(offset) < quorum:
+            await self._event.wait()
+
+    def _wake(self) -> None:
+        # Same lost-notification-proof rotation as the hub's pump wakeup.
+        event, self._event = self._event, asyncio.Event()
+        event.set()
+
+    def describe(self) -> Dict[str, Any]:
+        """The tracker's state for the ``info`` durability block."""
+        return {
+            "subscribers": len(self._acked),
+            "acked_offsets": sorted(self._acked.values()),
+        }
+
+
 # ----------------------------------------------------------------------
 # Snapshot shipping
 # ----------------------------------------------------------------------
@@ -348,16 +434,28 @@ class ReplicaFollower:
         The primary's TCP address.
     backoff, max_backoff:
         Reconnect delay: starts at ``backoff`` seconds and doubles per
-        consecutive failure up to ``max_backoff``.
+        consecutive failure up to ``max_backoff``.  Shorthand for the
+        default ``retry`` policy.
+    retry:
+        A :class:`~repro.serving.resilience.RetryPolicy` overriding the
+        backoff shorthand — the hook tests use to drive the reconnect
+        loop in virtual time (inject a
+        :class:`~repro.serving.resilience.VirtualClock`'s sleep).
     metrics:
         Optional :class:`~repro.serving.metrics.MetricsRegistry` for
-        applied/bootstrap/reconnect counters.
+        applied/bootstrap/reconnect/ack counters.
 
     Two driving modes: :meth:`sync_once` connects, catches up to the
     primary's offset at handshake time, and returns (what the tests and
     the replication bench use); :meth:`run` follows continuously,
     re-bootstrapping on resets and reconnecting with backoff when the
     primary dies (what ``serve --follow`` runs in the background).
+
+    Both modes acknowledge upstream: after the subscribe handshake and
+    after every applied entry the follower pushes a ``repl_ack`` frame
+    carrying its applied offset, which is what a synchronous-ack
+    primary's quorum waits count.  Acks are fire-and-forget — an
+    async-mode primary just ignores them.
     """
 
     def __init__(
@@ -368,6 +466,7 @@ class ReplicaFollower:
         *,
         backoff: float = 0.05,
         max_backoff: float = 2.0,
+        retry: Optional[RetryPolicy] = None,
         metrics=None,
     ) -> None:
         if backoff <= 0 or max_backoff < backoff:
@@ -375,8 +474,11 @@ class ReplicaFollower:
         self._store = store
         self._host = host
         self._port = int(port)
-        self._backoff = float(backoff)
-        self._max_backoff = float(max_backoff)
+        self._retry = (
+            retry
+            if retry is not None
+            else RetryPolicy(base=backoff, cap=max_backoff)
+        )
         self._metrics = metrics
         #: Offset of the last applied entry; ``None`` = unknown (cold or
         #: restarted) — the next connection bootstraps from a snapshot.
@@ -500,11 +602,29 @@ class ReplicaFollower:
                     help="feed events applied by this follower",
                 ).inc(len(entry["events"]))
 
+    async def _send_ack(self, writer) -> None:
+        """Push the applied offset upstream (the ``repl_ack`` frame)."""
+        if self.offset is None:
+            return
+        writer.write(
+            (
+                json.dumps({"op": "repl_ack", "offset": self.offset})
+                + "\n"
+            ).encode()
+        )
+        await writer.drain()
+        if self._metrics is not None:
+            self._metrics.counter(
+                "serving_repl_acks_sent_total",
+                help="repl_ack frames pushed to the primary",
+            ).inc()
+
     async def _consume(
-        self, reader, until_offset: Optional[int]
+        self, reader, writer, until_offset: Optional[int]
     ) -> bool:
-        """Apply pushed frames; ``True`` when ``until_offset`` reached,
-        ``False`` on a clean disconnect.  Raises on a reset frame."""
+        """Apply pushed frames, acking each; ``True`` when
+        ``until_offset`` reached, ``False`` on a clean disconnect.
+        Raises on a reset frame."""
         while True:
             if until_offset is not None and (
                 self.offset is not None and self.offset >= until_offset
@@ -522,6 +642,7 @@ class ReplicaFollower:
                 self.offset = None
                 raise ReplicationError("primary reset the subscription")
             self._apply(payload["entry"])
+            await self._send_ack(writer)
 
     # ------------------------------------------------------------------
     # Driving modes
@@ -532,8 +653,14 @@ class ReplicaFollower:
         reader, writer = await self._connect()
         try:
             target, _watermark = await self._subscribe(reader, writer)
+            # Ack the handshake offset: a bootstrap (or an already
+            # caught-up follower) covers the primary's current prefix
+            # without ever seeing a segment frame.
+            await self._send_ack(writer)
             if self.offset is not None and self.offset < target:
-                reached = await self._consume(reader, until_offset=target)
+                reached = await self._consume(
+                    reader, writer, until_offset=target
+                )
                 if not reached:
                     raise ConnectionError(
                         "primary closed before catch-up completed"
@@ -548,21 +675,21 @@ class ReplicaFollower:
 
     async def run(self, stop: Optional[asyncio.Event] = None) -> None:
         """Follow continuously: stream, re-bootstrap on resets, and
-        reconnect with exponential backoff on connection loss.  Returns
-        when ``stop`` is set (checked between connection attempts)."""
-        delay = self._backoff
+        reconnect with the policy's capped backoff on connection loss.
+        Returns when ``stop`` is set (checked between attempts)."""
+        timer = self._retry.timer()
         while stop is None or not stop.is_set():
             try:
                 reader, writer = await self._connect()
             except (ConnectionError, OSError):
-                await asyncio.sleep(delay)
-                delay = min(self._max_backoff, delay * 2)
+                await timer.pause()
                 self.reconnects += 1
                 continue
             try:
                 await self._subscribe(reader, writer)
-                delay = self._backoff  # healthy stream: reset the clock
-                await self._consume(reader, until_offset=None)
+                await self._send_ack(writer)
+                timer.reset()  # healthy stream: back to the base delay
+                await self._consume(reader, writer, until_offset=None)
             except ReplicationError:
                 # Reset or stream inconsistency: the offset can no
                 # longer be trusted, so the next connection bootstraps.
@@ -581,5 +708,4 @@ class ReplicaFollower:
                     "serving_repl_reconnects_total",
                     help="connection attempts after a stream ended",
                 ).inc()
-            await asyncio.sleep(delay)
-            delay = min(self._max_backoff, delay * 2)
+            await timer.pause()

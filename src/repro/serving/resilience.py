@@ -1,0 +1,202 @@
+"""One retry/backoff/timeout policy for every serving-layer retry loop.
+
+Before this module, four retry implementations had grown independently:
+the :class:`~repro.serving.server.ServingClient` reconnect loop, the
+:class:`~repro.serving.replication.ReplicaFollower` reconnect loop, the
+shard router's re-target attempts, and the load CLI's shed backoff.
+Each hand-rolled the same shape — exponential delay, a cap, sometimes a
+server hint — with slightly different bugs: the client honoured a
+router's ``retry_after`` hint *uncapped*, the follower's loop could only
+sleep wall-clock (so reconnect tests burned real seconds), and none of
+them jittered, so a fleet of producers backing off from one overloaded
+primary would retry in lockstep.
+
+:class:`RetryPolicy` is the single shared implementation:
+
+* **Capped exponential backoff** — retry ``n`` waits
+  ``base * 2**(n-1)`` seconds, never more than ``cap``.
+* **Seeded deterministic jitter** — each delay is shrunk by up to
+  ``jitter`` (a fraction) using a :class:`random.Random` stream seeded
+  from ``(seed, attempt)``; the same policy produces the same delays in
+  every process (``random.Random`` seeds strings stably, independent of
+  hash randomisation), so tests can pin exact schedules while distinct
+  seeds de-synchronise a fleet.
+* **Unified ``retry_after`` honouring** — a server hint (from an
+  :class:`~repro.serving.server.Overloaded` shed or a
+  :class:`~repro.serving.server.ShardUnavailable` refusal) replaces the
+  computed backoff but is clamped to ``cap``: a confused or hostile
+  server cannot park a client for an hour.
+* **Injectable clock/sleep** — the policy sleeps through its ``sleep``
+  callable and reads time through ``clock``; tests pass a
+  :class:`VirtualClock` so retry loops run in virtual time instead of
+  wall-clocking the suite.
+
+:class:`BackoffTimer` is the stateful face for open-ended reconnect
+loops (the follower's ``run``): it counts consecutive failures, pauses
+through the policy, and resets to the base delay on success.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Awaitable, Callable, List, Optional
+
+__all__ = ["BackoffTimer", "RetryPolicy", "VirtualClock"]
+
+
+class VirtualClock:
+    """A deterministic time source whose sleeps complete instantly.
+
+    ``clock()`` returns the virtual time; ``sleep(s)`` advances it by
+    ``s`` and yields to the event loop exactly once (so other tasks —
+    a restarted server, a pending future — get scheduled), recording
+    every requested delay in :attr:`sleeps`.  Injecting one into a
+    :class:`RetryPolicy` makes a retry loop's schedule observable and
+    instantaneous: the replication reconnect tests assert backoff
+    *sequences* without ever waiting them out.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        #: Every delay passed to :meth:`sleep`, in call order.
+        self.sleeps: List[float] = []
+
+    @property
+    def now(self) -> float:
+        """The current virtual time."""
+        return self._now
+
+    def clock(self) -> float:
+        """The ``clock`` callable: read the virtual time."""
+        return self._now
+
+    async def sleep(self, seconds: float) -> None:
+        """The ``sleep`` callable: advance time, yield once, return."""
+        self.sleeps.append(float(seconds))
+        self._now += float(seconds)
+        await asyncio.sleep(0)
+
+
+class RetryPolicy:
+    """Capped exponential backoff with seeded jitter and hint clamping.
+
+    Parameters
+    ----------
+    max_retries:
+        Bound for *bounded* retry loops (:meth:`should_retry`); loops
+        that retry forever (the follower) simply never consult it.
+    base:
+        First retry's delay, seconds.
+    cap:
+        Ceiling on every delay — computed backoff and server
+        ``retry_after`` hints alike.
+    jitter:
+        Fraction of each computed delay that may be jittered away
+        (``0.0`` = exact exponential schedule, what parity tests pin).
+        Hinted delays are not jittered: the server said when.
+    seed:
+        Seed of the deterministic jitter stream; give each member of a
+        fleet its own seed to spread their retries.
+    sleep:
+        Async sleep callable (default :func:`asyncio.sleep`); tests
+        inject :meth:`VirtualClock.sleep`.
+    clock:
+        Time source (default :func:`time.monotonic`) for callers that
+        deadline against the policy's clock.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_retries: int = 2,
+        base: float = 0.05,
+        cap: float = 2.0,
+        jitter: float = 0.0,
+        seed: int = 0,
+        sleep: Optional[Callable[[float], Awaitable[None]]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be nonnegative")
+        if base <= 0 or cap < base:
+            raise ValueError("need 0 < base <= cap")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.max_retries = int(max_retries)
+        self.base = float(base)
+        self.cap = float(cap)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self._sleep = sleep if sleep is not None else asyncio.sleep
+        self.clock = clock
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether retry number ``attempt`` (1-based) is still allowed."""
+        return attempt <= self.max_retries
+
+    def delay(
+        self, attempt: int, retry_after: Optional[float] = None
+    ) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based).
+
+        A positive ``retry_after`` hint wins — clamped to ``cap`` —
+        otherwise the capped exponential schedule applies, shrunk by the
+        seeded jitter stream.
+        """
+        if attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+        if retry_after is not None and retry_after > 0:
+            return min(self.cap, float(retry_after))
+        raw = min(self.cap, self.base * (2 ** (attempt - 1)))
+        if self.jitter:
+            stream = random.Random(f"{self.seed}:{attempt}")
+            raw *= 1.0 - self.jitter * stream.random()
+        return raw
+
+    async def pause(
+        self, attempt: int, retry_after: Optional[float] = None
+    ) -> float:
+        """Sleep out :meth:`delay` through the injected sleep; returns it."""
+        delay = self.delay(attempt, retry_after)
+        await self._sleep(delay)
+        return delay
+
+    def timer(self) -> "BackoffTimer":
+        """A fresh stateful timer over this policy."""
+        return BackoffTimer(self)
+
+
+class BackoffTimer:
+    """Consecutive-failure counter for open-ended retry loops.
+
+    Each :meth:`pause` counts one more consecutive failure and sleeps
+    the policy's delay for it; :meth:`reset` (on success) returns the
+    schedule to the base delay.  This is exactly the shape of the
+    follower's reconnect loop and the load CLI's shed loop — previously
+    each carried its own ``delay = min(cap, delay * 2)`` arithmetic.
+    """
+
+    def __init__(self, policy: RetryPolicy) -> None:
+        self._policy = policy
+        self._attempt = 0
+
+    @property
+    def attempt(self) -> int:
+        """Consecutive failures since the last :meth:`reset`."""
+        return self._attempt
+
+    @property
+    def policy(self) -> RetryPolicy:
+        """The policy supplying delays."""
+        return self._policy
+
+    def reset(self) -> None:
+        """Back to the base delay (call after a success)."""
+        self._attempt = 0
+
+    async def pause(self, retry_after: Optional[float] = None) -> float:
+        """Count one failure and sleep its delay; returns the delay."""
+        self._attempt += 1
+        return await self._policy.pause(self._attempt, retry_after)

@@ -29,16 +29,29 @@ them answer as one store:
   engine dispatch and break bit-identity.
 * **Failover** — each shard slot is an ordered endpoint chain
   (primary first, then followers).  When the current target dies, the
-  router re-scans the chain, asks a read-only survivor to ``promote``
-  (see :mod:`repro.serving.promotion`), and re-targets the slot; the
-  shard's remaining followers detect the promoted primary's offset
-  discontinuity through the watermark cross-check already in
-  ``repl_subscribe`` and re-bootstrap.  When every endpoint of a shard
-  is down, routed requests answer ``{"ok": false, "shard_unavailable":
-  true, "retry_after": ...}`` — the typed unavailability
+  router re-scans the chain: a writable survivor wins in chain order;
+  otherwise the **most-advanced** read-only survivor (highest applied
+  watermark) is asked to ``promote`` (see
+  :mod:`repro.serving.promotion`).  Picking by watermark matters under
+  synchronous-ack replication: followers apply contiguous prefixes of
+  one primary's stream, so their histories are totally ordered and the
+  max-watermark survivor holds every batch *any* follower acked —
+  promoting it can never lose a ``durable: true`` batch even when the
+  quorum was smaller than the follower count.  The shard's remaining
+  followers detect the promoted primary's offset discontinuity through
+  the watermark cross-check already in ``repl_subscribe`` and
+  re-bootstrap.  When every endpoint of a shard is down, routed
+  requests answer ``{"ok": false, "shard_unavailable": true,
+  "retry_after": ...}`` — the typed unavailability
   :class:`~repro.serving.server.ServingClient` retries for idempotent
   operations and surfaces as
   :class:`~repro.serving.server.ShardUnavailable` for mutating ones.
+* **Durability propagation** — when shards run in synchronous-ack mode
+  their ingest replies carry ``durable``; the routed acknowledgement
+  reports the *weakest* shard's verdict (``durable: true`` only when
+  every contacted shard confirmed its quorum; a shard that reported
+  nothing — asynchronous mode — counts as not confirmed).  A routed
+  batch is only as durable as its least-replicated sub-batch.
 
 Watermark semantics: every routed answer carries ``watermarks`` — the
 per-shard vector — and ``watermark``, their sum.  Each shard's view is
@@ -61,6 +74,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .events import ROUTING_SALT, Event, shard_events
 from .metrics import MetricsRegistry
+from .resilience import RetryPolicy
 from .server import (
     DEFAULT_LINE_LIMIT,
     ConnectionLost,
@@ -162,6 +176,12 @@ class ShardRouter(JSONLinesServer):
         responses.
     backoff:
         Base reconnect backoff for the router's shard clients.
+        Shorthand for the default ``retry`` policy.
+    retry:
+        A :class:`~repro.serving.resilience.RetryPolicy` governing how
+        many times a routed request re-targets and re-sends (its
+        ``max_retries``) and the pause between attempts; overrides the
+        ``backoff`` shorthand.
     health_interval:
         Seconds between background health sweeps (ping every shard,
         re-target on failure); ``None`` disables the sweep — failures
@@ -180,6 +200,7 @@ class ShardRouter(JSONLinesServer):
         salt: str = ROUTING_SALT,
         retry_after: float = 0.25,
         backoff: float = 0.05,
+        retry: Optional[RetryPolicy] = None,
         health_interval: Optional[float] = None,
         line_limit: int = DEFAULT_LINE_LIMIT,
     ) -> None:
@@ -197,6 +218,11 @@ class ShardRouter(JSONLinesServer):
         self._salt = str(salt)
         self._retry_after = float(retry_after)
         self._backoff = float(backoff)
+        self._retry = (
+            retry
+            if retry is not None
+            else RetryPolicy(max_retries=1, base=backoff)
+        )
         self._health_interval = health_interval
         self._config: Optional[StoreConfig] = None
         self._health_task: Optional[asyncio.Task] = None
@@ -249,12 +275,17 @@ class ShardRouter(JSONLinesServer):
     # Shard targeting
     # ------------------------------------------------------------------
     async def _retarget(self, slot: ShardSlot) -> None:
-        """(Re)connect ``slot`` to the first serving endpoint of its chain.
+        """(Re)connect ``slot`` to the best serving endpoint of its chain.
 
-        Scans the chain in order; a read-only survivor is asked to
-        ``promote`` (an acknowledged no-op on a server that is already
-        writable, so concurrent re-targets are idempotent).  The winner
-        is rotated to the front of the chain.  Raises
+        Probes the whole chain: a *writable* endpoint wins in chain
+        order; with none, the **most-advanced** read-only survivor
+        (highest applied watermark, chain order breaking ties) is asked
+        to ``promote``.  Followers apply contiguous prefixes of one
+        primary's stream, so the max-watermark survivor's ledger
+        contains every other survivor's — promoting it preserves every
+        batch any follower acked, which is what makes a sync-ack quorum
+        smaller than the follower count safe across failover.  The
+        winner is rotated to the front of the chain.  Raises
         :class:`~repro.serving.server.ShardUnavailable` when no
         endpoint serves.
         """
@@ -262,73 +293,111 @@ class ShardRouter(JSONLinesServer):
             await slot.client.close()
             slot.client = None
         was_primary = slot.endpoints[0]
-        for position, (host, port) in enumerate(list(slot.endpoints)):
-            client: Optional[ServingClient] = None
-            try:
-                client = await ServingClient.connect(
-                    host, port, max_retries=0, backoff=self._backoff
-                )
-                info = await client.info()
+        #: ``(-watermark, position, host, port, client)`` promotion
+        #: candidates — sortable so the most-advanced survivor leads.
+        candidates: List[Tuple[int, int, str, int, ServingClient]] = []
+        chosen: Optional[Tuple[int, ServingClient, Dict[str, Any]]] = None
+        try:
+            for position, (host, port) in enumerate(list(slot.endpoints)):
+                client: Optional[ServingClient] = None
+                try:
+                    client = await ServingClient.connect(
+                        host, port, max_retries=0, backoff=self._backoff
+                    )
+                    info = await client.info()
+                except (ConnectionError, OSError, ServingError):
+                    if client is not None:
+                        await client.close()
+                    continue
                 if info.get("read_only"):
-                    promoted = await client.request("promote")
+                    candidates.append(
+                        (
+                            -int(info.get("events_ingested", 0)),
+                            position,
+                            host,
+                            port,
+                            client,
+                        )
+                    )
+                    continue
+                chosen = (position, client, info)
+                break
+            if chosen is None:
+                for _, position, host, port, client in sorted(
+                    candidates, key=lambda item: item[:2]
+                ):
+                    try:
+                        promoted = await client.request("promote")
+                        info = await client.info()
+                        if info.get("read_only"):
+                            # Promotion did not take (raced a
+                            # demotion?) — a read-only target cannot
+                            # own the shard.
+                            raise ServingError("endpoint stayed read-only")
+                    except (ConnectionError, OSError, ServingError):
+                        await client.close()
+                        continue
                     if promoted.get("promoted"):
                         self._metrics.counter(
                             "router_promotions_total",
                             help="followers promoted to shard primary",
                             shard=str(slot.index),
                         ).inc()
-                    info = await client.info()
-                    if info.get("read_only"):
-                        # Promotion did not take (raced a demotion?) —
-                        # a read-only target cannot own the shard.
-                        raise ServingError("endpoint stayed read-only")
-                config = StoreConfig.from_dict(info["config"])
-                if self._config is None:
-                    self._config = config
-                elif config != self._config:
+                    chosen = (position, client, info)
+                    break
+        finally:
+            for _, _, _, _, client in candidates:
+                if chosen is None or client is not chosen[1]:
                     await client.close()
-                    raise ValueError(
-                        f"shard {slot.index} endpoint {host}:{port} serves "
-                        f"config {config}, but the router pinned "
-                        f"{self._config}; shards must share one config"
-                    )
-            except (ConnectionError, OSError, ServingError):
-                if client is not None:
-                    await client.close()
-                continue
-            if position:
-                slot.endpoints.insert(0, slot.endpoints.pop(position))
-            slot.client = client
-            slot.watermark = int(info.get("events_ingested", slot.watermark))
-            slot.invalidate_views()
-            if slot.endpoints[0] != was_primary:
-                slot.failovers += 1
-                self._metrics.counter(
-                    "router_failovers_total",
-                    help="shard slots re-targeted to a different endpoint",
-                    shard=str(slot.index),
-                ).inc()
-            return
-        raise ShardUnavailable(
-            f"shard {slot.index} is unavailable: no endpoint of "
-            + ", ".join(f"{host}:{port}" for host, port in slot.endpoints)
-            + " is serving",
-            self._retry_after,
-        )
+        if chosen is None:
+            raise ShardUnavailable(
+                f"shard {slot.index} is unavailable: no endpoint of "
+                + ", ".join(
+                    f"{host}:{port}" for host, port in slot.endpoints
+                )
+                + " is serving",
+                self._retry_after,
+            )
+        position, client, info = chosen
+        config = StoreConfig.from_dict(info["config"])
+        if self._config is None:
+            self._config = config
+        elif config != self._config:
+            await client.close()
+            host, port = slot.endpoints[position]
+            raise ValueError(
+                f"shard {slot.index} endpoint {host}:{port} serves "
+                f"config {config}, but the router pinned "
+                f"{self._config}; shards must share one config"
+            )
+        if position:
+            slot.endpoints.insert(0, slot.endpoints.pop(position))
+        slot.client = client
+        slot.watermark = int(info.get("events_ingested", slot.watermark))
+        slot.invalidate_views()
+        if slot.endpoints[0] != was_primary:
+            slot.failovers += 1
+            self._metrics.counter(
+                "router_failovers_total",
+                help="shard slots re-targeted to a different endpoint",
+                shard=str(slot.index),
+            ).inc()
 
     async def _shard_request(
         self, slot: ShardSlot, op: str, **fields: Any
     ) -> Dict[str, Any]:
-        """One request to a shard, with a single re-target on failure.
+        """One request to a shard, re-targeting between policy retries.
 
-        A connection drop triggers one chain re-scan (which may promote
-        a follower) and one re-send.  Note the re-send makes routed
+        A connection drop triggers a chain re-scan (which may promote a
+        follower), a policy backoff pause, and a re-send — up to the
+        retry policy's ``max_retries``.  Note the re-send makes routed
         ``ingest`` *at-least-once* across failover: a primary that died
         after applying but before acknowledging leaves the re-sent
         sub-batch double-applied on its successor — see the promotion
         runbook in the docs for when that window exists.
         """
-        for attempt in (0, 1):
+        attempt = 0
+        while True:
             if slot.client is None:
                 async with slot.lock:
                     if slot.client is None:
@@ -347,12 +416,14 @@ class ShardRouter(JSONLinesServer):
                     if slot.client is client and client is not None:
                         await client.close()
                         slot.client = None
-                if attempt:
+                attempt += 1
+                if not self._retry.should_retry(attempt):
                     raise ShardUnavailable(
-                        f"shard {slot.index} dropped the connection twice",
+                        f"shard {slot.index} dropped the connection "
+                        f"{attempt + 1} times",
                         self._retry_after,
                     )
-        raise AssertionError("unreachable")
+                await self._retry.pause(attempt)
 
     # ------------------------------------------------------------------
     # Routed operations
@@ -387,12 +458,14 @@ class ShardRouter(JSONLinesServer):
         )
         ingested = 0
         error: Optional[BaseException] = None
+        durables: List[Optional[bool]] = []
         for (slot, batch), result in zip(work, results):
             if isinstance(result, BaseException):
                 error = error if error is not None else result
                 continue
             ingested += int(result["ingested"])
             slot.watermark = int(result["watermark"])
+            durables.append(result.get("durable"))
             self._metrics.counter(
                 "router_routed_events_total",
                 help="feed events routed to shards, by shard",
@@ -403,7 +476,18 @@ class ShardRouter(JSONLinesServer):
             # watermarks advanced — routed ingest is per-shard atomic,
             # not transactional across shards.
             raise error
-        return {"ok": True, "ingested": ingested, **self._watermark_fields()}
+        response = {
+            "ok": True,
+            "ingested": ingested,
+            **self._watermark_fields(),
+        }
+        if any(flag is not None for flag in durables):
+            # The weakest shard's verdict: a routed batch is only as
+            # durable as its least-replicated sub-batch, and a shard
+            # that reported nothing (asynchronous mode) confirmed
+            # nothing.
+            response["durable"] = all(bool(flag) for flag in durables)
+        return response
 
     async def _shard_view(
         self,
@@ -533,6 +617,19 @@ class ShardRouter(JSONLinesServer):
                 coalescing[field] = coalescing.get(field, 0) + value
         for slot, info in zip(self._slots, infos):
             slot.watermark = int(info["events_ingested"])
+        durability = {
+            "sync_ack": [
+                info.get("durability", {}).get("sync_ack") for info in infos
+            ],
+            "durable_acks": sum(
+                info.get("durability", {}).get("durable_acks", 0)
+                for info in infos
+            ),
+            "degraded_acks": sum(
+                info.get("durability", {}).get("degraded_acks", 0)
+                for info in infos
+            ),
+        }
         return {
             "router": True,
             "config": self._config.to_dict(),
@@ -542,6 +639,7 @@ class ShardRouter(JSONLinesServer):
             ),
             "keys": keys,
             "coalescing": coalescing,
+            "durability": durability,
             "read_only": False,
             "root": None,
             "shards": [slot.describe() for slot in self._slots],

@@ -39,6 +39,7 @@ Operations::
     {"id": 11, "op": "shard_view", "groups": null, "kinds": ["pps"]}
     {"id": 12, "op": "promote"}
     {"id": 13, "op": "shutdown"}
+    {"op": "repl_ack", "offset": 7}
 
 Responses are ``{"id": ..., "ok": true, ...}`` or ``{"id": ..., "ok":
 false, "error": "..."}``; per-request failures never tear down the
@@ -79,6 +80,17 @@ except metrics, which is always on and nearly free):
   :mod:`repro.serving.replication`).  ``read_only=True`` makes the
   server a *follower* front-end: it serves queries but rejects client
   ``ingest``/``evict``, so the replication stream is the only writer.
+* **Durable acknowledgement** — followers push ``repl_ack`` frames (no
+  ``id``, no reply) carrying their applied offset; with ``sync_ack=N``
+  the primary holds each ingest reply until ``N`` subscribers have
+  acked the batch's covering segment offset, then answers with
+  ``"durable": true``.  The wait is bounded by ``ack_timeout``: when
+  the quorum does not form in time the reply *degrades* to an explicit
+  ``"durable": false`` — the batch is applied and WAL-logged locally,
+  but the client knows it is not yet replicated — instead of wedging
+  the producer.  The ``info`` payload counts both outcomes, and the
+  ``serving_ack_wait_seconds`` / ``serving_degraded_acks_total``
+  series time and count the waits.
 
 :class:`ServingClient` is the matching asyncio client — used by the
 load-generating CLI subcommand, the benchmarks, the shard router, and
@@ -102,7 +114,13 @@ from .admission import AdmissionController
 from .batcher import QueryBatcher, QueryRequest
 from .events import Event
 from .metrics import MetricsRegistry
-from .replication import ReplicationError, ReplicationHub, snapshot_payload
+from .replication import (
+    AckTracker,
+    ReplicationError,
+    ReplicationHub,
+    snapshot_payload,
+)
+from .resilience import RetryPolicy
 from .retention import RetentionPolicy, apply_retention
 from .store import sketch_view_payload
 
@@ -372,6 +390,11 @@ class JSONLinesServer:
             help="request wall seconds, by operation",
             op=label,
         ).observe(time.perf_counter() - start)
+        if response.pop("_noreply", False):
+            # A fire-and-forget push frame (repl_ack): accounted above,
+            # but answering it would interleave an unsolicited line
+            # into the peer's stream.
+            return
         response["id"] = request_id
         writer.write((json.dumps(response, sort_keys=True) + "\n").encode())
         try:
@@ -419,6 +442,15 @@ class SketchServer(JSONLinesServer):
         ``None`` keeps the legacy direct-apply path with no queue.
     repl_buffer:
         Capacity (entries) of the replication segment buffer.
+    sync_ack:
+        Synchronous-ack quorum: hold each ingest reply until this many
+        streaming subscribers have acked the batch's covering segment
+        offset, then answer ``durable: true``.  ``None`` (the default)
+        keeps asynchronous replication — replies carry no ``durable``
+        field.
+    ack_timeout:
+        Bound (seconds) on each sync-ack quorum wait; when it expires
+        the reply degrades to ``durable: false`` instead of wedging.
     read_only:
         Reject client ``ingest``/``evict`` — the follower front-end
         mode, where the replication stream is the only writer.
@@ -445,6 +477,8 @@ class SketchServer(JSONLinesServer):
         metrics: Optional[MetricsRegistry] = None,
         max_pending_events: Optional[int] = None,
         repl_buffer: int = 1024,
+        sync_ack: Optional[int] = None,
+        ack_timeout: float = 1.0,
         read_only: bool = False,
         promoter: Optional[Callable[[], Awaitable[Dict[str, Any]]]] = None,
         line_limit: int = DEFAULT_LINE_LIMIT,
@@ -458,6 +492,10 @@ class SketchServer(JSONLinesServer):
                 )
             if retention_interval <= 0:
                 raise ValueError("retention_interval must be positive")
+        if sync_ack is not None and sync_ack < 1:
+            raise ValueError("sync_ack must be a positive quorum size")
+        if ack_timeout <= 0:
+            raise ValueError("ack_timeout must be positive")
         super().__init__(host, port, metrics=metrics, line_limit=line_limit)
         self._store = store
         self._batcher = QueryBatcher(
@@ -475,6 +513,11 @@ class SketchServer(JSONLinesServer):
             else AdmissionController(max_pending_events)
         )
         self._hub = ReplicationHub(capacity=repl_buffer)
+        self._acks = AckTracker()
+        self._sync_ack = None if sync_ack is None else int(sync_ack)
+        self._ack_timeout = float(ack_timeout)
+        self._durable_acks = 0
+        self._degraded_acks = 0
         self._read_only = bool(read_only)
         self._promoter = promoter
         self._retention_task: Optional[asyncio.Task] = None
@@ -501,6 +544,16 @@ class SketchServer(JSONLinesServer):
     def replication(self) -> ReplicationHub:
         """The replication segment buffer."""
         return self._hub
+
+    @property
+    def acks(self) -> AckTracker:
+        """Per-subscriber replication ack marks (sync-ack quorums)."""
+        return self._acks
+
+    @property
+    def sync_ack(self) -> Optional[int]:
+        """The sync-ack quorum size (``None`` = asynchronous mode)."""
+        return self._sync_ack
 
     @property
     def read_only(self) -> bool:
@@ -556,6 +609,9 @@ class SketchServer(JSONLinesServer):
     def _cleanup_connection(self, writer) -> None:
         for pump in self._repl_pumps.pop(id(writer), ()):
             pump.cancel()
+        # A dead subscriber can never ack again; waking the quorum
+        # waiters lets them re-evaluate (and time out) promptly.
+        self._acks.unregister(id(writer))
 
     async def _retention_loop(self) -> None:
         while True:
@@ -582,8 +638,13 @@ class SketchServer(JSONLinesServer):
     # ------------------------------------------------------------------
     # Mutation paths (shared by direct / queued / background callers)
     # ------------------------------------------------------------------
-    def _apply_ingest(self, events, snapshot: bool) -> int:
-        """Apply one ingest batch, record its segment, instrument it."""
+    def _apply_ingest(self, events, snapshot: bool) -> Tuple[int, int]:
+        """Apply one ingest batch, record its segment, instrument it.
+
+        Returns ``(count, offset)`` — the covering segment offset is
+        what a sync-ack quorum wait blocks on (captured here, before
+        any await can let a later batch advance the hub).
+        """
         with self._metrics.histogram(
             "serving_ingest_apply_seconds",
             help="wall seconds applying one ingest batch to the store",
@@ -596,7 +657,7 @@ class SketchServer(JSONLinesServer):
         self._hub.record_events(events, self._store.events_ingested)
         if snapshot and self._store.root is not None:
             self._store.snapshot()
-        return count
+        return count, self._hub.offset
 
     def _run_retention(
         self,
@@ -630,7 +691,7 @@ class SketchServer(JSONLinesServer):
             events, snapshot, future = await self._ingest_queue.get()
             start = time.perf_counter()
             try:
-                count = self._apply_ingest(events, snapshot)
+                count, offset = self._apply_ingest(events, snapshot)
             except Exception as exc:
                 self._admission.release(len(events))
                 if not future.done():
@@ -640,7 +701,45 @@ class SketchServer(JSONLinesServer):
                 len(events), time.perf_counter() - start
             )
             if not future.done():
-                future.set_result((count, self._store.events_ingested))
+                future.set_result(
+                    (count, self._store.events_ingested, offset)
+                )
+
+    async def _await_durability(
+        self, count: int, offset: int
+    ) -> Optional[bool]:
+        """Hold an ingest reply for its sync-ack quorum (bounded).
+
+        Returns ``None`` in asynchronous mode (the reply then carries
+        no ``durable`` field), ``True`` when ``sync_ack`` subscribers
+        acked the covering ``offset`` within ``ack_timeout``, ``False``
+        when the wait degraded — the batch is applied (and WAL-logged
+        locally) but not yet confirmed replicated.
+        """
+        if self._sync_ack is None:
+            return None
+        if count <= 0:
+            return True  # nothing was recorded, nothing can be lost
+        with self._metrics.histogram(
+            "serving_ack_wait_seconds",
+            help="wall seconds ingest replies waited on follower quorums",
+        ).time():
+            durable = await self._acks.wait_for(
+                offset, self._sync_ack, self._ack_timeout
+            )
+        if durable:
+            self._durable_acks += 1
+            self._metrics.counter(
+                "serving_durable_acks_total",
+                help="ingest replies acknowledged durable (quorum met)",
+            ).inc()
+        else:
+            self._degraded_acks += 1
+            self._metrics.counter(
+                "serving_degraded_acks_total",
+                help="ingest replies degraded to durable=false on timeout",
+            ).inc()
+        return durable
 
     async def _ingest_op(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         events = [
@@ -648,12 +747,16 @@ class SketchServer(JSONLinesServer):
         ]
         snapshot = bool(payload.get("snapshot"))
         if self._admission is None:
-            count = self._apply_ingest(events, snapshot)
-            return {
+            count, offset = self._apply_ingest(events, snapshot)
+            response = {
                 "ok": True,
                 "ingested": count,
                 "watermark": self._store.events_ingested,
             }
+            durable = await self._await_durability(count, offset)
+            if durable is not None:
+                response["durable"] = durable
+            return response
         if not self._admission.try_admit(len(events)):
             retry_after = self._admission.retry_after()
             self._metrics.counter(
@@ -676,8 +779,12 @@ class SketchServer(JSONLinesServer):
             }
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._ingest_queue.put_nowait((events, snapshot, future))
-        count, watermark = await future
-        return {"ok": True, "ingested": count, "watermark": watermark}
+        count, watermark, offset = await future
+        response = {"ok": True, "ingested": count, "watermark": watermark}
+        durable = await self._await_durability(count, offset)
+        if durable is not None:
+            response["durable"] = durable
+        return response
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -689,6 +796,15 @@ class SketchServer(JSONLinesServer):
         op = payload.get("op")
         if op == "ping":
             return {"ok": True, "result": "pong"}
+        if op == "repl_ack":
+            # Fire-and-forget upstream push from a subscriber; no reply
+            # line (it would interleave into the segment stream).
+            self._acks.ack(id(writer), int(payload.get("offset", 0)))
+            self._metrics.counter(
+                "serving_repl_acks_total",
+                help="repl_ack frames received from subscribers",
+            ).inc()
+            return {"ok": True, "_noreply": True}
         if op == "query":
             request = QueryRequest.from_payload(payload)
             result, watermark = await self._batcher.submit(request)
@@ -767,6 +883,7 @@ class SketchServer(JSONLinesServer):
                 # return, with no intervening await.
                 pump = asyncio.create_task(self._pump_segments(writer, after))
                 self._repl_pumps.setdefault(id(writer), set()).add(pump)
+                self._acks.register(id(writer))
                 mode = "stream"
             else:
                 mode = "snapshot"
@@ -885,6 +1002,13 @@ class SketchServer(JSONLinesServer):
             ),
             "read_only": self._read_only,
             "promotable": self._promoter is not None,
+            "durability": {
+                "sync_ack": self._sync_ack,
+                "ack_timeout": self._ack_timeout,
+                "durable_acks": self._durable_acks,
+                "degraded_acks": self._degraded_acks,
+                "ack_subscribers": self._acks.subscribers,
+            },
         }
 
 
@@ -914,6 +1038,13 @@ class ServingClient:
     line that is not a JSON object fails every pending request with
     :class:`ProtocolError` naming the offending bytes, and is never
     retried.
+
+    All backoff arithmetic lives in one shared
+    :class:`~repro.serving.resilience.RetryPolicy` — pass ``retry`` to
+    override the ``max_retries``/``backoff`` shorthand (e.g. to inject
+    a virtual clock, or a different ``cap``).  Server ``retry_after``
+    hints are honoured *clamped to the policy's cap*: a confused router
+    cannot park the client arbitrarily long.
     """
 
     #: Operations safe to re-send after a connection drop: they do not
@@ -929,6 +1060,7 @@ class ServingClient:
         port: Optional[int] = None,
         max_retries: int = 2,
         backoff: float = 0.05,
+        retry: Optional[RetryPolicy] = None,
         limit: int = DEFAULT_LINE_LIMIT,
     ) -> None:
         if max_retries < 0:
@@ -939,8 +1071,11 @@ class ServingClient:
         self._writer = writer
         self._host = host
         self._port = port
-        self._max_retries = int(max_retries)
-        self._backoff = float(backoff)
+        self._retry = (
+            retry
+            if retry is not None
+            else RetryPolicy(max_retries=max_retries, base=backoff)
+        )
         self._limit = int(limit)
         self._pending: Dict[str, asyncio.Future] = {}
         self._next_id = 0
@@ -954,6 +1089,7 @@ class ServingClient:
         *,
         max_retries: int = 2,
         backoff: float = 0.05,
+        retry: Optional[RetryPolicy] = None,
         limit: int = DEFAULT_LINE_LIMIT,
     ) -> "ServingClient":
         """Open a connection to a running server.
@@ -975,6 +1111,7 @@ class ServingClient:
             port=port,
             max_retries=max_retries,
             backoff=backoff,
+            retry=retry,
             limit=limit,
         )
 
@@ -1060,19 +1197,17 @@ class ServingClient:
                 if (
                     op not in self.RETRYABLE_OPS
                     or self._host is None
-                    or attempt >= self._max_retries
+                    or not self._retry.should_retry(attempt + 1)
                 ):
                     raise
                 while True:
                     attempt += 1
-                    await asyncio.sleep(
-                        self._backoff * (2 ** (attempt - 1))
-                    )
+                    await self._retry.pause(attempt)
                     try:
                         await self._reconnect()
                         break
                     except (ConnectionError, OSError):
-                        if attempt >= self._max_retries:
+                        if not self._retry.should_retry(attempt + 1):
                             raise ConnectionLost(
                                 f"could not reconnect to "
                                 f"{self._host}:{self._port}"
@@ -1086,14 +1221,14 @@ class ServingClient:
                     )
                 if response.get("shard_unavailable"):
                     retry_after = float(response.get("retry_after", 0.0))
-                    if (
-                        op in self.RETRYABLE_OPS
-                        and attempt < self._max_retries
+                    if op in self.RETRYABLE_OPS and self._retry.should_retry(
+                        attempt + 1
                     ):
                         attempt += 1
-                        await asyncio.sleep(
-                            retry_after
-                            or self._backoff * (2 ** (attempt - 1))
+                        # The hint wins over the computed backoff, but
+                        # clamped to the policy's cap.
+                        await self._retry.pause(
+                            attempt, retry_after=retry_after or None
                         )
                         continue
                     raise ShardUnavailable(message, retry_after)

@@ -97,7 +97,7 @@ class TestValidator:
         # deliberate.
         assert {"moments_ablation", "moments_dominance", "simulate_grid",
                 "batch_sum", "store_serve", "store_ingest_parallel",
-                "store_replication",
+                "store_replication", "store_sync_ack",
                 } <= set(run_bench.SUITE)
 
 

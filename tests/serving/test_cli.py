@@ -63,6 +63,26 @@ class TestRunLoad:
         )
         assert concurrent["coalescing"]["store_calls"] < 24 <= burst_calls
 
+    def test_load_reports_durability_split_against_sync_ack(self):
+        async def run():
+            # A quorum that can never form (no follower): every ingest
+            # ack degrades, and the report says so explicitly.
+            async with SketchServer(
+                SketchStore(CONFIG), sync_ack=1, ack_timeout=0.05
+            ) as server:
+                host, port = server.address
+                return await run_load(
+                    host, port, clients=2, requests_per_client=2,
+                    ingest_events=120, ingest_batch=60,
+                )
+
+        report = asyncio.run(run())
+        assert report["errors"] == 0
+        assert report["ingested"] == 120
+        assert report["durable_acks"] == 0
+        assert report["degraded_acks"] == 2
+        assert report["watermark"] == 120
+
     def test_load_validates_its_knobs(self):
         with pytest.raises(ValueError):
             asyncio.run(run_load("127.0.0.1", 1, mode="warp"))

@@ -22,6 +22,7 @@ import asyncio
 from contextlib import asynccontextmanager
 
 import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.serving import (
     PromotableReplica,
@@ -36,6 +37,7 @@ from repro.serving import (
     promote_follower,
     synthetic_feed,
 )
+from repro.serving.chaos import crash_server
 
 CONFIG = StoreConfig(k=16, tau_star=0.75, salt="promotion")
 
@@ -171,6 +173,188 @@ class TestFailoverPromotion:
                 assert (
                     snapshot["counters"]["router_unavailable_total"] >= 1
                 )
+
+        asyncio.run(run())
+
+
+class TestSyncAckFailover:
+    def test_kill_mid_quorum_keeps_every_durable_ack(self):
+        """``--sync-ack`` closes the promotion loss window.
+
+        A quorum-of-two primary is killed with an ack wait potentially
+        still in flight; the router promotes the most-advanced replica
+        and **every** batch acked ``durable: true`` is inside the
+        promoted watermark — the runbook's loss caveat only applies
+        with sync-ack off.
+        """
+
+        async def run():
+            feed = synthetic_feed(
+                240, num_keys=40, groups=("g1", "g2"), seed=27
+            )
+            primary = SketchServer(
+                SketchStore(CONFIG), sync_ack=2, ack_timeout=2.0
+            )
+            await primary.start()
+            replicas = [
+                PromotableReplica(
+                    SketchStore(CONFIG), *primary.address, backoff=0.01
+                )
+                for _ in range(2)
+            ]
+            for replica in replicas:
+                await replica.start()
+            await wait_for(lambda: primary.acks.subscribers == 2)
+            router = ShardRouter(
+                [
+                    [
+                        primary.address,
+                        replicas[0].address,
+                        replicas[1].address,
+                    ]
+                ],
+                retry_after=0.02,
+                backoff=0.01,
+            )
+            await router.start()
+            client = await ServingClient.connect(*router.address, backoff=0.01)
+
+            acked = []
+            for start in range(0, 160, 20):
+                response = await client.ingest(feed[start : start + 20])
+                acked.append((response["watermark"], response["durable"]))
+            # Two live, caught-up followers: the full quorum confirms
+            # every batch.
+            assert all(durable for _, durable in acked)
+
+            # Kill mid-quorum: a direct ingest may be parked in the ack
+            # wait when the crash lands; it is unacked (lossable) if
+            # the connection dies first, durably acked otherwise.
+            direct = await ServingClient.connect(
+                *primary.address, max_retries=0
+            )
+            pending = asyncio.create_task(direct.ingest(feed[160:180]))
+            await asyncio.sleep(0.005)
+            await crash_server(primary)
+            try:
+                acked.append(
+                    ((await pending)["watermark"], (await pending)["durable"])
+                )
+            except (ServingError, ConnectionError, OSError):
+                pass
+            await direct.close()
+
+            info = await client.info()
+            promoted = [r for r in replicas if r.promoted]
+            assert len(promoted) == 1
+            watermark = info["events_ingested"]
+            for batch_watermark, durable in acked:
+                if durable:
+                    assert batch_watermark <= watermark
+
+            # Resume from the promoted cut and converge on the full
+            # feed, bit-identically.
+            for start in range(watermark, len(feed), 20):
+                await client.ingest(feed[start : start + 20])
+            await assert_routed_parity(client, feed)
+
+            await client.close()
+            await router.stop()
+            for replica in replicas:
+                await replica.stop()
+
+        asyncio.run(run())
+
+    def test_degraded_acks_surface_in_info_counters(self):
+        async def run():
+            # A quorum that can never form: acks degrade, and the
+            # degradation is visible — in the reply and in ``info``.
+            async with SketchServer(
+                SketchStore(CONFIG), sync_ack=3, ack_timeout=0.05
+            ) as server:
+                client = await ServingClient.connect(*server.address)
+                first = await client.ingest(
+                    synthetic_feed(30, num_keys=8, groups=("g1",), seed=28)
+                )
+                assert first["ok"] is True and first["durable"] is False
+                info = await client.info()
+                assert info["durability"]["sync_ack"] == 3
+                assert info["durability"]["degraded_acks"] == 1
+                assert info["durability"]["durable_acks"] == 0
+                await client.close()
+
+        asyncio.run(run())
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("ingest"), st.integers(min_value=1, max_value=25)
+                ),
+                st.tuples(
+                    st.just("evict"), st.integers(min_value=1, max_value=12)
+                ),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_sync_ack_converges_under_mixed_schedules(self, ops):
+        """Sync-ack composed with eviction/retention, hypothesis-drawn.
+
+        Every ingest ack must come back durable (the single follower
+        acks each entry, evictions included, so the covering offset is
+        always confirmed), and the follower ends ``==`` the primary.
+        """
+
+        async def run():
+            store = SketchStore(CONFIG)
+            server = SketchServer(store, sync_ack=1, ack_timeout=5.0)
+            await server.start()
+            follower = ReplicaFollower(
+                SketchStore(CONFIG), *server.address, backoff=0.01
+            )
+            task = asyncio.create_task(follower.run())
+            await wait_for(lambda: server.acks.subscribers == 1)
+            client = await ServingClient.connect(*server.address)
+            events = iter(
+                synthetic_feed(
+                    400, num_keys=40, groups=("g1", "g2"), seed=29
+                )
+            )
+            for op, arg in ops:
+                if op == "ingest":
+                    batch = [e for _, e in zip(range(arg), events)]
+                    response = await client.ingest(batch)
+                    assert response["durable"] is True
+                else:
+                    await client.evict(max_keys=arg)
+            # Converged means the hub *offset* is applied, not just the
+            # watermark: a trailing eviction entry moves no watermark.
+            await wait_for(
+                lambda: (follower.offset or 0) == server.replication.offset
+            )
+            assert follower.watermark == store.events_ingested
+            assert follower.store.groups == store.groups
+            for group in store.groups:
+                assert (
+                    follower.store.group_state(group).totals
+                    == store.group_state(group).totals
+                )
+            assert follower.store.query("sum") == store.query("sum")
+            assert follower.store.query("distinct") == store.query("distinct")
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            await client.close()
+            await server.stop()
 
         asyncio.run(run())
 

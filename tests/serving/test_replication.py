@@ -28,10 +28,12 @@ from repro.serving import (
     synthetic_feed,
 )
 from repro.serving.replication import (
+    AckTracker,
     apply_entry,
     install_snapshot,
     snapshot_payload,
 )
+from repro.serving.resilience import RetryPolicy, VirtualClock
 from repro.serving.retention import RetentionPolicy, apply_retention
 
 CONFIG = StoreConfig(k=16, tau_star=0.75, salt="repl")
@@ -103,6 +105,65 @@ class TestReplicationHub:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             ReplicationHub(capacity=0)
+
+
+class TestAckTracker:
+    def test_quorum_counts_cumulative_acks(self):
+        async def run():
+            tracker = AckTracker()
+            tracker.register("a")
+            tracker.register("b")
+            tracker.ack("a", 5)
+            tracker.ack("b", 3)
+            assert tracker.count_at(3) == 2
+            assert tracker.count_at(5) == 1
+            assert await tracker.wait_for(3, quorum=2, timeout=1.0)
+            assert await tracker.wait_for(5, quorum=2, timeout=0.01) is False
+
+        asyncio.run(run())
+
+    def test_acks_are_monotone(self):
+        tracker = AckTracker()
+        tracker.register("a")
+        tracker.ack("a", 7)
+        tracker.ack("a", 2)  # a late, out-of-order ack cannot regress
+        assert tracker.count_at(7) == 1
+
+    def test_wait_wakes_on_late_ack(self):
+        async def run():
+            tracker = AckTracker()
+            tracker.register("a")
+            waiter = asyncio.create_task(
+                tracker.wait_for(4, quorum=1, timeout=5.0)
+            )
+            await asyncio.sleep(0)
+            tracker.ack("a", 4)
+            assert await waiter is True
+
+        asyncio.run(run())
+
+    def test_unregister_wakes_waiters(self):
+        async def run():
+            tracker = AckTracker()
+            tracker.register("a")
+            waiter = asyncio.create_task(
+                tracker.wait_for(4, quorum=1, timeout=0.2)
+            )
+            await asyncio.sleep(0)
+            tracker.unregister("a")  # the subscriber died
+            assert tracker.subscribers == 0
+            assert await waiter is False
+
+        asyncio.run(run())
+
+    def test_describe(self):
+        tracker = AckTracker()
+        tracker.register("a")
+        tracker.ack("a", 3)
+        assert tracker.describe() == {
+            "subscribers": 1,
+            "acked_offsets": [3],
+        }
 
 
 class TestSnapshotShipping:
@@ -379,8 +440,15 @@ class TestWireProtocol:
             client = await ServingClient.connect(host, port)
             await client.ingest(events[:100])
 
+            # The reconnect loop runs in *virtual* time: its backoff
+            # pauses advance an injected clock instead of wall-clocking
+            # the suite, however long the outage lasts.
+            clock = VirtualClock()
             follower = ReplicaFollower(
-                SketchStore(CONFIG), host, port, backoff=0.01
+                SketchStore(CONFIG),
+                host,
+                port,
+                retry=RetryPolicy(base=0.05, cap=2.0, sleep=clock.sleep),
             )
             task = asyncio.create_task(follower.run())
             for _ in range(200):
@@ -390,6 +458,13 @@ class TestWireProtocol:
             assert follower.watermark == 100
             await client.close()
             await server.stop()  # kill mid-stream
+
+            # Let the follower notice and fail at least one reconnect
+            # against the dead port; its pauses are instant (virtual).
+            for _ in range(2000):
+                if follower.reconnects:
+                    break
+                await asyncio.sleep(0.001)
 
             server2 = SketchServer(primary, host=host, port=port)
             await server2.start()
@@ -405,10 +480,112 @@ class TestWireProtocol:
             except asyncio.CancelledError:
                 pass
             assert_stores_equal(follower.store, primary)
+            # The outage was bridged by virtual-time backoff pauses —
+            # the schedule is observable, and none of it was waited out.
+            assert follower.reconnects >= 1
+            assert clock.sleeps, "reconnect loop never consulted the policy"
             await client2.close()
             await server2.stop()
 
         asyncio.run(run())
+
+    def test_sync_ack_durable_with_a_live_follower(self):
+        async def run():
+            primary = SketchStore(CONFIG)
+            async with SketchServer(
+                primary, sync_ack=1, ack_timeout=5.0
+            ) as server:
+                host, port = server.address
+                follower = ReplicaFollower(
+                    SketchStore(CONFIG), host, port, backoff=0.01
+                )
+                task = asyncio.create_task(follower.run())
+                for _ in range(500):
+                    if server.acks.subscribers:
+                        break
+                    await asyncio.sleep(0.01)
+                assert server.acks.subscribers == 1
+                client = await ServingClient.connect(host, port)
+                response = await client.ingest(feed(40))
+                # The reply was held until the follower confirmed the
+                # covering offset — and says so.
+                assert response["durable"] is True
+                assert response["watermark"] == 40
+                assert follower.watermark == 40  # already applied
+                info = await client.info()
+                assert info["durability"]["sync_ack"] == 1
+                assert info["durability"]["durable_acks"] == 1
+                assert info["durability"]["degraded_acks"] == 0
+                assert info["durability"]["ack_subscribers"] == 1
+                snapshot = server.metrics.snapshot()
+                assert (
+                    snapshot["counters"]["serving_durable_acks_total"] == 1
+                )
+                assert snapshot["counters"]["serving_repl_acks_total"] >= 1
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                await client.close()
+
+        asyncio.run(run())
+
+    def test_sync_ack_degrades_without_a_quorum(self):
+        async def run():
+            primary = SketchStore(CONFIG)
+            async with SketchServer(
+                primary, sync_ack=2, ack_timeout=0.05
+            ) as server:
+                host, port = server.address
+                # One follower cannot satisfy a quorum of two: the ack
+                # wait times out and the reply degrades explicitly —
+                # the batch is applied, just not durably confirmed.
+                follower = ReplicaFollower(
+                    SketchStore(CONFIG), host, port, backoff=0.01
+                )
+                task = asyncio.create_task(follower.run())
+                for _ in range(500):
+                    if server.acks.subscribers:
+                        break
+                    await asyncio.sleep(0.01)
+                client = await ServingClient.connect(host, port)
+                response = await client.ingest(feed(30))
+                assert response["ok"] is True
+                assert response["durable"] is False
+                assert response["watermark"] == 30
+                info = await client.info()
+                assert info["durability"]["degraded_acks"] == 1
+                snapshot = server.metrics.snapshot()
+                assert (
+                    snapshot["counters"]["serving_degraded_acks_total"] == 1
+                )
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                await client.close()
+
+        asyncio.run(run())
+
+    def test_async_mode_reports_no_durability(self):
+        async def run():
+            async with SketchServer(SketchStore(CONFIG)) as server:
+                client = await ServingClient.connect(*server.address)
+                response = await client.ingest(feed(10))
+                assert "durable" not in response
+                info = await client.info()
+                assert info["durability"]["sync_ack"] is None
+                await client.close()
+
+        asyncio.run(run())
+
+    def test_sync_ack_validation(self):
+        with pytest.raises(ValueError, match="quorum"):
+            SketchServer(SketchStore(CONFIG), sync_ack=0)
+        with pytest.raises(ValueError, match="ack_timeout"):
+            SketchServer(SketchStore(CONFIG), sync_ack=1, ack_timeout=0.0)
 
     def test_read_only_follower_front_end_rejects_writes(self):
         async def run():

@@ -1,0 +1,142 @@
+"""The shared retry policy: exact schedules, clamped hints, virtual time.
+
+:mod:`repro.serving.resilience` replaced four hand-rolled retry loops;
+these tests pin the contract every caller now depends on — the capped
+exponential schedule, deterministic seeded jitter, ``retry_after``
+hints clamped to the cap (a confused server cannot park a client), and
+the injectable clock/sleep that lets reconnect loops run in virtual
+time instead of wall-clocking the suite.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serving.resilience import BackoffTimer, RetryPolicy, VirtualClock
+
+
+class TestRetryPolicy:
+    def test_capped_exponential_schedule(self):
+        policy = RetryPolicy(base=0.1, cap=1.0)
+        assert [policy.delay(n) for n in range(1, 7)] == [
+            0.1,
+            0.2,
+            0.4,
+            0.8,
+            1.0,  # capped
+            1.0,
+        ]
+
+    def test_retry_after_hint_wins_but_is_clamped(self):
+        policy = RetryPolicy(base=0.1, cap=1.0)
+        assert policy.delay(1, retry_after=0.5) == 0.5
+        # The clamp: a hostile/confused server cannot park a client
+        # past the policy's cap.
+        assert policy.delay(1, retry_after=3600.0) == 1.0
+        # Nonpositive hints fall back to the computed schedule.
+        assert policy.delay(2, retry_after=0.0) == 0.2
+        assert policy.delay(2, retry_after=None) == 0.2
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        jittered = RetryPolicy(base=0.1, cap=10.0, jitter=0.5, seed=4)
+        twin = RetryPolicy(base=0.1, cap=10.0, jitter=0.5, seed=4)
+        other = RetryPolicy(base=0.1, cap=10.0, jitter=0.5, seed=5)
+        delays = [jittered.delay(n) for n in range(1, 6)]
+        assert delays == [twin.delay(n) for n in range(1, 6)]
+        assert delays != [other.delay(n) for n in range(1, 6)]
+        for n, delay in enumerate(delays, start=1):
+            exact = 0.1 * 2 ** (n - 1)
+            assert exact * 0.5 <= delay <= exact
+        # Hinted delays are never jittered: the server said when.
+        assert jittered.delay(1, retry_after=0.3) == 0.3
+
+    def test_should_retry_is_a_hard_bound(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+        assert not RetryPolicy(max_retries=0).should_retry(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="base"):
+            RetryPolicy(base=0.0)
+        with pytest.raises(ValueError, match="base"):
+            RetryPolicy(base=0.5, cap=0.1)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().delay(0)
+
+    def test_pause_sleeps_through_the_injected_clock(self):
+        async def run():
+            clock = VirtualClock()
+            policy = RetryPolicy(base=0.5, cap=4.0, sleep=clock.sleep)
+            assert await policy.pause(1) == 0.5
+            assert await policy.pause(2) == 1.0
+            assert await policy.pause(3, retry_after=0.25) == 0.25
+            assert clock.sleeps == [0.5, 1.0, 0.25]
+            assert clock.now == 1.75
+
+        asyncio.run(run())
+
+
+class TestBackoffTimer:
+    def test_counts_failures_and_resets_on_success(self):
+        async def run():
+            clock = VirtualClock()
+            timer = RetryPolicy(
+                base=0.1, cap=0.4, sleep=clock.sleep
+            ).timer()
+            await timer.pause()
+            await timer.pause()
+            await timer.pause()
+            await timer.pause()  # capped now
+            assert timer.attempt == 4
+            timer.reset()
+            assert timer.attempt == 0
+            await timer.pause()  # back to base
+            assert clock.sleeps == [0.1, 0.2, 0.4, 0.4, 0.1]
+
+        asyncio.run(run())
+
+    def test_hint_passes_through(self):
+        async def run():
+            clock = VirtualClock()
+            timer = BackoffTimer(
+                RetryPolicy(base=0.1, cap=1.0, sleep=clock.sleep)
+            )
+            assert await timer.pause(retry_after=0.7) == 0.7
+            assert timer.attempt == 1
+
+        asyncio.run(run())
+
+
+class TestVirtualClock:
+    def test_sleeps_advance_time_without_waiting(self):
+        async def run():
+            clock = VirtualClock(start=100.0)
+            wall = asyncio.get_running_loop().time()
+            await clock.sleep(3600.0)
+            assert asyncio.get_running_loop().time() - wall < 1.0
+            assert clock.now == 3700.0
+            assert clock.clock() == 3700.0
+            assert clock.sleeps == [3600.0]
+
+        asyncio.run(run())
+
+    def test_sleep_yields_to_the_loop(self):
+        async def run():
+            clock = VirtualClock()
+            ran = asyncio.Event()
+
+            async def sibling():
+                ran.set()
+
+            task = asyncio.create_task(sibling())
+            await clock.sleep(1.0)
+            assert ran.is_set()  # the single yield scheduled the sibling
+            await task
+
+        asyncio.run(run())

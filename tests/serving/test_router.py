@@ -299,6 +299,83 @@ class TestRouterRejections:
 
         asyncio.run(run())
 
+    def test_ingest_propagates_weakest_shard_durability(self):
+        async def run():
+            from repro.serving import ReplicaFollower
+
+            feed = synthetic_feed(
+                60, num_keys=24, groups=("g1", "g2"), seed=8
+            )
+            # Shard 0: sync-ack with a live acking follower — its acks
+            # come back durable.  Shard 1: sync-ack but no follower —
+            # every ack degrades after its (short) timeout.
+            durable_shard = SketchServer(
+                SketchStore(CONFIG), sync_ack=1, ack_timeout=5.0
+            )
+            degraded_shard = SketchServer(
+                SketchStore(CONFIG), sync_ack=1, ack_timeout=0.05
+            )
+            await durable_shard.start()
+            await degraded_shard.start()
+            follower = ReplicaFollower(
+                SketchStore(CONFIG), *durable_shard.address, backoff=0.01
+            )
+            task = asyncio.create_task(follower.run())
+            for _ in range(500):
+                if durable_shard.acks.subscribers:
+                    break
+                await asyncio.sleep(0.01)
+
+            router = ShardRouter(
+                [[durable_shard.address], [degraded_shard.address]]
+            )
+            await router.start()
+            client = await ServingClient.connect(*router.address)
+            # Weakest-shard semantics: one degraded shard makes the
+            # whole routed ack non-durable.
+            response = await client.ingest(feed)
+            assert response["durable"] is False
+            info = await client.info()
+            assert info["durability"]["sync_ack"] == [1, 1]
+            assert info["durability"]["degraded_acks"] >= 1
+            assert info["durability"]["durable_acks"] >= 1
+            await client.close()
+            await router.stop()
+
+            # All shards durable: the routed ack is durable.
+            solo = ShardRouter([[durable_shard.address]])
+            await solo.start()
+            solo_client = await ServingClient.connect(*solo.address)
+            response = await solo_client.ingest(feed)
+            assert response["durable"] is True
+            await solo_client.close()
+            await solo.stop()
+
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            await durable_shard.stop()
+            await degraded_shard.stop()
+
+        asyncio.run(run())
+
+    def test_async_shards_report_no_durability(self):
+        async def run():
+            feed = synthetic_feed(
+                40, num_keys=16, groups=("g1",), seed=9
+            )
+            async with router_cluster(2) as (_router, client, _servers):
+                # No shard runs sync-ack: durability reporting is
+                # absent, not a confident lie in either direction.
+                response = await client.ingest(feed)
+                assert "durable" not in response
+                info = await client.info()
+                assert info["durability"]["sync_ack"] == [None, None]
+
+        asyncio.run(run())
+
     def test_config_mismatch_is_refused_at_start(self):
         async def run():
             matched = SketchServer(SketchStore(CONFIG))
